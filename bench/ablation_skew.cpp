@@ -1,0 +1,74 @@
+// Ablation: key skew — breaking the paper's uniform-distribution
+// assumption (Sec. III-A: "each instance of the same operator has the same
+// amount of data").
+//
+// With skewed keys the hottest instance saturates first, so an operator's
+// effective capacity is below k times the per-instance true rate. DS2's
+// Eq. 3 (and AuTraScale's throughput stage, which borrows it) divides the
+// target rate by the *average* true rate and therefore under-provisions;
+// AuTraScale's BO stage compensates because it trusts measurements, not
+// the uniformity assumption.
+#include "baselines/ds2.hpp"
+#include "bench_util.hpp"
+#include "core/steady_rate.hpp"
+#include "core/throughput_opt.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace autra;
+
+sim::JobSpec skewed_wordcount(double skew) {
+  sim::JobSpec spec =
+      workloads::word_count(std::make_shared<sim::ConstantRate>(350e3));
+  spec.topology.op(2).key_skew = skew;  // the keyed Count operator
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("key-skew ablation — WordCount @350k, skew on Count");
+  std::printf("%6s | %-14s %9s %6s | %-14s %9s %6s %6s\n", "skew",
+              "DS2 config", "thr[k/s]", "met", "AuTraScale", "thr[k/s]",
+              "met", "runs");
+
+  for (const double skew : {0.0, 0.5, 1.0, 2.0}) {
+    sim::JobRunner runner(skewed_wordcount(skew), 60.0, 60.0);
+    const core::Evaluator evaluate = core::make_runner_evaluator(runner);
+    const int p_max = runner.max_parallelism();
+
+    const baselines::Ds2Policy ds2(
+        runner.spec().topology,
+        {.target_throughput = 350e3, .max_parallelism = p_max});
+    const baselines::Ds2Result d = ds2.run(evaluate, sim::Parallelism(4, 1));
+
+    const core::ThroughputOptimizer opt(
+        runner.spec().topology,
+        {.target_throughput = 350e3, .max_parallelism = p_max});
+    const auto base = opt.optimize(evaluate, sim::Parallelism(4, 1));
+    core::SteadyRateParams sp;
+    sp.target_latency_ms = 120.0;
+    sp.target_throughput = 350e3;
+    sp.bootstrap_m = 6;
+    sp.max_parallelism = p_max;
+    const core::SteadyRateResult a =
+        core::run_steady_rate(evaluate, base.best, sp);
+
+    const auto met = [](double thr) { return thr >= 0.97 * 350e3; };
+    std::printf("%6.1f | %-14s %9.1f %6s | %-14s %9.1f %6s %6d\n", skew,
+                bench::cfg(d.final_config).c_str(),
+                d.final_metrics.throughput / 1e3,
+                met(d.final_metrics.throughput) ? "yes" : "NO",
+                bench::cfg(a.best).c_str(), a.best_metrics.throughput / 1e3,
+                met(a.best_metrics.throughput) ? "yes" : "NO",
+                base.iterations + a.bootstrap_evaluations + a.bo_iterations);
+  }
+
+  std::printf(
+      "\nShape check: at skew 0 both meet the target with similar configs; "
+      "as skew grows both need more Count instances, and the uniformity-"
+      "assuming one-shot DS2 recommendation drifts further from what the "
+      "measured loop settles on.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: fluid-engine tick size (DESIGN.md §4.1).
+//
+// The discrete-time fluid engine trades latency resolution for speed via
+// its tick. This ablation verifies that the observables the algorithms
+// consume (throughput, true rates, latency) are stable across tick sizes,
+// and reports the simulation wall-time cost of finer ticks.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace autra;
+
+  bench::header("tick-size ablation — WordCount @300k, parallelism 3");
+  std::printf("%10s %12s %14s %16s %14s\n", "tick [ms]", "thr [k/s]",
+              "latency [ms]", "true rate count", "sim wall [ms]");
+
+  for (const double tick : {0.025, 0.05, 0.1, 0.2}) {
+    sim::JobSpec spec = workloads::word_count(
+        std::make_shared<sim::ConstantRate>(300e3));
+    spec.engine.tick_sec = tick;
+    spec.engine.measurement_noise = 0.0;
+    sim::JobRunner runner(std::move(spec), 60.0, 120.0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const sim::JobMetrics m = runner.measure(sim::Parallelism(4, 3));
+    const auto wall = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+    std::printf("%10.0f %12.1f %14.1f %16.1f %14.1f\n", tick * 1000.0,
+                m.throughput / 1e3, m.latency_ms,
+                m.operators[2].true_rate_per_instance / 1e3, wall);
+  }
+
+  std::printf("\nShape check: throughput and true rates are tick-invariant; "
+              "latency shifts by at most ~1 tick; wall time scales inversely "
+              "with the tick.\n");
+  return 0;
+}

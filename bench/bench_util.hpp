@@ -1,0 +1,31 @@
+// Shared helpers for the experiment-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "streamsim/job_runner.hpp"
+
+namespace autra::bench {
+
+inline std::string cfg(const sim::Parallelism& p) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(p[i]);
+  }
+  return s + ")";
+}
+
+inline int total(const sim::Parallelism& p) {
+  return std::accumulate(p.begin(), p.end(), 0);
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace autra::bench

@@ -1,0 +1,117 @@
+// End-to-end controller economics: the paper's headline claim is that
+// auto-scaling "saves resources while ensuring QoS when the input data
+// rate changes". This bench runs the same 35-minute WordCount staircase
+// (100k -> 350k rec/s) under three provisioning regimes and accounts for
+// allocated parallelism and QoS from the continuous metric history:
+//
+//   static-peak — fixed configuration sized for the peak rate (the
+//                 no-autoscaling upper bound every elasticity paper
+//                 compares against);
+//   static-min  — fixed configuration sized for the initial rate (shows
+//                 what under-provisioning costs);
+//   autrascale  — the live MAPE controller (Sec. IV) rescaling on demand.
+#include "bench_util.hpp"
+#include "core/controller.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace autra;
+
+constexpr double kHorizonSec = 2100.0;
+
+std::shared_ptr<sim::RateSchedule> staircase() {
+  return std::make_shared<sim::StaircaseRate>(100e3, 50e3, 360.0);
+}
+
+struct Timeline {
+  double avg_alloc = 0.0;  ///< Mean total parallelism (allocated units).
+  double avg_cores = 0.0;
+  double avg_latency_ms = 0.0;
+  double violation_sec = 0.0;  ///< Seconds with throughput < 97% of rate.
+  double end_lag = 0.0;
+  int restarts = 0;
+};
+
+/// Summarises a session's metric history over [0, kHorizonSec].
+Timeline summarize(const sim::ScalingSession& session) {
+  namespace mn = sim::metric_names;
+  const sim::MetricsDb& db = session.history();
+  Timeline t;
+  const auto alloc = db.query(mn::kParallelismTotal, 0.0, kHorizonSec);
+  const auto cores = db.query(mn::kBusyCores, 0.0, kHorizonSec);
+  const auto thr = db.query(mn::kThroughput, 0.0, kHorizonSec);
+  const auto rate = db.query(mn::kInputRate, 0.0, kHorizonSec);
+  const auto lat = db.query(mn::kLatencyMean, 0.0, kHorizonSec);
+  for (const auto& p : alloc) t.avg_alloc += p.value;
+  if (!alloc.empty()) t.avg_alloc /= alloc.size();
+  for (const auto& p : cores) t.avg_cores += p.value;
+  if (!cores.empty()) t.avg_cores /= cores.size();
+  int lat_n = 0;
+  for (const auto& p : lat) {
+    if (p.value > 0.0) {
+      t.avg_latency_ms += p.value * 1000.0;
+      ++lat_n;
+    }
+  }
+  if (lat_n > 0) t.avg_latency_ms /= lat_n;
+  // Violation time: metric samples arrive once per second.
+  for (std::size_t i = 0; i < thr.size() && i < rate.size(); ++i) {
+    if (thr[i].value < 0.97 * rate[i].value) t.violation_sec += 1.0;
+  }
+  if (const auto lag = db.last(mn::kKafkaLag)) t.end_lag = lag->value;
+  t.restarts = session.restarts();
+  return t;
+}
+
+Timeline run_static(const sim::Parallelism& config) {
+  sim::JobSpec spec = workloads::word_count(staircase());
+  sim::ScalingSession session(spec, config);
+  session.run_for(kHorizonSec);
+  return summarize(session);
+}
+
+Timeline run_controller() {
+  sim::JobSpec spec = workloads::word_count(staircase());
+  sim::ScalingSession session(spec, sim::Parallelism(4, 1), 10.0);
+  core::ControllerParams params;
+  params.steady.target_latency_ms = 200.0;
+  params.steady.target_throughput = 0.0;  // track the rate
+  params.steady.bootstrap_m = 4;
+  params.steady.max_evaluations = 24;
+  params.policy_interval_sec = 60.0;
+  params.policy_running_time_sec = 120.0;
+  core::AuTraScaleController controller(spec, params);
+  controller.run(session, kHorizonSec);
+  return summarize(session);
+}
+
+void print(const char* name, const Timeline& t) {
+  std::printf("%-12s %10.1f %10.2f %14.1f %14.0f %12.0f %9d\n", name,
+              t.avg_alloc, t.avg_cores, t.avg_latency_ms, t.violation_sec,
+              t.end_lag / 1e3, t.restarts);
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "controller timeline — WordCount staircase 100k->350k over 35 min");
+  std::printf("%-12s %10s %10s %14s %14s %12s %9s\n", "regime", "avg alloc",
+              "avg cores", "avg lat [ms]", "violation [s]", "lag [k rec]",
+              "restarts");
+
+  // Peak sizing: the Fig. 5(a) configuration for 350k.
+  print("static-peak", run_static({1, 1, 3, 2}));
+  // Minimal sizing: enough for the initial 100k only.
+  print("static-min", run_static({1, 1, 1, 1}));
+  print("autrascale", run_controller());
+
+  std::printf(
+      "\nShape check: static-min melts down once the rate passes its "
+      "capacity (violation time and lag explode); static-peak holds QoS "
+      "but allocates peak resources from minute one; the controller tracks "
+      "the staircase — average allocation below static-peak, violations "
+      "bounded to the rescale transients, and no residual backlog.\n");
+  return 0;
+}

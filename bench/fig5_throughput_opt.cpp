@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 5: throughput optimisation on all four workloads.
+//
+//   Fig. 5(a): per-workload optimal throughput and iteration count
+//              (paper: final parallelisms (3,4,12,10), (40,1,1,1,40),
+//              (1,18), (1,11); at most 4 iterations; Yahoo capped by
+//              Redis below its 60k input rate).
+//   Fig. 5(b): the Yahoo iteration trace — the recommendation repeats once
+//              the Redis cap binds, terminating the loop, and the
+//              trajectory review picks the smallest configuration at the
+//              saturated throughput.
+#include "bench_util.hpp"
+#include "core/throughput_opt.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace autra;
+
+  struct Case {
+    const char* name;
+    sim::JobSpec spec;
+    double rate;
+  };
+  Case cases[] = {
+      {"WordCount",
+       workloads::word_count(std::make_shared<sim::ConstantRate>(350e3)),
+       350e3},
+      {"Yahoo",
+       workloads::yahoo_streaming(std::make_shared<sim::ConstantRate>(60e3)),
+       60e3},
+      {"Nexmark-Q5",
+       workloads::nexmark_q5(std::make_shared<sim::ConstantRate>(30e3)),
+       30e3},
+      {"Nexmark-Q11",
+       workloads::nexmark_q11(std::make_shared<sim::ConstantRate>(100e3)),
+       100e3},
+  };
+
+  bench::header("Fig. 5(a) — throughput optimisation per workload");
+  std::printf("%-12s %10s %-20s %12s %12s %6s %-10s\n", "workload",
+              "rate[k/s]", "final parallelism", "thr [k/s]", "target-met",
+              "iters", "stop");
+
+  for (Case& c : cases) {
+    sim::JobRunner runner(std::move(c.spec), 60.0, 60.0);
+    const core::Evaluator evaluate = core::make_runner_evaluator(runner);
+    const core::ThroughputOptimizer opt(
+        runner.spec().topology,
+        {.target_throughput = c.rate,
+         .max_parallelism = runner.max_parallelism()});
+    const core::ThroughputOptResult r = opt.optimize(
+        evaluate, sim::Parallelism(runner.num_operators(), 1));
+    std::printf("%-12s %10.0f %-20s %12.1f %12s %6d %-10s\n", c.name,
+                c.rate / 1e3, bench::cfg(r.best).c_str(),
+                r.best_throughput / 1e3, r.reached_target ? "yes" : "no",
+                r.iterations,
+                r.externally_limited ? "repeated" : "target");
+
+    if (std::string(c.name) == "Yahoo") {
+      bench::header("Fig. 5(b) — Yahoo iteration trace (Redis-capped)");
+      for (std::size_t i = 0; i < r.trajectory.size(); ++i) {
+        std::printf("  p%zu %-20s thr=%8.1fk  recommended next: %s\n", i + 1,
+                    bench::cfg(r.trajectory[i].config).c_str(),
+                    r.trajectory[i].metrics.throughput / 1e3,
+                    bench::cfg(r.trajectory[i].recommended).c_str());
+      }
+      std::printf("  review selected %s — max throughput with the fewest "
+                  "resource units\n",
+                  bench::cfg(r.best).c_str());
+      bench::header("Fig. 5(a) continued");
+      std::printf("%-12s %10s %-20s %12s %12s %6s %-10s\n", "workload",
+                  "rate[k/s]", "final parallelism", "thr [k/s]",
+                  "target-met", "iters", "stop");
+    }
+  }
+
+  std::printf(
+      "\nShape check (paper): <= ~4-6 iterations per workload; Yahoo stops "
+      "below its input rate via the repeated-recommendation condition; the "
+      "window operators of Q5/Q11 need double-digit parallelism while their "
+      "sources need 1.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Reproduces paper Table IV: CPU-time overhead of the AuTraScale
+// algorithms as a function of the number of operators in the DAG
+// (2, 4, 6, 8, 10).
+//
+//   Alg1_train — fitting the GP benefit model on a bootstrap-sized sample
+//                set and recommending a configuration (paper: 42-88 ms).
+//   Alg1_use   — a single model-driven recommendation from an existing
+//                sample set (paper: < 1 ms).
+//   Alg2       — one transfer-learning step: residual fit + estimated
+//                bootstrap scores + recommendation (paper: 67-116 ms).
+//
+// Absolute times depend on hardware; the paper's shape to check is
+// near-linear growth with the operator count, all far below the policy
+// interval.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/bootstrap.hpp"
+#include "core/steady_rate.hpp"
+#include "core/transfer.hpp"
+
+namespace {
+
+using namespace autra;
+
+// Synthetic benefit surface: smooth, concave, rate-shifted.
+double synthetic_score(const sim::Parallelism& config, double shift) {
+  double s = 1.0;
+  for (int k : config) {
+    const double d = (k - 6.0 - shift) / 10.0;
+    s -= d * d / static_cast<double>(config.size());
+  }
+  return s;
+}
+
+std::vector<core::SamplePoint> make_samples(std::size_t n_ops, double shift,
+                                            std::uint64_t seed) {
+  const sim::Parallelism base(n_ops, 2);
+  std::vector<core::SamplePoint> samples;
+  for (const sim::Parallelism& c : core::bootstrap_samples(base, 20, 6)) {
+    core::SamplePoint s;
+    s.config = c;
+    s.score = synthetic_score(c, shift);
+    sim::JobMetrics m;
+    m.parallelism = c;
+    m.latency_ms = 1000.0 * (1.1 - s.score);
+    m.throughput = 1000.0;
+    m.input_rate = 1000.0;
+    s.metrics = std::move(m);
+    samples.push_back(std::move(s));
+  }
+  // A few extra BO-style samples for realism.
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(2, 20);
+  for (int extra = 0; extra < 6; ++extra) {
+    core::SamplePoint s;
+    s.config.resize(n_ops);
+    for (int& k : s.config) k = dist(rng);
+    s.score = synthetic_score(s.config, shift);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+core::SteadyRateParams params_for(std::size_t n_ops) {
+  core::SteadyRateParams p;
+  p.target_latency_ms = 100.0;
+  p.target_throughput = 1000.0;
+  p.max_parallelism = 20;
+  p.seed = 7 + n_ops;
+  return p;
+}
+
+void Alg1Train(benchmark::State& state) {
+  const auto n_ops = static_cast<std::size_t>(state.range(0));
+  const auto samples = make_samples(n_ops, 0.0, 11);
+  const sim::Parallelism base(n_ops, 2);
+  const auto params = params_for(n_ops);
+  for (auto _ : state) {
+    // Fit + recommend, the per-iteration planning cost of Algorithm 1.
+    core::BenefitModel model;
+    model.rate = 1000.0;
+    model.base = base;
+    model.samples = samples;
+    model.fit();
+    benchmark::DoNotOptimize(
+        core::recommend_next(samples, base, params));
+  }
+}
+
+void Alg1Use(benchmark::State& state) {
+  const auto n_ops = static_cast<std::size_t>(state.range(0));
+  const auto samples = make_samples(n_ops, 0.0, 13);
+  const sim::Parallelism base(n_ops, 2);
+  core::BenefitModel model;
+  model.rate = 1000.0;
+  model.base = base;
+  model.samples = samples;
+  model.fit();
+  for (auto _ : state) {
+    // A single posterior query of the already-trained model.
+    benchmark::DoNotOptimize(model.predict_mean(base));
+  }
+}
+
+void Alg2Step(benchmark::State& state) {
+  const auto n_ops = static_cast<std::size_t>(state.range(0));
+  const sim::Parallelism base(n_ops, 2);
+  const auto params = params_for(n_ops);
+
+  core::BenefitModel prior;
+  prior.rate = 800.0;
+  prior.base = base;
+  prior.samples = make_samples(n_ops, -1.0, 17);
+  prior.fit();
+
+  const auto real = make_samples(n_ops, 0.5, 19);
+  const std::vector<core::SamplePoint> few(real.begin(),
+                                           real.begin() + 4);
+
+  for (auto _ : state) {
+    // One outer iteration of Algorithm 2: residual fit, estimated
+    // bootstrap scores, one recommendation.
+    std::vector<core::SamplePoint> residual = few;
+    for (core::SamplePoint& s : residual) {
+      s.score -= prior.predict_mean(s.config);
+    }
+    core::BenefitModel res;
+    res.samples = std::move(residual);
+    res.fit();
+
+    std::vector<core::SamplePoint> dataset = few;
+    for (const sim::Parallelism& x :
+         core::bootstrap_samples(base, 20, 6)) {
+      core::SamplePoint est;
+      est.config = x;
+      est.score = prior.predict_mean(x) + res.predict_mean(x);
+      dataset.push_back(std::move(est));
+    }
+    benchmark::DoNotOptimize(
+        core::recommend_next(dataset, base, params));
+  }
+}
+
+BENCHMARK(Alg1Train)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(Alg1Use)->DenseRange(2, 10, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(Alg2Step)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

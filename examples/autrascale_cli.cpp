@@ -1,0 +1,167 @@
+// Command-line driver: run any policy on any workload without writing
+// code. The closest thing in this repository to a production entry point.
+//
+//   autrascale_cli --workload wordcount --rate 350000 \
+//                  --policy autrascale --latency-ms 40
+//
+//   --workload   wordcount | yahoo | q1 | q5 | q8 | q11   (default wordcount)
+//   --rate       input records/s                (default 350000)
+//   --policy     autrascale | ds2 | drs-true | drs-observed | threshold |
+//                dhalion                        (default autrascale)
+//   --latency-ms target latency                 (default 100)
+//   --throughput target records/s, 0 = the rate (default 0)
+//   --seed       RNG seed                       (default 42)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/dhalion.hpp"
+#include "baselines/drs.hpp"
+#include "baselines/ds2.hpp"
+#include "baselines/threshold.hpp"
+#include "core/steady_rate.hpp"
+#include "core/throughput_opt.hpp"
+#include "example_util.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace autra;
+
+struct Options {
+  std::string workload = "wordcount";
+  std::string policy = "autrascale";
+  double rate = 350000.0;
+  double latency_ms = 100.0;
+  double throughput = 0.0;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload wordcount|yahoo|q1|q5|q8|q11] [--rate R]\n"
+               "          [--policy autrascale|ds2|drs-true|drs-observed|"
+               "threshold|dhalion]\n"
+               "          [--latency-ms L] [--throughput T] [--seed S]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--workload") {
+      opt.workload = value();
+    } else if (flag == "--policy") {
+      opt.policy = value();
+    } else if (flag == "--rate") {
+      opt.rate = std::atof(value());
+    } else if (flag == "--latency-ms") {
+      opt.latency_ms = std::atof(value());
+    } else if (flag == "--throughput") {
+      opt.throughput = std::atof(value());
+    } else if (flag == "--seed") {
+      opt.seed = std::strtoull(value(), nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.rate <= 0.0 || opt.latency_ms <= 0.0) usage(argv[0]);
+  return opt;
+}
+
+sim::JobSpec make_spec(const Options& opt) {
+  auto schedule = std::make_shared<sim::ConstantRate>(opt.rate);
+  if (opt.workload == "wordcount") return workloads::word_count(schedule);
+  if (opt.workload == "yahoo") return workloads::yahoo_streaming(schedule);
+  if (opt.workload == "q1") return workloads::nexmark_q1(schedule);
+  if (opt.workload == "q5") return workloads::nexmark_q5(schedule);
+  if (opt.workload == "q8") return workloads::nexmark_q8(schedule);
+  if (opt.workload == "q11") return workloads::nexmark_q11(schedule);
+  std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  const double target_thr = opt.throughput > 0.0 ? opt.throughput : opt.rate;
+
+  sim::JobRunner runner(make_spec(opt), 60.0, 60.0);
+  const core::Evaluator evaluate = core::make_runner_evaluator(runner);
+  const auto& topology = runner.spec().topology;
+  const int p_max = runner.max_parallelism();
+  const sim::Parallelism start(runner.num_operators(), 1);
+
+  std::printf("workload=%s rate=%.0f policy=%s latency-target=%.0fms "
+              "throughput-target=%.0f\n",
+              opt.workload.c_str(), opt.rate, opt.policy.c_str(),
+              opt.latency_ms, target_thr);
+
+  sim::JobMetrics final_metrics;
+  int runs = 0;
+
+  if (opt.policy == "autrascale") {
+    const core::ThroughputOptimizer topt(
+        topology,
+        {.target_throughput = target_thr, .max_parallelism = p_max});
+    const auto base = topt.optimize(evaluate, start);
+    core::SteadyRateParams sp;
+    sp.target_latency_ms = opt.latency_ms;
+    sp.target_throughput = target_thr;
+    sp.max_parallelism = p_max;
+    sp.seed = opt.seed;
+    const auto r = core::run_steady_rate(evaluate, base.best, sp);
+    final_metrics = r.best_metrics;
+    runs = base.iterations + r.bootstrap_evaluations + r.bo_iterations;
+    std::printf("converged=%s score=%.3f\n", r.converged ? "yes" : "no",
+                r.best_score);
+  } else if (opt.policy == "ds2") {
+    const baselines::Ds2Policy policy(
+        topology,
+        {.target_throughput = target_thr, .max_parallelism = p_max});
+    const auto r = policy.run(evaluate, start);
+    final_metrics = r.final_metrics;
+    runs = r.iterations;
+  } else if (opt.policy == "drs-true" || opt.policy == "drs-observed") {
+    const baselines::DrsPolicy policy(
+        topology, {.target_latency_ms = opt.latency_ms,
+                   .target_throughput = target_thr,
+                   .rate_metric = opt.policy == "drs-true"
+                                      ? baselines::RateMetric::kTrueRate
+                                      : baselines::RateMetric::kObservedRate,
+                   .max_parallelism = p_max});
+    const auto r = policy.run(evaluate, start);
+    final_metrics = r.final_metrics;
+    runs = r.iterations;
+    std::printf("model-predicted latency=%.2fms\n", r.predicted_latency_ms);
+  } else if (opt.policy == "threshold") {
+    const baselines::ThresholdPolicy policy({.max_parallelism = p_max});
+    const auto r = policy.run(evaluate, start);
+    final_metrics = r.final_metrics;
+    runs = r.iterations;
+  } else if (opt.policy == "dhalion") {
+    const baselines::DhalionPolicy policy(topology,
+                                          {.max_parallelism = p_max});
+    const auto r = policy.run(evaluate, start);
+    final_metrics = r.final_metrics;
+    runs = r.iterations;
+    std::printf("healthy=%s blacklisted=%zu\n", r.healthy ? "yes" : "no",
+                r.blacklisted.size());
+  } else {
+    usage(argv[0]);
+  }
+
+  autra::examples::print_metrics("result", final_metrics);
+  const bool qos = final_metrics.latency_ms <= opt.latency_ms &&
+                   final_metrics.throughput >= 0.97 * target_thr;
+  std::printf("trial runs=%d  QoS=%s\n", runs, qos ? "met" : "VIOLATED");
+  return qos ? 0 : 1;
+}

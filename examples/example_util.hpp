@@ -1,0 +1,28 @@
+// Small shared printing helpers for the example programs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "streamsim/job_runner.hpp"
+
+namespace autra::examples {
+
+inline std::string to_string(const sim::Parallelism& p) {
+  std::string s = "(";
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(p[i]);
+  }
+  return s + ")";
+}
+
+inline void print_metrics(const char* tag, const sim::JobMetrics& m) {
+  std::printf(
+      "%-28s config=%-18s thr=%8.0f rec/s  lat=%7.1f ms  p99=%7.1f ms  "
+      "lag-growth=%8.0f rec/s  cores=%5.1f  mem=%6.0f MB\n",
+      tag, to_string(m.parallelism).c_str(), m.throughput, m.latency_ms,
+      m.latency_p99_ms, m.lag_growth_per_sec, m.busy_cores, m.memory_mb);
+}
+
+}  // namespace autra::examples

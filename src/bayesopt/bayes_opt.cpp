@@ -1,0 +1,124 @@
+#include "bayesopt/bayes_opt.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace autra::bo {
+
+BayesOpt::BayesOpt(SearchSpace space, BayesOptConfig config)
+    : space_(std::move(space)),
+      config_(std::move(config)),
+      surrogate_(config_.gp),
+      rng_(config_.seed) {}
+
+void BayesOpt::observe(const Config& config, double score) {
+  if (!space_.contains(config)) {
+    throw std::invalid_argument("BayesOpt::observe: config outside space");
+  }
+  for (Observation& o : observations_) {
+    if (o.config == config) {
+      o.score = score;
+      dirty_ = true;
+      return;
+    }
+  }
+  observations_.push_back({config, score});
+  dirty_ = true;
+}
+
+void BayesOpt::refit_if_dirty() {
+  if (!dirty_) return;
+  if (observations_.empty()) {
+    throw std::logic_error("BayesOpt: no observations");
+  }
+  linalg::Matrix x(observations_.size(), space_.dims());
+  linalg::Vector y(observations_.size());
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    const auto f = to_features(observations_[i].config);
+    std::copy(f.begin(), f.end(), x.row(i).begin());
+    y[i] = observations_[i].score;
+  }
+  surrogate_.fit(x, y);
+  dirty_ = false;
+}
+
+Config BayesOpt::suggest() {
+  if (observations_.empty()) {
+    throw std::logic_error("BayesOpt::suggest: observe at least one sample");
+  }
+
+  std::set<Config> seen;
+  for (const Observation& o : observations_) seen.insert(o.config);
+
+  std::vector<Config> cands =
+      space_.candidates(config_.candidate_budget, rng_);
+  // Random candidates almost never land next to the points that matter in
+  // a large space; add local moves around the incumbent, the best few
+  // observations, and the lower corner (the base configuration).
+  const auto add_local = [&](const Config& center) {
+    for (Config& c : space_.local_candidates(center)) {
+      cands.push_back(std::move(c));
+    }
+    for (Config& c : space_.axis_candidates(center)) {
+      cands.push_back(std::move(c));
+    }
+  };
+  add_local(space_.lower());
+  std::vector<const Observation*> ranked;
+  ranked.reserve(observations_.size());
+  for (const Observation& o : observations_) ranked.push_back(&o);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Observation* a, const Observation* b) {
+              return a->score > b->score;
+            });
+  for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    add_local(ranked[i]->config);
+  }
+
+  if (observations_.size() < 2) {
+    // Not enough data for a meaningful surrogate: explore randomly.
+    std::vector<Config> fresh;
+    for (const Config& c : cands) {
+      if (!seen.contains(c)) fresh.push_back(c);
+    }
+    if (fresh.empty()) return observations_.front().config;
+    std::uniform_int_distribution<std::size_t> dist(0, fresh.size() - 1);
+    return fresh[dist(rng_)];
+  }
+
+  refit_if_dirty();
+  const double incumbent = best()->score;
+
+  double best_ei = 0.0;
+  std::optional<Config> best_cand;
+  for (const Config& c : cands) {
+    if (seen.contains(c)) continue;
+    const gp::Prediction p = surrogate_.predict(to_features(c));
+    const double ei = gp::expected_improvement(p, incumbent, config_.xi);
+    if (!best_cand || ei > best_ei) {
+      best_ei = ei;
+      best_cand = c;
+    }
+  }
+  if (!best_cand || best_ei <= 0.0) {
+    // Model fully exploited (or space exhausted): return the incumbent so
+    // the caller's repeated-config termination condition can fire.
+    return best()->config;
+  }
+  return *best_cand;
+}
+
+std::optional<Observation> BayesOpt::best() const {
+  if (observations_.empty()) return std::nullopt;
+  return *std::max_element(
+      observations_.begin(), observations_.end(),
+      [](const Observation& a, const Observation& b) { return a.score < b.score; });
+}
+
+gp::Prediction BayesOpt::predict(const Config& config) {
+  refit_if_dirty();
+  return surrogate_.predict(to_features(config));
+}
+
+}  // namespace autra::bo

@@ -1,0 +1,75 @@
+// Generic discrete Bayesian optimisation loop: a Gaussian-process surrogate
+// over an integer search space with Expected Improvement acquisition.
+//
+// AuTraScale's Algorithm 1 drives this loop with its benefit scoring
+// function; the loop itself is policy-free (observe / suggest / best).
+#pragma once
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "bayesopt/search_space.hpp"
+#include "gp/acquisition.hpp"
+#include "gp/gp_regressor.hpp"
+
+namespace autra::bo {
+
+struct BayesOptConfig {
+  gp::GpConfig gp;
+  /// Exploration parameter xi of the EI acquisition (paper Eq. 6).
+  double xi = 0.01;
+  /// Max candidate points evaluated per suggest() call.
+  std::size_t candidate_budget = 4096;
+  std::uint64_t seed = 42;
+};
+
+/// One evaluated sample.
+struct Observation {
+  Config config;
+  double score = 0.0;
+};
+
+class BayesOpt {
+ public:
+  BayesOpt(SearchSpace space, BayesOptConfig config = {});
+
+  /// Records an evaluated configuration. Re-observing a config replaces the
+  /// stored score (the latest measurement wins). Throws
+  /// std::invalid_argument if the config is outside the space.
+  void observe(const Config& config, double score);
+
+  /// Fits the surrogate on all observations and returns the unobserved
+  /// candidate with maximal expected improvement. Falls back to the best
+  /// *observed* point when every candidate has EI == 0 (fully exploited
+  /// model), and to a random unobserved point when there are fewer than two
+  /// observations. Throws std::logic_error with zero observations.
+  [[nodiscard]] Config suggest();
+
+  /// Best observation so far; nullopt before any observe().
+  [[nodiscard]] std::optional<Observation> best() const;
+
+  /// Posterior prediction of the current surrogate at `config`.
+  /// Refits lazily if observations changed since the last fit.
+  [[nodiscard]] gp::Prediction predict(const Config& config);
+
+  [[nodiscard]] const std::vector<Observation>& observations() const noexcept {
+    return observations_;
+  }
+  [[nodiscard]] const SearchSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const gp::GpRegressor& surrogate() const noexcept {
+    return surrogate_;
+  }
+
+ private:
+  void refit_if_dirty();
+
+  SearchSpace space_;
+  BayesOptConfig config_;
+  gp::GpRegressor surrogate_;
+  std::vector<Observation> observations_;
+  std::mt19937_64 rng_;
+  bool dirty_ = true;
+};
+
+}  // namespace autra::bo

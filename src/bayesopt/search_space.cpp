@@ -1,0 +1,163 @@
+#include "bayesopt/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace autra::bo {
+
+SearchSpace::SearchSpace(Config lower, Config upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+  if (lower_.empty() || lower_.size() != upper_.size()) {
+    throw std::invalid_argument("SearchSpace: bad bounds");
+  }
+  for (std::size_t i = 0; i < lower_.size(); ++i) {
+    if (lower_[i] > upper_[i]) {
+      throw std::invalid_argument("SearchSpace: lower > upper");
+    }
+  }
+}
+
+SearchSpace::SearchSpace(std::size_t dims, int lo, int hi)
+    : SearchSpace(Config(dims, lo), Config(dims, hi)) {}
+
+bool SearchSpace::contains(const Config& c) const noexcept {
+  if (c.size() != dims()) return false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c[i] < lower_[i] || c[i] > upper_[i]) return false;
+  }
+  return true;
+}
+
+Config SearchSpace::clamp(Config c) const noexcept {
+  c.resize(dims(), 0);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c[i] = std::clamp(c[i], lower_[i], upper_[i]);
+  }
+  return c;
+}
+
+std::uint64_t SearchSpace::cardinality() const noexcept {
+  std::uint64_t n = 1;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    const std::uint64_t w = static_cast<std::uint64_t>(upper_[i] - lower_[i]) + 1;
+    if (n > std::numeric_limits<std::uint64_t>::max() / w) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    n *= w;
+  }
+  return n;
+}
+
+std::vector<Config> SearchSpace::enumerate(std::uint64_t max_points) const {
+  const std::uint64_t n = cardinality();
+  if (n > max_points) {
+    throw std::length_error("SearchSpace::enumerate: space too large");
+  }
+  std::vector<Config> out;
+  out.reserve(static_cast<std::size_t>(n));
+  Config c = lower_;
+  while (true) {
+    out.push_back(c);
+    // Odometer increment, last dimension fastest.
+    std::size_t i = dims();
+    while (i-- > 0) {
+      if (c[i] < upper_[i]) {
+        ++c[i];
+        std::fill(c.begin() + static_cast<std::ptrdiff_t>(i) + 1, c.end(), 0);
+        for (std::size_t j = i + 1; j < dims(); ++j) c[j] = lower_[j];
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+}
+
+std::vector<Config> SearchSpace::sample(std::size_t n,
+                                        std::mt19937_64& rng) const {
+  std::vector<Config> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Config c(dims());
+    for (std::size_t i = 0; i < dims(); ++i) {
+      std::uniform_int_distribution<int> dist(lower_[i], upper_[i]);
+      c[i] = dist(rng);
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<Config> SearchSpace::candidates(std::size_t budget,
+                                            std::mt19937_64& rng) const {
+  if (cardinality() <= budget) return enumerate(budget);
+  std::set<Config> unique;
+  // Always include the two extreme corners so the acquisition maximiser can
+  // reach the boundary of the space even with a small random budget.
+  unique.insert(lower_);
+  unique.insert(upper_);
+  for (const Config& c : sample(budget, rng)) unique.insert(c);
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<Config> SearchSpace::local_candidates(const Config& center,
+                                                  int radius) const {
+  const Config c = clamp(center);
+  std::set<Config> unique;
+  // Single-coordinate moves.
+  for (std::size_t i = 0; i < dims(); ++i) {
+    for (int d = 1; d <= radius; ++d) {
+      for (int sign : {-1, 1}) {
+        Config m = c;
+        m[i] += sign * d;
+        if (contains(m)) unique.insert(std::move(m));
+      }
+    }
+  }
+  // Coordinate-pair moves (+-1).
+  for (std::size_t i = 0; i < dims(); ++i) {
+    for (std::size_t j = i + 1; j < dims(); ++j) {
+      for (int si : {-1, 1}) {
+        for (int sj : {-1, 1}) {
+          Config m = c;
+          m[i] += si;
+          m[j] += sj;
+          if (contains(m)) unique.insert(std::move(m));
+        }
+      }
+    }
+  }
+  // Uniform +-1 across all coordinates.
+  for (int sign : {-1, 1}) {
+    Config m = c;
+    for (int& k : m) k += sign;
+    if (contains(m)) unique.insert(std::move(m));
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<Config> SearchSpace::axis_candidates(const Config& center,
+                                                 int levels) const {
+  const Config c = clamp(center);
+  std::set<Config> unique;
+  for (std::size_t i = 0; i < dims(); ++i) {
+    const int lo = lower_[i];
+    const int hi = upper_[i];
+    const int steps = std::max(1, levels - 1);
+    for (int s = 0; s < levels; ++s) {
+      Config m = c;
+      m[i] = lo + static_cast<int>(std::llround(
+                      static_cast<double>(hi - lo) * s / steps));
+      if (m != c) unique.insert(std::move(m));
+    }
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<double> to_features(const Config& c) {
+  return {c.begin(), c.end()};
+}
+
+}  // namespace autra::bo

@@ -1,0 +1,57 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autra::core {
+
+std::vector<sim::Parallelism> bootstrap_samples(const sim::Parallelism& base,
+                                                int max_parallelism,
+                                                int m_uniform) {
+  if (base.empty()) {
+    throw std::invalid_argument("bootstrap_samples: empty base config");
+  }
+  if (m_uniform < 1) {
+    throw std::invalid_argument("bootstrap_samples: M must be >= 1");
+  }
+  const int k_max = *std::max_element(base.begin(), base.end());
+  if (k_max < 1 || k_max > max_parallelism) {
+    throw std::invalid_argument(
+        "bootstrap_samples: base config exceeds P_max");
+  }
+
+  std::vector<sim::Parallelism> samples;
+
+  // The base configuration itself: the job already runs at k' when the BO
+  // stage starts (the throughput optimiser left it there), so its QoS is
+  // known — and it anchors the resource end of the model.
+  samples.push_back(base);
+
+  // Family 1: uniform sweeps from k'_max to P_max.
+  const double span = static_cast<double>(max_parallelism - k_max);
+  const int steps = std::max(1, m_uniform - 1);
+  for (int i = 0; i < m_uniform; ++i) {
+    const int level =
+        k_max + static_cast<int>(std::lround(span * i / steps));
+    samples.emplace_back(base.size(), level);
+  }
+
+  // Family 2: one operator at P_max, the rest at the base configuration.
+  for (std::size_t j = 0; j < base.size(); ++j) {
+    sim::Parallelism s = base;
+    s[j] = max_parallelism;
+    samples.push_back(std::move(s));
+  }
+
+  // De-duplicate, preserving first occurrence.
+  std::vector<sim::Parallelism> unique;
+  for (sim::Parallelism& s : samples) {
+    if (std::find(unique.begin(), unique.end(), s) == unique.end()) {
+      unique.push_back(std::move(s));
+    }
+  }
+  return unique;
+}
+
+}  // namespace autra::core

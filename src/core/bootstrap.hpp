@@ -1,0 +1,28 @@
+// Bootstrap sample construction for the BO surrogate (paper Sec. III-D).
+//
+// Two sample families seed the Gaussian process:
+//   1. M uniform samples: every operator at the same parallelism, swept from
+//      k'_max (the largest per-operator throughput-optimal parallelism) up
+//      to P_max in M-1 equal intervals — these teach the model the global
+//      latency/resource trend and reveal whether the cluster can meet QoS
+//      at all.
+//   2. N single-operator samples: operator j at P_max, all others at the
+//      base configuration k' — these expose each operator's individual
+//      impact on QoS.
+#pragma once
+
+#include <vector>
+
+#include "streamsim/cluster.hpp"
+
+namespace autra::core {
+
+/// Builds the M + N bootstrap configurations. `base` is the
+/// throughput-optimal configuration k'; `max_parallelism` is P_max;
+/// `m_uniform` is M (>= 1). Duplicate configurations are removed while
+/// preserving order. Throws std::invalid_argument on empty base, m < 1, or
+/// P_max below every base entry's requirement.
+[[nodiscard]] std::vector<sim::Parallelism> bootstrap_samples(
+    const sim::Parallelism& base, int max_parallelism, int m_uniform);
+
+}  // namespace autra::core

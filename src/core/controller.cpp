@@ -1,0 +1,198 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autra::core {
+
+MetricAggregator::MetricAggregator(const sim::Topology& topology)
+    : topology_(topology) {}
+
+AggregatedMetrics MetricAggregator::aggregate(const sim::MetricsDb& db,
+                                              double t0, double t1) const {
+  namespace mn = sim::metric_names;
+  AggregatedMetrics out;
+  out.window_start = t0;
+  out.window_end = t1;
+  out.input_rate = db.mean(mn::kInputRate, t0, t1).value_or(0.0);
+  out.throughput = db.mean(mn::kThroughput, t0, t1).value_or(0.0);
+  // Mean latency over gauges that actually saw completions.
+  double lat_sum = 0.0;
+  int lat_n = 0;
+  for (const sim::MetricPoint& p : db.query(mn::kLatencyMean, t0, t1)) {
+    if (p.value > 0.0) {
+      lat_sum += p.value;
+      ++lat_n;
+    }
+  }
+  out.latency_ms = lat_n > 0 ? lat_sum / lat_n * 1000.0 : 0.0;
+  if (const auto lag = db.last(mn::kKafkaLag)) out.kafka_lag = lag->value;
+  for (std::size_t i = 0; i < topology_.num_operators(); ++i) {
+    const std::string& name = topology_.op(i).name;
+    out.true_rate.push_back(db.mean(mn::true_rate(name), t0, t1).value_or(0.0));
+    out.input_rate_per_op.push_back(
+        db.mean(mn::input_rate(name), t0, t1).value_or(0.0));
+  }
+  return out;
+}
+
+const char* to_string(ScalingTrigger trigger) noexcept {
+  switch (trigger) {
+    case ScalingTrigger::kNone:
+      return "none";
+    case ScalingTrigger::kThroughputViolation:
+      return "throughput-violation";
+    case ScalingTrigger::kLatencyViolation:
+      return "latency-violation";
+    case ScalingTrigger::kOverProvisioned:
+      return "over-provisioned";
+    case ScalingTrigger::kRateChanged:
+      return "rate-changed";
+  }
+  return "unknown";
+}
+
+AuTraScaleController::AuTraScaleController(sim::JobSpec spec,
+                                           ControllerParams params)
+    : spec_(std::move(spec)),
+      params_(std::move(params)),
+      aggregator_(spec_.topology) {
+  if (params_.policy_interval_sec <= 0.0 ||
+      params_.policy_running_time_sec < params_.policy_interval_sec) {
+    throw std::invalid_argument(
+        "AuTraScaleController: policy running time must be at least the "
+        "policy interval");
+  }
+}
+
+ScalingTrigger AuTraScaleController::analyze(
+    const AggregatedMetrics& m, const sim::Parallelism& current) const {
+  if (model_rate_ > 0.0 && m.input_rate > 0.0 &&
+      std::abs(m.input_rate - model_rate_) / model_rate_ >
+          params_.rate_change_tolerance) {
+    return ScalingTrigger::kRateChanged;
+  }
+  const double target = params_.steady.target_throughput > 0.0
+                            ? params_.steady.target_throughput
+                            : m.input_rate;
+  if (m.throughput + target * params_.steady.throughput_tolerance < target) {
+    return ScalingTrigger::kThroughputViolation;
+  }
+  if (m.latency_ms > params_.steady.target_latency_ms) {
+    return ScalingTrigger::kLatencyViolation;
+  }
+  if (!base_.empty() && base_.size() == current.size()) {
+    const double score =
+        benefit_score(current, m.latency_ms,
+                      {.target_latency_ms = params_.steady.target_latency_ms,
+                       .alpha = params_.steady.alpha,
+                       .base = base_});
+    if (score < params_.steady.score_threshold) {
+      return ScalingTrigger::kOverProvisioned;
+    }
+  } else {
+    // No base configuration yet for this rate: fall back to a utilisation
+    // heuristic — an operator with several instances mostly sitting idle is
+    // over-provisioned.
+    for (std::size_t i = 0; i < current.size() && i < m.true_rate.size();
+         ++i) {
+      if (current[i] <= 1 || m.true_rate[i] <= 0.0) continue;
+      const double utilization =
+          m.input_rate_per_op[i] / (m.true_rate[i] * current[i]);
+      if (utilization < 0.5) return ScalingTrigger::kOverProvisioned;
+    }
+  }
+  return ScalingTrigger::kNone;
+}
+
+ControlDecision AuTraScaleController::plan_and_execute(
+    sim::ScalingSession& session, ScalingTrigger trigger, double rate) {
+  ControlDecision decision;
+  decision.time = session.now();
+  decision.trigger = trigger;
+
+  // The Plan stage evaluates candidates on fresh-start runs of the same job
+  // spec at the current rate (each is one real job restart in the paper).
+  sim::JobSpec plan_spec = spec_;
+  plan_spec.schedule = std::make_shared<sim::ConstantRate>(rate);
+  sim::JobRunner runner(std::move(plan_spec),
+                        params_.policy_running_time_sec / 2.0,
+                        params_.policy_running_time_sec / 2.0);
+  const Evaluator evaluate = make_runner_evaluator(runner);
+
+  // Base configuration k' for this rate via throughput optimisation.
+  ThroughputOptParams topt = params_.throughput;
+  topt.max_parallelism = runner.max_parallelism();
+  const ThroughputOptimizer optimizer(spec_.topology, topt);
+  const ThroughputOptResult base_result = optimizer.optimize(
+      evaluate, sim::Parallelism(spec_.topology.num_operators(), 1));
+  base_ = base_result.best;
+  model_rate_ = rate;
+  decision.evaluations += base_result.iterations;
+
+  SteadyRateParams sp = params_.steady;
+  sp.max_parallelism = runner.max_parallelism();
+
+  const BenefitModel* prior = library_.closest(rate);
+  const bool use_transfer =
+      prior != nullptr && !library_.has_model_for(rate) &&
+      prior->base.size() == base_.size();
+
+  if (use_transfer) {
+    decision.algorithm = "algorithm2";
+    TransferParams tp = params_.transfer;
+    tp.steady = sp;
+    TransferResult r = run_transfer(evaluate, base_, *prior, tp);
+    decision.evaluations += r.real_evaluations;
+    decision.applied = r.best;
+    BenefitModel model;
+    model.rate = rate;
+    model.base = base_;
+    model.samples = std::move(r.real_samples);
+    model.fit();
+    library_.add(std::move(model));
+  } else {
+    decision.algorithm = "algorithm1";
+    const SteadyRateResult r = run_steady_rate(evaluate, base_, sp);
+    decision.evaluations += r.bootstrap_evaluations + r.bo_iterations;
+    decision.applied = r.best;
+    if (!library_.has_model_for(rate)) {
+      library_.add(make_benefit_model(rate, base_, r));
+    }
+  }
+
+  session.reconfigure(decision.applied);
+  return decision;
+}
+
+std::vector<ControlDecision> AuTraScaleController::run(
+    sim::ScalingSession& session, double until_sec) {
+  std::vector<ControlDecision> decisions;
+  double stable_since = session.now();
+
+  while (session.now() < until_sec) {
+    session.reset_window();
+    const double t0 = session.now();
+    session.run_for(
+        std::min(params_.policy_interval_sec, until_sec - session.now()));
+    const double t1 = session.now();
+    if (t1 - stable_since < params_.policy_running_time_sec) {
+      continue;  // Job still stabilising after the last restart.
+    }
+
+    const AggregatedMetrics m =
+        aggregator_.aggregate(session.history(), t0, t1);
+    const ScalingTrigger trigger = analyze(m, session.parallelism());
+    if (trigger == ScalingTrigger::kNone) continue;
+
+    const double rate = m.input_rate > 0.0
+                            ? m.input_rate
+                            : spec_.schedule->rate_at(session.now());
+    decisions.push_back(plan_and_execute(session, trigger, rate));
+    stable_since = session.now();
+  }
+  return decisions;
+}
+
+}  // namespace autra::core

@@ -1,0 +1,129 @@
+// The AuTraScale system (paper Sec. IV): a MAPE control loop around a live
+// streaming job.
+//
+//   Monitor  — the engine writes Flink-path gauges into a MetricsDb
+//              (the InfluxDB stand-in);
+//   Analyze  — the Metric Aggregator summarises the last policy interval;
+//              the Scaling Manager decides whether action is needed and
+//              whether a benefit model exists for the current rate;
+//   Plan     — the Policy Controller runs throughput optimisation plus
+//              Algorithm 1 (no model for this rate) or Algorithm 2
+//              (transfer from the closest model), updating the model
+//              library;
+//   Execute  — the System Scheduler stops the job with a savepoint and
+//              restarts it with the recommended configuration (modelled as
+//              a downtime window by ScalingSession::reconfigure).
+//
+// Two cadence parameters from the paper: the *policy interval* (how often
+// the loop runs) and the *policy running time* (how long after a restart
+// metrics are ignored while the job stabilises).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/steady_rate.hpp"
+#include "core/throughput_opt.hpp"
+#include "core/transfer.hpp"
+#include "streamsim/job_runner.hpp"
+
+namespace autra::core {
+
+/// Analyze-stage summary of one policy interval.
+struct AggregatedMetrics {
+  double window_start = 0.0;
+  double window_end = 0.0;
+  double input_rate = 0.0;   ///< Kafka production rate (mean over window).
+  double throughput = 0.0;
+  double latency_ms = 0.0;
+  double kafka_lag = 0.0;
+  /// Per-operator mean true rate per instance and total input rate.
+  std::vector<double> true_rate;
+  std::vector<double> input_rate_per_op;
+};
+
+/// Reads a window of the metric store into an AggregatedMetrics summary.
+class MetricAggregator {
+ public:
+  explicit MetricAggregator(const sim::Topology& topology);
+  [[nodiscard]] AggregatedMetrics aggregate(const sim::MetricsDb& db,
+                                            double t0, double t1) const;
+
+ private:
+  const sim::Topology& topology_;
+};
+
+/// Why the Scaling Manager asked for action.
+enum class ScalingTrigger {
+  kNone,
+  kThroughputViolation,  ///< Throughput below the input rate (lag grows).
+  kLatencyViolation,     ///< Latency above target.
+  kOverProvisioned,      ///< Benefit score below threshold.
+  kRateChanged,          ///< Input rate moved away from the model's rate.
+};
+
+[[nodiscard]] const char* to_string(ScalingTrigger trigger) noexcept;
+
+struct ControllerParams {
+  SteadyRateParams steady;
+  TransferParams transfer;
+  ThroughputOptParams throughput;
+  /// Seconds between control-loop invocations.
+  double policy_interval_sec = 60.0;
+  /// Seconds after a restart during which decisions are suppressed; the
+  /// paper recommends an integer multiple of the policy interval.
+  double policy_running_time_sec = 120.0;
+  /// Relative rate change that counts as "the rate changed".
+  double rate_change_tolerance = 0.10;
+};
+
+/// Decision record for observability/tests.
+struct ControlDecision {
+  double time = 0.0;
+  ScalingTrigger trigger = ScalingTrigger::kNone;
+  std::string algorithm;  ///< "none", "algorithm1", "algorithm2".
+  sim::Parallelism applied;
+  int evaluations = 0;
+};
+
+/// The full AuTraScale controller driving a live ScalingSession.
+///
+/// The Plan stage's algorithms evaluate candidate configurations on a
+/// fresh-start JobRunner sharing the session's JobSpec (the paper likewise
+/// restarts the real job per trial); the chosen configuration is then
+/// applied to the live session.
+class AuTraScaleController {
+ public:
+  AuTraScaleController(sim::JobSpec spec, ControllerParams params);
+
+  /// Runs the MAPE loop against `session` until session time reaches
+  /// `until_sec`. Returns all decisions taken.
+  std::vector<ControlDecision> run(sim::ScalingSession& session,
+                                   double until_sec);
+
+  [[nodiscard]] const ModelLibrary& library() const noexcept {
+    return library_;
+  }
+  [[nodiscard]] ModelLibrary& library() noexcept { return library_; }
+
+  /// Replaces the model library (e.g. restored from disk via model_io).
+  /// A controller restarted with its previous library answers rate changes
+  /// with Algorithm 2 instead of re-paying the bootstrap at every rate.
+  void set_library(ModelLibrary library) { library_ = std::move(library); }
+
+ private:
+  [[nodiscard]] ScalingTrigger analyze(const AggregatedMetrics& m,
+                                       const sim::Parallelism& current) const;
+  ControlDecision plan_and_execute(sim::ScalingSession& session,
+                                   ScalingTrigger trigger, double rate);
+
+  sim::JobSpec spec_;
+  ControllerParams params_;
+  MetricAggregator aggregator_;
+  ModelLibrary library_;
+  double model_rate_ = -1.0;  ///< Rate of the base config currently applied.
+  sim::Parallelism base_;     ///< k' for the current rate.
+};
+
+}  // namespace autra::core

@@ -1,0 +1,14 @@
+#include "core/evaluator.hpp"
+
+#include <memory>
+
+namespace autra::core {
+
+Evaluator make_runner_evaluator(const sim::JobRunner& runner) {
+  auto salt = std::make_shared<std::uint64_t>(0);
+  return [&runner, salt](const sim::Parallelism& p) {
+    return runner.measure(p, (*salt)++);
+  };
+}
+
+}  // namespace autra::core

@@ -1,0 +1,23 @@
+// Evaluation abstraction shared by every auto-scaling policy.
+//
+// An Evaluator runs a job with one parallelism configuration and reports the
+// QoS observed after the policy running time — the "run" of the paper's
+// recommend-run-judge loop. Policies never talk to the simulator directly,
+// so the same algorithm code drives a fresh-start JobRunner, a live
+// ScalingSession, or a test double.
+#pragma once
+
+#include <functional>
+
+#include "streamsim/job_runner.hpp"
+
+namespace autra::core {
+
+using Evaluator = std::function<sim::JobMetrics(const sim::Parallelism&)>;
+
+/// Evaluator backed by fresh-start JobRunner::measure calls, with a
+/// distinct noise salt per call so repeated evaluations differ like real
+/// reruns.
+[[nodiscard]] Evaluator make_runner_evaluator(const sim::JobRunner& runner);
+
+}  // namespace autra::core

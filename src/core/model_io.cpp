@@ -1,0 +1,100 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace autra::core {
+
+void save_library(const ModelLibrary& library, std::ostream& out) {
+  out << "# AuTraScale benefit-model library v1\n";
+  for (const BenefitModel& model : library.models()) {
+    out << "model " << model.rate << " " << model.base.size();
+    for (int k : model.base) out << " " << k;
+    out << "\n";
+    for (const SamplePoint& s : model.samples) {
+      if (s.estimated()) continue;  // Only real measurements persist.
+      out << "sample";
+      for (int k : s.config) out << " " << k;
+      out << " " << s.score << "\n";
+    }
+    out << "end\n";
+  }
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("load_library: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+}  // namespace
+
+ModelLibrary load_library(std::istream& in) {
+  ModelLibrary library;
+  std::string line;
+  std::size_t line_no = 0;
+  BenefitModel current;
+  bool open = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "model") {
+      if (open) fail(line_no, "nested model record");
+      BenefitModel fresh;
+      current = std::move(fresh);
+      std::size_t n = 0;
+      if (!(ss >> current.rate >> n) || current.rate <= 0.0 || n == 0) {
+        fail(line_no, "bad model header");
+      }
+      current.base.resize(n);
+      for (int& k : current.base) {
+        if (!(ss >> k) || k < 1) fail(line_no, "bad base configuration");
+      }
+      open = true;
+    } else if (tag == "sample") {
+      if (!open) fail(line_no, "sample outside model record");
+      SamplePoint s;
+      s.config.resize(current.base.size());
+      for (int& k : s.config) {
+        if (!(ss >> k) || k < 1) fail(line_no, "bad sample configuration");
+      }
+      if (!(ss >> s.score)) fail(line_no, "missing sample score");
+      // Stored samples were real measurements; the metrics themselves are
+      // not persisted, so mark them with an empty snapshot.
+      s.metrics = sim::JobMetrics{};
+      current.samples.push_back(std::move(s));
+    } else if (tag == "end") {
+      if (!open) fail(line_no, "end without model");
+      if (current.samples.empty()) fail(line_no, "model without samples");
+      library.add(std::move(current));
+      open = false;
+    } else {
+      fail(line_no, "unknown record '" + tag + "'");
+    }
+  }
+  if (open) fail(line_no, "unterminated model record");
+  return library;
+}
+
+void save_library_file(const ModelLibrary& library, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_library_file: cannot open " + path);
+  }
+  save_library(library, out);
+}
+
+ModelLibrary load_library_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_library_file: cannot open " + path);
+  }
+  return load_library(in);
+}
+
+}  // namespace autra::core

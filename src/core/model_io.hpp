@@ -1,0 +1,36 @@
+// Persistence for the Plan stage's model library.
+//
+// A long-running AuTraScale deployment accumulates benefit models at many
+// input rates; losing them on a controller restart means re-paying the
+// bootstrap cost at every rate. This module serialises a ModelLibrary to a
+// small line-oriented text format and restores it (the GPs are refitted
+// from the stored samples, so the format stays independent of kernel
+// internals).
+//
+// Format (one record per line, '#' comments ignored):
+//   model <rate> <num_base> <base...>
+//   sample <config...> <score>
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/transfer.hpp"
+
+namespace autra::core {
+
+/// Writes the library's models (rates, base configurations, and real
+/// samples) to `out`.
+void save_library(const ModelLibrary& library, std::ostream& out);
+
+/// Parses a library previously written by save_library and refits every
+/// model. Throws std::runtime_error on malformed input.
+[[nodiscard]] ModelLibrary load_library(std::istream& in);
+
+/// File-path conveniences; throw std::runtime_error when the file cannot
+/// be opened.
+void save_library_file(const ModelLibrary& library, const std::string& path);
+[[nodiscard]] ModelLibrary load_library_file(const std::string& path);
+
+}  // namespace autra::core

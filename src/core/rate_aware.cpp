@@ -1,0 +1,172 @@
+#include "core/rate_aware.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autra::core {
+
+RateAwareModel::RateAwareModel(gp::GpConfig gp_config)
+    : gp_config_(std::move(gp_config)), gp_(gp_config_) {}
+
+void RateAwareModel::add_samples(double rate,
+                                 std::span<const SamplePoint> samples) {
+  for (const SamplePoint& s : samples) {
+    if (s.estimated()) continue;  // Only real measurements train the model.
+    add_sample({s.config, rate, s.score});
+  }
+}
+
+void RateAwareModel::add_sample(RatedSample sample) {
+  if (sample.config.empty() || sample.rate <= 0.0) {
+    throw std::invalid_argument("RateAwareModel: bad sample");
+  }
+  if (!samples_.empty() &&
+      samples_.front().config.size() != sample.config.size()) {
+    throw std::invalid_argument("RateAwareModel: inconsistent config size");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+std::vector<double> RateAwareModel::features(const sim::Parallelism& config,
+                                             double rate) const {
+  std::vector<double> f(config.begin(), config.end());
+  // The GP normalises inputs per dimension, so the raw rate is fine as a
+  // feature; scaling to thousands just keeps the numbers readable.
+  f.push_back(rate / 1000.0);
+  return f;
+}
+
+void RateAwareModel::fit() {
+  if (samples_.empty()) {
+    throw std::logic_error("RateAwareModel::fit: no samples");
+  }
+  const std::size_t d = samples_.front().config.size() + 1;
+  linalg::Matrix x(samples_.size(), d);
+  linalg::Vector y(samples_.size());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const auto f = features(samples_[i].config, samples_[i].rate);
+    std::copy(f.begin(), f.end(), x.row(i).begin());
+    y[i] = samples_[i].score;
+  }
+  gp_.fit(x, y);
+}
+
+double RateAwareModel::predict_mean(const sim::Parallelism& config,
+                                    double rate) const {
+  if (!gp_.is_fitted()) {
+    throw std::logic_error("RateAwareModel: model not fitted");
+  }
+  return gp_.predict(features(config, rate)).mean;
+}
+
+sim::Parallelism RateAwareModel::recommend(const sim::Parallelism& base,
+                                           double rate,
+                                           const SteadyRateParams& params,
+                                           std::mt19937_64& rng) const {
+  if (!gp_.is_fitted()) {
+    throw std::logic_error("RateAwareModel::recommend: model not fitted");
+  }
+  bo::SearchSpace space(bo::Config(base.begin(), base.end()),
+                        bo::Config(base.size(), params.max_parallelism));
+
+  std::vector<bo::Config> cands = space.candidates(2048, rng);
+  for (bo::Config& c : space.local_candidates(
+           bo::Config(base.begin(), base.end()))) {
+    cands.push_back(std::move(c));
+  }
+  // Local moves around configurations that scored well at nearby rates.
+  std::vector<const RatedSample*> ranked;
+  for (const RatedSample& s : samples_) ranked.push_back(&s);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RatedSample* a, const RatedSample* b) {
+              return a->score > b->score;
+            });
+  for (std::size_t i = 0; i < ranked.size() && i < 3; ++i) {
+    const bo::Config center(ranked[i]->config.begin(),
+                            ranked[i]->config.end());
+    const bo::Config clamped = space.clamp(center);
+    for (bo::Config& c : space.local_candidates(clamped)) {
+      cands.push_back(std::move(c));
+    }
+    cands.push_back(clamped);
+  }
+
+  // Incumbent: the best predicted score at this rate among candidates of
+  // interest (there are no observations at the new rate yet).
+  const double incumbent = predict_mean(base, rate);
+
+  double best_ei = -1.0;
+  bo::Config best = space.clamp(bo::Config(base.begin(), base.end()));
+  for (const bo::Config& c : cands) {
+    const sim::Parallelism config(c.begin(), c.end());
+    const gp::Prediction p = gp_.predict(features(config, rate));
+    const double ei = gp::expected_improvement(p, incumbent, params.xi);
+    if (ei > best_ei) {
+      best_ei = ei;
+      best = c;
+    }
+  }
+  return {best.begin(), best.end()};
+}
+
+RateAwareResult run_rate_aware(const Evaluator& evaluate,
+                               const sim::Parallelism& base, double rate,
+                               RateAwareModel& model,
+                               const RateAwareParams& params) {
+  if (params.max_evaluations < 1) {
+    throw std::invalid_argument("run_rate_aware: no evaluation budget");
+  }
+  const SteadyRateParams& sp = params.steady;
+  const ScoreParams score_params{.target_latency_ms = sp.target_latency_ms,
+                                 .alpha = sp.alpha,
+                                 .base = base};
+  std::mt19937_64 rng(sp.seed);
+
+  RateAwareResult result;
+  std::vector<SamplePoint> measured;
+
+  while (result.real_evaluations < params.max_evaluations) {
+    sim::Parallelism next = model.is_fitted()
+                                ? model.recommend(base, rate, sp, rng)
+                                : base;
+    const bool repeat = std::any_of(
+        measured.begin(), measured.end(),
+        [&](const SamplePoint& s) { return s.config == next; });
+    if (repeat) {
+      // The model keeps recommending something already measured below the
+      // thresholds: fall back to the base configuration once, then stop.
+      if (next == base) break;
+      next = base;
+    }
+
+    sim::JobMetrics m = evaluate(next);
+    SamplePoint s;
+    s.config = next;
+    s.score = benefit_score(m, score_params);
+    s.metrics = std::move(m);
+    ++result.real_evaluations;
+    model.add_sample({s.config, rate, s.score});
+    model.fit();
+    measured.push_back(s);
+
+    if (meets_requirements(s, sp)) {
+      result.converged = true;
+      result.best = s.config;
+      result.best_score = s.score;
+      result.best_metrics = *s.metrics;
+      return result;
+    }
+  }
+
+  // Budget exhausted: best-effort selection by feasibility tier.
+  const SamplePoint* best = pick_best_fallback(measured, sp);
+  if (best == nullptr) {
+    throw std::logic_error("run_rate_aware: nothing was measured");
+  }
+  result.best = best->config;
+  result.best_score = best->score;
+  result.best_metrics = *best->metrics;
+  return result;
+}
+
+}  // namespace autra::core

@@ -1,0 +1,19 @@
+#include "gp/acquisition.hpp"
+
+#include <cmath>
+
+#include "gp/normal.hpp"
+
+namespace autra::gp {
+
+double expected_improvement(const Prediction& p, double best_value,
+                            double xi) noexcept {
+  const double sigma = p.stddev();
+  if (sigma <= 0.0) return 0.0;
+  const double k = p.mean - best_value - xi;
+  const double z = k / sigma;
+  const double ei = k * normal_cdf(z) + sigma * normal_pdf(z);
+  return ei > 0.0 ? ei : 0.0;
+}
+
+}  // namespace autra::gp

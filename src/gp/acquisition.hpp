@@ -1,0 +1,19 @@
+// Expected Improvement acquisition function with exploration parameter xi
+// (paper Eqs. 5-7):
+//
+//   EI(x) = K Phi(Z) + sigma(x) phi(Z)   if sigma(x) > 0, else 0
+//   K     = mu(x) - f(x+) - xi
+//   Z     = K / sigma(x)                 if sigma(x) > 0, else 0
+#pragma once
+
+#include "gp/gp_regressor.hpp"
+
+namespace autra::gp {
+
+/// Expected improvement of a posterior prediction over the incumbent
+/// `best_value`, with exploration bonus `xi` >= 0.
+[[nodiscard]] double expected_improvement(const Prediction& p,
+                                          double best_value,
+                                          double xi = 0.01) noexcept;
+
+}  // namespace autra::gp

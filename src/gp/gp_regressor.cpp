@@ -1,0 +1,202 @@
+#include "gp/gp_regressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace autra::gp {
+
+namespace {
+
+/// Log marginal likelihood for a given factorisation:
+/// -1/2 y^T alpha - sum log L_ii - n/2 log(2 pi).
+double compute_log_ml(const linalg::Cholesky& chol, const linalg::Vector& y,
+                      const linalg::Vector& alpha) {
+  double fit = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) fit += y[i] * alpha[i];
+  const double n = static_cast<double>(y.size());
+  return -0.5 * fit - 0.5 * chol.log_determinant() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+}  // namespace
+
+double Prediction::stddev() const noexcept { return std::sqrt(variance); }
+
+GpRegressor::GpRegressor(GpConfig config)
+    : config_(std::move(config)),
+      kernel_(make_kernel(config_.kernel)) {}
+
+GpRegressor::GpRegressor(const GpRegressor& other)
+    : config_(other.config_),
+      kernel_(other.kernel_->clone()),
+      fitted_(other.fitted_),
+      x_(other.x_),
+      y_(other.y_),
+      x_offset_(other.x_offset_),
+      x_scale_(other.x_scale_),
+      y_mean_(other.y_mean_),
+      y_std_(other.y_std_),
+      chol_(other.chol_),
+      alpha_(other.alpha_),
+      log_ml_(other.log_ml_) {}
+
+GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
+  if (this != &other) {
+    GpRegressor copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("GpRegressor::fit: empty training data");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("GpRegressor::fit: X/y size mismatch");
+  }
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  // Input normalisation to [0, 1] per dimension (constant dims map to 0).
+  x_offset_.assign(d, 0.0);
+  x_scale_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double lo = x(0, j), hi = x(0, j);
+    for (std::size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, x(i, j));
+      hi = std::max(hi, x(i, j));
+    }
+    x_offset_[j] = lo;
+    x_scale_[j] = (hi > lo) ? (hi - lo) : 1.0;
+  }
+  x_ = linalg::Matrix(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      x_(i, j) = (x(i, j) - x_offset_[j]) / x_scale_[j];
+    }
+  }
+
+  // Target standardisation.
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : y) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  y_mean_ = mean;
+  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  y_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) y_[i] = (y[i] - y_mean_) / y_std_;
+
+  fitted_ = true;
+
+  if (!config_.optimize_hyperparams || n < 3) {
+    refit_factorisation();
+    return;
+  }
+
+  // Multi-start grid search over (signal variance, length scale) maximising
+  // the log marginal likelihood. With standardised targets the optimal
+  // signal variance is near 1, so a modest grid around it suffices.
+  const int g = std::max(2, config_.grid_points);
+  double best_ml = -std::numeric_limits<double>::infinity();
+  double best_sv = 1.0;
+  double best_ls = 1.0;
+  for (int a = 0; a < g; ++a) {
+    // Signal variance grid: log-spaced in [0.1, 10].
+    const double sv =
+        std::exp(std::log(0.1) + (std::log(10.0) - std::log(0.1)) *
+                                     static_cast<double>(a) /
+                                     static_cast<double>(g - 1));
+    for (int b = 0; b < g; ++b) {
+      const double ls = std::exp(
+          std::log(config_.min_length_scale) +
+          (std::log(config_.max_length_scale) -
+           std::log(config_.min_length_scale)) *
+              static_cast<double>(b) / static_cast<double>(g - 1));
+      kernel_->set_signal_variance(sv);
+      kernel_->set_length_scale(ls);
+      linalg::Matrix k = kernel_->gram(x_);
+      k.add_diagonal(config_.noise_variance);
+      auto chol = linalg::Cholesky::factor(k);
+      if (!chol) continue;
+      const linalg::Vector alpha = chol->solve(y_);
+      const double ml = compute_log_ml(*chol, y_, alpha);
+      if (ml > best_ml) {
+        best_ml = ml;
+        best_sv = sv;
+        best_ls = ls;
+      }
+    }
+  }
+  kernel_->set_signal_variance(best_sv);
+  kernel_->set_length_scale(best_ls);
+  refit_factorisation();
+}
+
+void GpRegressor::refit_factorisation() {
+  linalg::Matrix k = kernel_->gram(x_);
+  k.add_diagonal(config_.noise_variance);
+  chol_ = linalg::Cholesky::factor_with_jitter(std::move(k));
+  alpha_ = chol_->solve(y_);
+  log_ml_ = compute_log_ml(*chol_, y_, alpha_);
+}
+
+std::vector<double> GpRegressor::normalize_point(
+    std::span<const double> x_star) const {
+  if (x_star.size() != x_.cols()) {
+    throw std::invalid_argument("GpRegressor::predict: dimension mismatch");
+  }
+  std::vector<double> z(x_star.size());
+  for (std::size_t j = 0; j < z.size(); ++j) {
+    z[j] = (x_star[j] - x_offset_[j]) / x_scale_[j];
+  }
+  return z;
+}
+
+Prediction GpRegressor::predict(std::span<const double> x_star) const {
+  if (!fitted_) {
+    throw std::logic_error("GpRegressor::predict: model not fitted");
+  }
+  const std::vector<double> z = normalize_point(x_star);
+  const linalg::Vector k_star = kernel_->cross(x_, z);
+  const double mean_n = linalg::dot(k_star, alpha_);
+  const linalg::Vector v = chol_->solve_lower(k_star);
+  double var_n = kernel_->diagonal() - linalg::dot(v, v);
+  var_n = std::max(var_n, 0.0);
+
+  Prediction p;
+  p.mean = mean_n * y_std_ + y_mean_;
+  p.variance = var_n * y_std_ * y_std_;
+  return p;
+}
+
+std::vector<Prediction> GpRegressor::predict(const linalg::Matrix& x) const {
+  std::vector<Prediction> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict(x.row(i)));
+  return out;
+}
+
+double GpRegressor::log_marginal_likelihood() const {
+  if (!fitted_) {
+    throw std::logic_error(
+        "GpRegressor::log_marginal_likelihood: model not fitted");
+  }
+  return log_ml_;
+}
+
+double GpRegressor::best_observed() const {
+  if (!fitted_) {
+    throw std::logic_error("GpRegressor::best_observed: model not fitted");
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  for (double v : y_) best = std::max(best, v);
+  return best * y_std_ + y_mean_;
+}
+
+}  // namespace autra::gp

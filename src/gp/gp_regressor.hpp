@@ -1,0 +1,108 @@
+// Gaussian-process regression: the surrogate model of AuTraScale's Bayesian
+// optimiser (paper Sec. III-E, "Surrogate Model").
+//
+// The regressor owns a kernel, normalises inputs to the unit cube and
+// standardises targets, fits kernel hyper-parameters by maximising the log
+// marginal likelihood over a coarse multi-start grid (adequate for the tens
+// of samples BO generates per job), and predicts posterior mean and variance
+// at new points.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace autra::gp {
+
+/// Posterior prediction at a single point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;  ///< Always >= 0.
+
+  [[nodiscard]] double stddev() const noexcept;
+};
+
+/// Configuration of the regressor.
+struct GpConfig {
+  std::string kernel = "matern52";
+  /// Observation noise variance added to the kernel diagonal (in normalised
+  /// target units).
+  double noise_variance = 1e-4;
+  /// If true, fit() maximises log marginal likelihood over a multi-start
+  /// grid of (signal variance, length scale); otherwise the kernel's current
+  /// hyper-parameters are used as-is.
+  bool optimize_hyperparams = true;
+  /// Lower/upper bounds of the length-scale grid, in normalised input units.
+  double min_length_scale = 0.05;
+  double max_length_scale = 4.0;
+  /// Number of grid points per hyper-parameter dimension.
+  int grid_points = 12;
+};
+
+/// Exact GP regression with normalisation and marginal-likelihood
+/// hyper-parameter selection.
+class GpRegressor {
+ public:
+  explicit GpRegressor(GpConfig config = {});
+
+  // Copyable (the kernel is deep-cloned) and movable, so models can live in
+  // value-semantic containers like the model library.
+  GpRegressor(const GpRegressor& other);
+  GpRegressor& operator=(const GpRegressor& other);
+  GpRegressor(GpRegressor&&) noexcept = default;
+  GpRegressor& operator=(GpRegressor&&) noexcept = default;
+  ~GpRegressor() = default;
+
+  /// Fits the model to `x` (row per sample) and targets `y`.
+  /// Throws std::invalid_argument on shape mismatch or empty data.
+  void fit(const linalg::Matrix& x, const linalg::Vector& y);
+
+  /// Posterior mean/variance at a point in the original input space.
+  /// Throws std::logic_error if called before fit().
+  [[nodiscard]] Prediction predict(std::span<const double> x_star) const;
+
+  /// Convenience batch prediction.
+  [[nodiscard]] std::vector<Prediction> predict(const linalg::Matrix& x) const;
+
+  /// Log marginal likelihood of the fitted model (on normalised targets).
+  [[nodiscard]] double log_marginal_likelihood() const;
+
+  [[nodiscard]] bool is_fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t num_samples() const noexcept { return x_.rows(); }
+  [[nodiscard]] std::size_t input_dim() const noexcept { return x_.cols(); }
+  [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
+  [[nodiscard]] const GpConfig& config() const noexcept { return config_; }
+
+  /// Best (maximum) observed target value, in original units.
+  [[nodiscard]] double best_observed() const;
+
+ private:
+  void refit_factorisation();
+  [[nodiscard]] std::vector<double> normalize_point(
+      std::span<const double> x_star) const;
+
+  GpConfig config_;
+  std::unique_ptr<Kernel> kernel_;
+  bool fitted_ = false;
+
+  // Normalised training data.
+  linalg::Matrix x_;
+  linalg::Vector y_;
+  // Input normalisation: per-dimension offset and scale.
+  linalg::Vector x_offset_;
+  linalg::Vector x_scale_;
+  // Target standardisation.
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+
+  std::optional<linalg::Cholesky> chol_;
+  linalg::Vector alpha_;  // K^-1 y (normalised).
+  double log_ml_ = 0.0;
+};
+
+}  // namespace autra::gp

@@ -1,0 +1,100 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autra::gp {
+
+Kernel::Kernel(double signal_variance, double length_scale)
+    : signal_variance_(signal_variance), length_scale_(length_scale) {
+  if (signal_variance <= 0.0 || length_scale <= 0.0) {
+    throw std::invalid_argument("Kernel: hyper-parameters must be positive");
+  }
+}
+
+void Kernel::set_signal_variance(double v) {
+  if (v <= 0.0) {
+    throw std::invalid_argument("Kernel: signal variance must be positive");
+  }
+  signal_variance_ = v;
+}
+
+void Kernel::set_length_scale(double l) {
+  if (l <= 0.0) {
+    throw std::invalid_argument("Kernel: length scale must be positive");
+  }
+  length_scale_ = l;
+}
+
+std::vector<double> Kernel::log_params() const {
+  return {std::log(signal_variance_), std::log(length_scale_)};
+}
+
+void Kernel::set_log_params(std::span<const double> p) {
+  if (p.size() != 2) {
+    throw std::invalid_argument("Kernel::set_log_params: expected 2 params");
+  }
+  signal_variance_ = std::exp(p[0]);
+  length_scale_ = std::exp(p[1]);
+}
+
+linalg::Matrix Kernel::gram(const linalg::Matrix& x) const {
+  const std::size_t n = x.rows();
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k(i, i) = diagonal();
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = (*this)(x.row(i), x.row(j));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+linalg::Vector Kernel::cross(const linalg::Matrix& x,
+                             std::span<const double> x_star) const {
+  linalg::Vector out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = (*this)(x.row(i), x_star);
+  }
+  return out;
+}
+
+double Matern52::operator()(std::span<const double> a,
+                            std::span<const double> b) const {
+  const double r = std::sqrt(linalg::squared_distance(a, b)) / length_scale_;
+  const double s = std::sqrt(5.0) * r;
+  return signal_variance_ * (1.0 + s + s * s / 3.0) * std::exp(-s);
+}
+
+double Matern32::operator()(std::span<const double> a,
+                            std::span<const double> b) const {
+  const double r = std::sqrt(linalg::squared_distance(a, b)) / length_scale_;
+  const double s = std::sqrt(3.0) * r;
+  return signal_variance_ * (1.0 + s) * std::exp(-s);
+}
+
+double Rbf::operator()(std::span<const double> a,
+                       std::span<const double> b) const {
+  const double d2 = linalg::squared_distance(a, b);
+  return signal_variance_ *
+         std::exp(-d2 / (2.0 * length_scale_ * length_scale_));
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                    double signal_variance,
+                                    double length_scale) {
+  if (name == "matern52") {
+    return std::make_unique<Matern52>(signal_variance, length_scale);
+  }
+  if (name == "matern32") {
+    return std::make_unique<Matern32>(signal_variance, length_scale);
+  }
+  if (name == "rbf") {
+    return std::make_unique<Rbf>(signal_variance, length_scale);
+  }
+  throw std::invalid_argument("make_kernel: unknown kernel '" + name + "'");
+}
+
+}  // namespace autra::gp

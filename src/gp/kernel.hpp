@@ -1,0 +1,108 @@
+// Covariance kernels for Gaussian-process regression.
+//
+// AuTraScale (Sec. III-E) uses a Gaussian process with the Matern covariance
+// kernel as the BO surrogate because of its extrapolation quality; Matern 5/2
+// is the default here, with Matern 3/2 and RBF available for the kernel
+// ablation study.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace autra::gp {
+
+/// A stationary covariance kernel k(x, x').
+///
+/// Hyper-parameters are exposed as a flat vector in *log space* so the
+/// regressor's marginal-likelihood search can optimise them without bound
+/// constraints. Layout: [log signal_variance, log length_scale].
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Covariance between two points of equal dimension.
+  [[nodiscard]] virtual double operator()(
+      std::span<const double> a, std::span<const double> b) const = 0;
+
+  /// k(x, x) for a stationary kernel is the signal variance.
+  [[nodiscard]] double diagonal() const noexcept { return signal_variance_; }
+
+  [[nodiscard]] double signal_variance() const noexcept {
+    return signal_variance_;
+  }
+  [[nodiscard]] double length_scale() const noexcept { return length_scale_; }
+
+  void set_signal_variance(double v);
+  void set_length_scale(double l);
+
+  /// Log-space hyper-parameters: [log sigma^2, log ell].
+  [[nodiscard]] std::vector<double> log_params() const;
+  void set_log_params(std::span<const double> p);
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Kernel> clone() const = 0;
+
+  /// Gram matrix K where K(i,j) = k(X_i, X_j); X is row-per-sample.
+  [[nodiscard]] linalg::Matrix gram(const linalg::Matrix& x) const;
+
+  /// Cross-covariance vector [k(x_star, X_i)]_i.
+  [[nodiscard]] linalg::Vector cross(const linalg::Matrix& x,
+                                     std::span<const double> x_star) const;
+
+ protected:
+  Kernel(double signal_variance, double length_scale);
+
+  double signal_variance_;
+  double length_scale_;
+};
+
+/// Matern 5/2: k(r) = s2 (1 + sqrt5 r/l + 5 r^2 / (3 l^2)) exp(-sqrt5 r/l).
+class Matern52 final : public Kernel {
+ public:
+  explicit Matern52(double signal_variance = 1.0, double length_scale = 1.0)
+      : Kernel(signal_variance, length_scale) {}
+  [[nodiscard]] double operator()(std::span<const double> a,
+                                  std::span<const double> b) const override;
+  [[nodiscard]] std::string name() const override { return "matern52"; }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<Matern52>(*this);
+  }
+};
+
+/// Matern 3/2: k(r) = s2 (1 + sqrt3 r/l) exp(-sqrt3 r/l).
+class Matern32 final : public Kernel {
+ public:
+  explicit Matern32(double signal_variance = 1.0, double length_scale = 1.0)
+      : Kernel(signal_variance, length_scale) {}
+  [[nodiscard]] double operator()(std::span<const double> a,
+                                  std::span<const double> b) const override;
+  [[nodiscard]] std::string name() const override { return "matern32"; }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<Matern32>(*this);
+  }
+};
+
+/// Squared exponential: k(r) = s2 exp(-r^2 / (2 l^2)).
+class Rbf final : public Kernel {
+ public:
+  explicit Rbf(double signal_variance = 1.0, double length_scale = 1.0)
+      : Kernel(signal_variance, length_scale) {}
+  [[nodiscard]] double operator()(std::span<const double> a,
+                                  std::span<const double> b) const override;
+  [[nodiscard]] std::string name() const override { return "rbf"; }
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
+    return std::make_unique<Rbf>(*this);
+  }
+};
+
+/// Factory by name ("matern52" | "matern32" | "rbf"); throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<Kernel> make_kernel(const std::string& name,
+                                                  double signal_variance = 1.0,
+                                                  double length_scale = 1.0);
+
+}  // namespace autra::gp

@@ -1,0 +1,16 @@
+#include "gp/normal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace autra::gp {
+
+double normal_pdf(double z) noexcept {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+}  // namespace autra::gp

@@ -1,0 +1,13 @@
+// Standard-normal PDF and CDF, used by the Expected Improvement acquisition
+// function (Eq. 5 of the paper).
+#pragma once
+
+namespace autra::gp {
+
+/// phi(z): standard normal probability density.
+[[nodiscard]] double normal_pdf(double z) noexcept;
+
+/// Phi(z): standard normal cumulative distribution.
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+}  // namespace autra::gp

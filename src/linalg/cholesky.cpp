@@ -1,0 +1,80 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autra::linalg {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky::factor: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) return std::nullopt;
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Cholesky Cholesky::factor_with_jitter(Matrix a, double jitter,
+                                      double max_jitter) {
+  if (auto c = factor(a)) return std::move(*c);
+  for (double j = jitter; j <= max_jitter; j *= 10.0) {
+    Matrix jittered = a;
+    jittered.add_diagonal(j);
+    if (auto c = factor(jittered)) return std::move(*c);
+  }
+  throw std::runtime_error(
+      "Cholesky::factor_with_jitter: matrix not positive definite even with "
+      "maximum jitter");
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) {
+    throw std::invalid_argument("Cholesky::solve_lower: size mismatch");
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+Vector Cholesky::solve_upper(const Vector& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) {
+    throw std::invalid_argument("Cholesky::solve_upper: size mismatch");
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  return solve_upper(solve_lower(b));
+}
+
+double Cholesky::log_determinant() const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace autra::linalg

@@ -1,0 +1,48 @@
+// Cholesky factorisation and solves for symmetric positive-definite systems.
+// This is the numerical core of the GP regressor: K = L L^T, alpha = K^-1 y,
+// and log|K| all come from here.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace autra::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorises `a` (must be square, symmetric, positive definite).
+  /// Returns std::nullopt if the matrix is not positive definite.
+  [[nodiscard]] static std::optional<Cholesky> factor(const Matrix& a);
+
+  /// Factorises `a + jitter*I`, growing the jitter by 10x (up to
+  /// `max_jitter`) until the factorisation succeeds. Throws
+  /// std::runtime_error if even the maximum jitter fails. This is the
+  /// standard defence against nearly-singular GP kernel matrices built from
+  /// duplicated sample points.
+  [[nodiscard]] static Cholesky factor_with_jitter(Matrix a,
+                                                   double jitter = 1e-10,
+                                                   double max_jitter = 1e-2);
+
+  /// Solves L x = b (forward substitution).
+  [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// Solves L^T x = b (back substitution).
+  [[nodiscard]] Vector solve_upper(const Vector& b) const;
+
+  /// Solves the full system (L L^T) x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// log|A| = 2 * sum(log L_ii).
+  [[nodiscard]] double log_determinant() const noexcept;
+
+  [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+  [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace autra::linalg

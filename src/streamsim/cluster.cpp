@@ -1,0 +1,82 @@
+#include "streamsim/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autra::sim {
+
+ClusterSpec paper_cluster() {
+  ClusterSpec spec;
+  for (int i = 0; i < 3; ++i) {
+    spec.machines.push_back(
+        {.name = "r730xd-" + std::to_string(i), .cores = 20,
+         .memory_gb = 256.0, .speed = 1.0});
+  }
+  return spec;
+}
+
+Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  if (spec_.machines.empty()) {
+    throw std::invalid_argument("Cluster: no machines");
+  }
+  for (const MachineSpec& m : spec_.machines) {
+    if (m.cores <= 0 || m.memory_gb <= 0.0 || m.speed <= 0.0 ||
+        m.background_load < 0.0) {
+      throw std::invalid_argument("Cluster: bad machine spec for " + m.name);
+    }
+  }
+  // Build the slot -> machine map with a round-robin spread, the Flink
+  // cluster.evenly-spread-out-slots strategy.
+  std::vector<int> remaining;
+  remaining.reserve(spec_.machines.size());
+  for (const MachineSpec& m : spec_.machines) {
+    const int s = spec_.slots_per_machine > 0 ? spec_.slots_per_machine
+                                              : m.cores;
+    remaining.push_back(s);
+    total_slots_ += s;
+  }
+  std::size_t m = 0;
+  while (static_cast<int>(slot_to_machine_.size()) < total_slots_) {
+    if (remaining[m] > 0) {
+      slot_to_machine_.push_back(m);
+      --remaining[m];
+    }
+    m = (m + 1) % spec_.machines.size();
+  }
+}
+
+int Cluster::slots_per_machine(std::size_t m) const {
+  if (m >= spec_.machines.size()) {
+    throw std::out_of_range("Cluster::slots_per_machine: bad machine index");
+  }
+  return spec_.slots_per_machine > 0 ? spec_.slots_per_machine
+                                     : spec_.machines[m].cores;
+}
+
+std::size_t Cluster::machine_of_slot(int slot) const {
+  if (slot < 0 || slot >= total_slots_) {
+    throw std::out_of_range("Cluster::machine_of_slot: bad slot index");
+  }
+  return slot_to_machine_[static_cast<std::size_t>(slot)];
+}
+
+bool Cluster::feasible(const Parallelism& parallelism) const noexcept {
+  if (parallelism.empty()) return false;
+  for (int k : parallelism) {
+    if (k < 1 || k > max_parallelism()) return false;
+  }
+  return true;
+}
+
+std::vector<int> Cluster::instances_per_machine(
+    const Parallelism& parallelism) const {
+  std::vector<int> count(spec_.machines.size(), 0);
+  for (int k : parallelism) {
+    for (int j = 0; j < k; ++j) {
+      ++count[machine_of_slot(j)];
+    }
+  }
+  return count;
+}
+
+}  // namespace autra::sim

@@ -1,0 +1,84 @@
+// Cluster and slot model mirroring Flink-on-YARN: each machine (task
+// manager) exposes a fixed number of slots; an operator subtask with index j
+// lives in shared slot j, and slots are spread round-robin over machines.
+// Slots isolate managed memory but NOT CPU — the root cause of the
+// interference AuTraScale is designed to absorb.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autra::sim {
+
+/// Parallelism configuration of a job: one entry per operator, in topology
+/// operator-index order.
+using Parallelism = std::vector<int>;
+
+struct MachineSpec {
+  std::string name;
+  int cores = 8;
+  double memory_gb = 64.0;
+  /// Relative CPU speed (1.0 = reference core used by OperatorSpec costs).
+  double speed = 1.0;
+  /// Busy-core equivalents consumed by co-tenant jobs on this machine
+  /// (the paper's "stream processing jobs co-run on the same machine and
+  /// interfere with each other"). Enters the contention model as standing
+  /// load.
+  double background_load = 0.0;
+};
+
+struct ClusterSpec {
+  std::vector<MachineSpec> machines;
+  /// Slots per machine; by Flink convention defaults to the core count when
+  /// zero.
+  int slots_per_machine = 0;
+  /// Framework memory overhead charged per occupied slot.
+  double slot_overhead_mb = 64.0;
+};
+
+/// The paper's evaluation cluster: 3x Dell R730xd (20 cores, 256 GB).
+/// The fourth machine hosts only Kafka/ZooKeeper in the paper and therefore
+/// does not execute operator instances.
+[[nodiscard]] ClusterSpec paper_cluster();
+
+/// Placement of a concrete parallelism configuration on a cluster.
+class Cluster {
+ public:
+  explicit Cluster(ClusterSpec spec);
+
+  [[nodiscard]] const ClusterSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return spec_.machines.size();
+  }
+  [[nodiscard]] int slots_per_machine(std::size_t m) const;
+  [[nodiscard]] int total_slots() const noexcept { return total_slots_; }
+
+  /// Maximum parallelism any operator may use: the total slot count
+  /// (Flink slot sharing lets every slot host one subtask of each
+  /// operator). This is the paper's P_max.
+  [[nodiscard]] int max_parallelism() const noexcept { return total_slots_; }
+
+  /// Machine index hosting shared slot `slot` (round-robin spread).
+  [[nodiscard]] std::size_t machine_of_slot(int slot) const;
+
+  /// True if every operator's parallelism fits within P_max and is >= 1.
+  [[nodiscard]] bool feasible(const Parallelism& parallelism) const noexcept;
+
+  /// Instances placed on each machine for a given configuration:
+  /// result[m] = number of operator instances on machine m.
+  [[nodiscard]] std::vector<int> instances_per_machine(
+      const Parallelism& parallelism) const;
+
+  /// Machine hosting subtask `instance` of an operator (== slot placement).
+  [[nodiscard]] std::size_t machine_of_instance(int instance) const {
+    return machine_of_slot(instance);
+  }
+
+ private:
+  ClusterSpec spec_;
+  int total_slots_ = 0;
+  std::vector<std::size_t> slot_to_machine_;
+};
+
+}  // namespace autra::sim

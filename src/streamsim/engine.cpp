@@ -1,0 +1,441 @@
+#include "streamsim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace autra::sim {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+Engine::Engine(Topology topology, Cluster cluster, Parallelism parallelism,
+               std::unique_ptr<KafkaLog> kafka, EngineParams params)
+    : topo_(std::move(topology)),
+      cluster_(std::move(cluster)),
+      parallelism_(std::move(parallelism)),
+      kafka_(std::move(kafka)),
+      params_(params),
+      interference_(params.interference),
+      proc_latency_(4096, params.seed),
+      event_latency_(4096, params.seed + 1),
+      interval_proc_latency_(1024, params.seed + 2),
+      interval_event_latency_(1024, params.seed + 3),
+      rng_(params.seed) {
+  topo_.validate();
+  if (!kafka_) {
+    throw std::invalid_argument("Engine: null kafka log");
+  }
+  if (parallelism_.size() != topo_.num_operators()) {
+    throw std::invalid_argument("Engine: parallelism size != operator count");
+  }
+  if (!cluster_.feasible(parallelism_)) {
+    throw std::invalid_argument("Engine: infeasible parallelism for cluster");
+  }
+  if (params_.tick_sec <= 0.0 || params_.metric_interval_sec <= 0.0) {
+    throw std::invalid_argument("Engine: bad timing parameters");
+  }
+
+  topo_order_ = topo_.topological_order();
+  state_.resize(topo_.num_operators());
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    const double base_rate = 1e6 / topo_.op(i).total_cost_us();
+    // The buffer must hold at least one tick of flow or the per-tick
+    // emit limit, not backpressure, becomes the throughput bound.
+    const double buffer_sec = std::max(params_.buffer_sec, params_.tick_sec);
+    state_[i].queue_capacity =
+        std::max(params_.min_buffer_records, base_rate * buffer_sec) *
+        static_cast<double>(parallelism_[i]);
+  }
+  now_ = params_.start_time;
+  window_start_ = now_;
+  interval_start_ = now_;
+  next_metric_time_ = now_ + params_.metric_interval_sec;
+}
+
+void Engine::inject_slowdown(std::size_t machine, double speed_factor,
+                             double from_sec, double until_sec) {
+  if (machine >= cluster_.num_machines() || speed_factor <= 0.0 ||
+      until_sec <= from_sec) {
+    throw std::invalid_argument("Engine::inject_slowdown: bad arguments");
+  }
+  slowdowns_.push_back({machine, speed_factor, from_sec, until_sec});
+}
+
+double Engine::machine_speed_at(std::size_t machine,
+                                double t) const noexcept {
+  double speed = cluster_.spec().machines[machine].speed;
+  for (const SlowdownEvent& e : slowdowns_) {
+    if (e.machine == machine && t >= e.from && t < e.until) {
+      speed *= e.factor;
+    }
+  }
+  return speed;
+}
+
+void Engine::add_external_service(ExternalService service) {
+  if (started_) {
+    throw std::logic_error(
+        "Engine::add_external_service: engine already started");
+  }
+  const std::string name = service.name();
+  if (!services_.emplace(name, std::move(service)).second) {
+    throw std::invalid_argument("Engine: duplicate external service " + name);
+  }
+}
+
+double Engine::latency_floor_sec() const noexcept {
+  // Every non-source operator is one network hop whose cost grows with the
+  // receiver's parallelism (keyed shuffle fan-out): Obs. 2.2's
+  // communication cost.
+  double floor_ms = 0.0;
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    const OperatorSpec& spec = topo_.op(i);
+    if (spec.external_service) {
+      const auto it = services_.find(*spec.external_service);
+      if (it != services_.end()) {
+        floor_ms += it->second.call_latency_ms() *
+                    spec.external_calls_per_record;
+      }
+    }
+    if (spec.kind == OperatorKind::kSource) continue;
+    floor_ms += params_.buffer_timeout_ms +
+                params_.shuffle_ms_per_parallelism *
+                    std::sqrt(static_cast<double>(parallelism_[i] - 1));
+  }
+  return floor_ms / 1000.0;
+}
+
+double Engine::congestion_delay_sec() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    const double rho = std::clamp(state_[i].smoothed_busy, 0.0, 0.995);
+    const double coord = interference_.coordination_factor(parallelism_[i]);
+    const double service_sec = topo_.op(i).total_cost_us() * coord / 1e6;
+    const double w = params_.congestion_burst_records * service_sec * rho /
+                     (1.0 - rho);
+    total += std::min(w, params_.congestion_cap_sec);
+  }
+  return total;
+}
+
+void Engine::push_downstream(std::size_t op, double mass, double produced,
+                             double ingested) {
+  for (std::size_t d : topo_.downstream(op)) {
+    OperatorState& ds = state_[d];
+    // Merge into the current tick's tail cohort to bound queue length.
+    if (!ds.queue.empty() &&
+        std::abs(ds.queue.back().ingested_time - ingested) < kEps &&
+        std::abs(ds.queue.back().produced_time - produced) < 1.0) {
+      const double total = ds.queue.back().mass + mass;
+      ds.queue.back().produced_time =
+          (ds.queue.back().produced_time * ds.queue.back().mass +
+           produced * mass) /
+          total;
+      ds.queue.back().mass = total;
+    } else {
+      ds.queue.push_back({mass, produced, ingested});
+    }
+    ds.queue_mass += mass;
+    ds.counters.records_in += mass;
+  }
+}
+
+void Engine::tick() {
+  started_ = true;
+  const double dt = params_.tick_sec;
+  const double t = now_;
+
+  kafka_->produce(t, dt);
+  for (auto& [_, svc] : services_) svc.tick(dt);
+
+  const bool suspended = t < suspended_until_;
+
+  // Per-machine busy load: co-tenant background load plus the previous
+  // tick's smoothed busy fractions of this job's instances.
+  std::vector<double> load(cluster_.num_machines(), 0.0);
+  for (std::size_t m = 0; m < cluster_.num_machines(); ++m) {
+    load[m] = cluster_.spec().machines[m].background_load;
+  }
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    for (int j = 0; j < parallelism_[i]; ++j) {
+      load[cluster_.machine_of_instance(j)] += state_[i].smoothed_busy;
+    }
+  }
+
+  double tick_busy_core_seconds = 0.0;
+  // Constant across operators within one tick (depends on configuration
+  // and smoothed utilisation, both fixed during the tick).
+  const double floor = latency_floor_sec() + congestion_delay_sec();
+
+  for (std::size_t i : topo_order_) {
+    const OperatorSpec& spec = topo_.op(i);
+    OperatorState& st = state_[i];
+    const int k = parallelism_[i];
+
+    // --- Capacity of this operator in this tick -------------------------
+    const double coord = interference_.coordination_factor(k);
+    double capacity = 0.0;  // records processable this tick
+    double hot_capacity = 0.0;  // capacity of the (skew) hot instance 0
+    for (int j = 0; j < k; ++j) {
+      const std::size_t m = cluster_.machine_of_instance(j);
+      const MachineSpec& ms = cluster_.spec().machines[m];
+      const double divisor =
+          interference_.contention_divisor(load[m], ms.cores);
+      const double rate = 1e6 / (spec.total_cost_us() * coord) *
+                          machine_speed_at(m, t) / divisor;
+      capacity += rate * dt;
+      if (j == 0) hot_capacity = rate * dt;
+    }
+    // Key skew: the hot instance receives a (1 + skew) multiple of the
+    // uniform share and saturates first, capping the whole operator.
+    if (spec.key_skew > 0.0 && k > 1) {
+      const double hot_share = (1.0 + spec.key_skew) /
+                               (static_cast<double>(k) + spec.key_skew);
+      capacity = std::min(capacity, hot_capacity / hot_share);
+    }
+
+    // --- How much work is available and emittable -----------------------
+    double available =
+        spec.kind == OperatorKind::kSource ? kafka_->lag() : st.queue_mass;
+
+    double emit_limit = std::numeric_limits<double>::infinity();
+    if (spec.selectivity > 0.0) {
+      for (std::size_t d : topo_.downstream(i)) {
+        const double free =
+            state_[d].queue_capacity - state_[d].queue_mass;
+        emit_limit =
+            std::min(emit_limit, std::max(0.0, free) / spec.selectivity);
+      }
+    }
+
+    double processed = std::min({available, capacity, emit_limit});
+    if (suspended) processed = 0.0;
+
+    // --- External-service throttling (the Redis cap) --------------------
+    if (spec.external_service && processed > kEps) {
+      auto it = services_.find(*spec.external_service);
+      if (it == services_.end()) {
+        throw std::logic_error("Engine: operator '" + spec.name +
+                               "' references unknown service '" +
+                               *spec.external_service + "'");
+      }
+      const double want = processed * spec.external_calls_per_record;
+      const double granted = it->second.acquire(want);
+      processed = granted / spec.external_calls_per_record;
+    }
+
+    // --- Move cohorts ----------------------------------------------------
+    std::vector<QueueCohort> taken;
+    if (spec.kind == OperatorKind::kSource) {
+      for (const LogCohort& c : kafka_->consume(processed)) {
+        taken.push_back({c.mass, c.produced_time, t + dt});
+      }
+      double ingested = 0.0;
+      for (const QueueCohort& c : taken) ingested += c.mass;
+      st.counters.records_in += ingested;
+      st.interval.records_in += ingested;
+      window_consumed_ += ingested;
+      interval_consumed_ += ingested;
+    } else {
+      double remaining = processed;
+      while (remaining > kEps && !st.queue.empty()) {
+        QueueCohort& head = st.queue.front();
+        if (head.mass <= remaining + kEps) {
+          remaining -= head.mass;
+          st.queue_mass -= head.mass;
+          taken.push_back(head);
+          st.queue.pop_front();
+        } else {
+          taken.push_back({remaining, head.produced_time, head.ingested_time});
+          head.mass -= remaining;
+          st.queue_mass -= remaining;
+          remaining = 0.0;
+        }
+      }
+      st.queue_mass = std::max(st.queue_mass, 0.0);
+    }
+
+    double actually_processed = 0.0;
+    for (const QueueCohort& c : taken) actually_processed += c.mass;
+
+    // --- Emit or complete -------------------------------------------------
+    const bool terminal = topo_.downstream(i).empty();
+    for (const QueueCohort& c : taken) {
+      if (terminal) {
+        const double done = t + dt;
+        // Mean-one lognormal dispersion of the processing latency; the
+        // pending time in Kafka (event latency minus processing latency)
+        // is deterministic backlog and is not jittered.
+        double jitter = 1.0;
+        if (params_.latency_jitter_sigma > 0.0) {
+          const double s = params_.latency_jitter_sigma;
+          std::normal_distribution<double> n(-0.5 * s * s, s);
+          jitter = std::exp(n(rng_));
+        }
+        const double proc = (done - c.ingested_time + floor) * jitter;
+        const double pending = c.ingested_time - c.produced_time;
+        proc_latency_.add(proc, c.mass);
+        event_latency_.add(pending + proc, c.mass);
+        interval_proc_latency_.add(proc, c.mass);
+        interval_event_latency_.add(pending + proc, c.mass);
+      } else if (spec.selectivity > 0.0) {
+        push_downstream(i, c.mass * spec.selectivity, c.produced_time,
+                        c.ingested_time);
+        st.counters.records_out += c.mass * spec.selectivity;
+        st.interval.records_out += c.mass * spec.selectivity;
+      }
+    }
+
+    // --- Busy-time accounting (true vs observed rate) --------------------
+    const double busy_frac =
+        capacity > kEps ? std::clamp(actually_processed / capacity, 0.0, 1.0)
+                        : 0.0;
+    st.counters.processed += actually_processed;
+    st.counters.busy_time += busy_frac * dt * static_cast<double>(k);
+    st.counters.wall_time += dt * static_cast<double>(k);
+    st.interval.processed += actually_processed;
+    st.interval.busy_time += busy_frac * dt * static_cast<double>(k);
+    st.interval.wall_time += dt * static_cast<double>(k);
+    tick_busy_core_seconds += busy_frac * dt * static_cast<double>(k);
+
+    const double a = params_.interference.load_smoothing;
+    st.smoothed_busy = (1.0 - a) * st.smoothed_busy + a * busy_frac;
+  }
+
+  window_busy_core_seconds_ += tick_busy_core_seconds;
+  interval_busy_core_seconds_ += tick_busy_core_seconds;
+  now_ += dt;
+
+  if (now_ + kEps >= next_metric_time_) {
+    write_metrics();
+    next_metric_time_ += params_.metric_interval_sec;
+  }
+}
+
+void Engine::run_until(double until_sec) {
+  while (now_ + kEps < until_sec) tick();
+}
+
+void Engine::suspend_until(double until_sec) {
+  suspended_until_ = std::max(suspended_until_, until_sec);
+}
+
+OperatorRates Engine::rates(std::size_t op) const {
+  if (op >= topo_.num_operators()) {
+    throw std::out_of_range("Engine::rates: bad operator index");
+  }
+  return rates_from(op, state_[op].counters);
+}
+
+OperatorRates Engine::rates_from(std::size_t op,
+                                 const OperatorCounters& c) const {
+  const OperatorState& st = state_[op];
+  const int k = parallelism_[op];
+
+  OperatorRates r;
+  r.parallelism = k;
+  r.queue_length = st.queue_mass;
+
+  const double window = c.wall_time / static_cast<double>(k);
+  if (window > kEps) {
+    r.observed_rate_per_instance = c.processed / c.wall_time;
+    r.total_input_rate = c.records_in / window;
+    r.total_output_rate = c.records_out / window;
+  }
+  if (c.busy_time > kEps && c.processed > kEps) {
+    // Eq. 2: records / busy time, averaged over instances.
+    r.true_rate_per_instance = c.processed / c.busy_time;
+  } else {
+    // Idle operator: its true rate is its potential rate. Estimate from the
+    // base cost and coordination factor (no contention while idle).
+    const double coord = interference_.coordination_factor(k);
+    r.true_rate_per_instance = 1e6 / (topo_.op(op).total_cost_us() * coord);
+  }
+  return r;
+}
+
+double Engine::throughput() const noexcept {
+  const double window = now_ - window_start_;
+  return window > kEps ? window_consumed_ / window : 0.0;
+}
+
+double Engine::lag_growth_per_sec() const noexcept {
+  const double window = now_ - window_start_;
+  return window > kEps ? (kafka_->lag() - window_start_lag_) / window : 0.0;
+}
+
+double Engine::busy_cores() const noexcept {
+  const double window = now_ - window_start_;
+  return window > kEps ? window_busy_core_seconds_ / window : 0.0;
+}
+
+void Engine::reset_counters() {
+  for (OperatorState& st : state_) st.counters = {};
+  proc_latency_.reset();
+  event_latency_.reset();
+  window_start_ = now_;
+  window_consumed_ = 0.0;
+  window_busy_core_seconds_ = 0.0;
+  window_start_lag_ = kafka_ ? kafka_->lag() : 0.0;
+}
+
+double Engine::memory_mb() const noexcept {
+  double mb = 0.0;
+  int max_k = 0;
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    mb += topo_.op(i).state_mb * static_cast<double>(parallelism_[i]);
+    max_k = std::max(max_k, parallelism_[i]);
+  }
+  // Slot sharing: the job occupies max-parallelism slots.
+  mb += cluster_.spec().slot_overhead_mb * static_cast<double>(max_k);
+  return mb;
+}
+
+double Engine::noisy(double value) {
+  if (params_.measurement_noise <= 0.0) return value;
+  std::normal_distribution<double> n(0.0, params_.measurement_noise);
+  return value * (1.0 + n(rng_));
+}
+
+void Engine::write_metrics() {
+  namespace mn = metric_names;
+  const double t = now_;
+  const auto put = [&](const std::string& name, double value) {
+    metrics_.record(name, t, value);
+    if (external_metrics_ != nullptr) {
+      external_metrics_->record(name, t, value);
+    }
+  };
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    const OperatorRates r = rates_from(i, state_[i].interval);
+    const std::string& name = topo_.op(i).name;
+    put(mn::true_rate(name), noisy(r.true_rate_per_instance));
+    put(mn::observed_rate(name), noisy(r.observed_rate_per_instance));
+    put(mn::input_rate(name), noisy(r.total_input_rate));
+    put(mn::output_rate(name), noisy(r.total_output_rate));
+    put(mn::queue_size(name), r.queue_length);
+    state_[i].interval = {};
+  }
+  const double interval = t - interval_start_;
+  const double tput = interval > kEps ? interval_consumed_ / interval : 0.0;
+  put(mn::kThroughput, noisy(tput));
+  put(mn::kLatencyMean, noisy(interval_proc_latency_.mean()));
+  put(mn::kEventLatencyMean, noisy(interval_event_latency_.mean()));
+  put(mn::kKafkaLag, kafka_->lag());
+  put(mn::kInputRate, kafka_->rate_at(t));
+  put(mn::kBusyCores,
+      interval > kEps ? interval_busy_core_seconds_ / interval : 0.0);
+  int total_parallelism = 0;
+  for (int k : parallelism_) total_parallelism += k;
+  put(mn::kParallelismTotal, total_parallelism);
+  interval_busy_core_seconds_ = 0.0;
+  interval_consumed_ = 0.0;
+  interval_start_ = t;
+  interval_proc_latency_.reset();
+  interval_event_latency_.reset();
+}
+
+}  // namespace autra::sim

@@ -1,0 +1,250 @@
+// The fluid dataflow engine.
+//
+// Rather than simulating hundreds of millions of individual records, the
+// engine advances in small ticks and moves record *mass* through bounded
+// per-operator queues, which keeps a 50-minute cluster experiment under a
+// second of wall time while preserving every observable AuTraScale consumes:
+//
+//   - true processing rate (Eq. 2): processed records / busy time, where
+//     busy time excludes idle and backpressure-blocked time;
+//   - observed processing rate: processed records / wall time;
+//   - per-operator input/output rates, queue lengths;
+//   - end-to-end processing latency and event-time latency, tracked exactly
+//     via FIFO cohorts stamped with production and ingestion times;
+//   - Kafka consumer lag.
+//
+// Interference (CPU contention between co-located instances, coordination
+// overhead growing with parallelism) is injected via InterferenceModel and
+// produces the non-linear throughput scaling the paper is built around.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "streamsim/cluster.hpp"
+#include "streamsim/external_service.hpp"
+#include "streamsim/interference.hpp"
+#include "streamsim/kafka.hpp"
+#include "streamsim/latency.hpp"
+#include "streamsim/metrics.hpp"
+#include "streamsim/topology.hpp"
+
+namespace autra::sim {
+
+struct EngineParams {
+  /// Simulation tick. Smaller = finer latency resolution, slower sim.
+  double tick_sec = 0.05;
+  /// Input buffer per operator instance, in *seconds of base processing
+  /// capacity* (credit-based flow control buffers proportionally more for
+  /// faster operators). The backpressure bound per operator is
+  /// k * base_rate * buffer_sec records, floored at min_buffer_records.
+  double buffer_sec = 0.05;
+  double min_buffer_records = 500.0;
+  /// Constant per-hop latency floor (framework buffer timeout), ms.
+  double buffer_timeout_ms = 5.0;
+  /// Additional per-hop shuffle latency, ms, scaled by sqrt(k - 1) of the
+  /// receiving operator's parallelism — the communication cost of
+  /// Obs. 2.2 (sub-linear: fan-out costs amortise across channels).
+  double shuffle_ms_per_parallelism = 2.5;
+  /// Stochastic queueing stand-in: the fluid model drains every queue whose
+  /// utilisation is below 1, but real operators queue bursts long before
+  /// that. Each operator adds a congestion delay of
+  ///   burst_records * effective_service_time * rho / (1 - rho)
+  /// (capped) to record latency, where rho is its smoothed busy fraction.
+  double congestion_burst_records = 150.0;
+  double congestion_cap_sec = 0.25;
+  /// Per-record latency dispersion: each completing cohort's processing
+  /// latency is scaled by a mean-one lognormal with this sigma, giving the
+  /// right-skewed per-record distributions real pipelines show
+  /// (Fig. 8(b) plots their percentiles).
+  double latency_jitter_sigma = 0.25;
+  /// How often gauges are written to the MetricsDb.
+  double metric_interval_sec = 1.0;
+  /// Multiplicative Gaussian noise applied to *recorded* metrics.
+  double measurement_noise = 0.02;
+  /// Simulation time the engine starts at (a restarted job continues the
+  /// wall clock and the rate schedule of its predecessor).
+  double start_time = 0.0;
+  std::uint64_t seed = 1234;
+  InterferenceParams interference;
+};
+
+/// Aggregated per-operator counters since the last reset_counters().
+struct OperatorCounters {
+  double processed = 0.0;       ///< Records processed (all instances).
+  double busy_time = 0.0;       ///< Summed instance busy seconds.
+  double wall_time = 0.0;       ///< Summed instance wall seconds.
+  double records_in = 0.0;      ///< Records that entered the input queue.
+  double records_out = 0.0;     ///< Records emitted downstream.
+};
+
+/// Live snapshot of one operator's rates.
+struct OperatorRates {
+  /// Average true processing rate of one instance (records/s), Eq. 2.
+  double true_rate_per_instance = 0.0;
+  /// Observed rate of one instance (records/s, includes idle/blocked time).
+  double observed_rate_per_instance = 0.0;
+  double total_input_rate = 0.0;   ///< lambda_i.
+  double total_output_rate = 0.0;  ///< o_i.
+  double queue_length = 0.0;
+  int parallelism = 0;
+};
+
+class Engine {
+ public:
+  /// Takes ownership of the Kafka log. The topology must validate; the
+  /// parallelism must be feasible on the cluster. Throws otherwise.
+  Engine(Topology topology, Cluster cluster, Parallelism parallelism,
+         std::unique_ptr<KafkaLog> kafka, EngineParams params = {});
+
+  /// Registers a rate-capped external service operators may reference.
+  /// Must be called before the first tick; throws std::logic_error after.
+  void add_external_service(ExternalService service);
+
+  /// Failure injection: machine `machine` runs at `speed_factor` (< 1)
+  /// during [from_sec, until_sec) — a co-tenant burst, thermal throttling,
+  /// or a failing disk stalling the task manager. Throws
+  /// std::invalid_argument on bad arguments.
+  void inject_slowdown(std::size_t machine, double speed_factor,
+                       double from_sec, double until_sec);
+
+  /// Advances the simulation by one tick.
+  void tick();
+
+  /// Runs until simulation time reaches `until_sec`.
+  void run_until(double until_sec);
+
+  /// Suspends all processing until `until_sec` (savepoint + restart window;
+  /// Kafka keeps producing, so lag accumulates — the reconfiguration cost
+  /// the paper's "policy running time" exists to amortise).
+  void suspend_until(double until_sec);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] const Parallelism& parallelism() const noexcept {
+    return parallelism_;
+  }
+  [[nodiscard]] const KafkaLog& kafka() const noexcept { return *kafka_; }
+  [[nodiscard]] const EngineParams& params() const noexcept { return params_; }
+
+  [[nodiscard]] MetricsDb& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsDb& metrics() const noexcept { return metrics_; }
+
+  /// Additional metric sink written alongside the internal one; used by
+  /// ScalingSession to keep one continuous time series across restarts.
+  /// The pointer must outlive the engine; pass nullptr to detach.
+  void set_external_metrics(MetricsDb* db) noexcept { external_metrics_ = db; }
+
+  /// Releases the Kafka log so a successor engine (job restart) can keep
+  /// the accumulated lag. The engine must not be ticked afterwards.
+  [[nodiscard]] std::unique_ptr<KafkaLog> release_kafka() noexcept {
+    return std::move(kafka_);
+  }
+
+  /// Rates over the window since the last reset_counters() call.
+  [[nodiscard]] OperatorRates rates(std::size_t op) const;
+
+  /// Latency accumulated since the last reset_counters().
+  [[nodiscard]] const LatencyStats& processing_latency() const noexcept {
+    return proc_latency_;
+  }
+  [[nodiscard]] const LatencyStats& event_latency() const noexcept {
+    return event_latency_;
+  }
+
+  /// Records consumed from Kafka since the last reset_counters(), per
+  /// second of window — the job throughput the paper plots.
+  [[nodiscard]] double throughput() const noexcept;
+
+  /// Kafka lag change per second over the current window.
+  [[nodiscard]] double lag_growth_per_sec() const noexcept;
+
+  /// Average number of busy cores over the window (CPU usage, Fig. 8c).
+  [[nodiscard]] double busy_cores() const noexcept;
+
+  /// Clears windowed counters and latency accumulators (not queues/lag).
+  void reset_counters();
+
+  /// Static memory footprint of the current configuration in MB
+  /// (instance state + per-slot framework overhead).
+  [[nodiscard]] double memory_mb() const noexcept;
+
+  /// Latency floor of the current configuration (network/buffer cost), sec.
+  [[nodiscard]] double latency_floor_sec() const noexcept;
+
+  /// Current summed per-operator congestion delay (burst queueing), sec.
+  [[nodiscard]] double congestion_delay_sec() const noexcept;
+
+ private:
+  struct QueueCohort {
+    double mass = 0.0;
+    double produced_time = 0.0;
+    double ingested_time = 0.0;
+  };
+
+  struct OperatorState {
+    std::deque<QueueCohort> queue;
+    double queue_mass = 0.0;
+    double queue_capacity = 0.0;
+    double smoothed_busy = 0.0;  ///< EMA busy fraction for contention.
+    OperatorCounters counters;   ///< Since reset_counters() (JobRunner window).
+    OperatorCounters interval;   ///< Since the last metric write (time series).
+  };
+
+  [[nodiscard]] OperatorRates rates_from(std::size_t op,
+                                         const OperatorCounters& c) const;
+
+  void push_downstream(std::size_t op, double mass, double produced,
+                       double ingested);
+  [[nodiscard]] double noisy(double value);
+  void write_metrics();
+
+  struct SlowdownEvent {
+    std::size_t machine = 0;
+    double factor = 1.0;
+    double from = 0.0;
+    double until = 0.0;
+  };
+
+  [[nodiscard]] double machine_speed_at(std::size_t machine,
+                                        double t) const noexcept;
+
+  Topology topo_;
+  Cluster cluster_;
+  Parallelism parallelism_;
+  std::unique_ptr<KafkaLog> kafka_;
+  EngineParams params_;
+  InterferenceModel interference_;
+  std::map<std::string, ExternalService> services_;
+  std::vector<SlowdownEvent> slowdowns_;
+
+  std::vector<std::size_t> topo_order_;
+  std::vector<OperatorState> state_;
+
+  MetricsDb metrics_;
+  MetricsDb* external_metrics_ = nullptr;
+  LatencyStats proc_latency_;
+  LatencyStats event_latency_;
+
+  double now_ = 0.0;
+  double suspended_until_ = 0.0;
+  double window_start_ = 0.0;
+  double next_metric_time_ = 0.0;
+  double window_consumed_ = 0.0;
+  double window_busy_core_seconds_ = 0.0;
+  double window_start_lag_ = 0.0;
+  double interval_consumed_ = 0.0;
+  double interval_busy_core_seconds_ = 0.0;
+  double interval_start_ = 0.0;
+  LatencyStats interval_proc_latency_;
+  LatencyStats interval_event_latency_;
+  bool started_ = false;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace autra::sim

@@ -1,0 +1,30 @@
+#include "streamsim/external_service.hpp"
+
+#include <stdexcept>
+
+namespace autra::sim {
+
+ExternalService::ExternalService(std::string name, double max_calls_per_sec,
+                                 double burst_sec, double call_latency_ms)
+    : name_(std::move(name)),
+      rate_(max_calls_per_sec),
+      burst_(max_calls_per_sec * burst_sec),
+      tokens_(burst_),
+      call_latency_ms_(call_latency_ms) {
+  if (rate_ <= 0.0 || burst_sec <= 0.0 || call_latency_ms_ < 0.0) {
+    throw std::invalid_argument("ExternalService: bad capacity");
+  }
+}
+
+void ExternalService::tick(double dt) noexcept {
+  tokens_ = std::min(burst_, tokens_ + rate_ * dt);
+}
+
+double ExternalService::acquire(double want) noexcept {
+  const double granted = std::clamp(want, 0.0, tokens_);
+  tokens_ -= granted;
+  total_granted_ += granted;
+  return granted;
+}
+
+}  // namespace autra::sim

@@ -1,0 +1,49 @@
+// Rate-capped external service: the Redis stand-in. The Yahoo streaming
+// benchmark's join/window operators read and write Redis, whose limited
+// read/write rate caps the whole job's throughput no matter how much
+// parallelism is added (paper Fig. 5(b)). Modelled as a token bucket shared
+// by every instance of every operator bound to the service.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace autra::sim {
+
+class ExternalService {
+ public:
+  /// `max_calls_per_sec` is the service's aggregate capacity; `burst_sec`
+  /// is how many seconds of capacity may be banked; `call_latency_ms` is
+  /// the round-trip time each call adds to a record's latency.
+  ExternalService(std::string name, double max_calls_per_sec,
+                  double burst_sec = 0.5, double call_latency_ms = 0.0);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double capacity_per_sec() const noexcept { return rate_; }
+  [[nodiscard]] double call_latency_ms() const noexcept {
+    return call_latency_ms_;
+  }
+
+  /// Refills the bucket for an elapsed interval dt.
+  void tick(double dt) noexcept;
+
+  /// Attempts to take `want` calls; returns the number granted (<= want).
+  [[nodiscard]] double acquire(double want) noexcept;
+
+  [[nodiscard]] double available() const noexcept { return tokens_; }
+
+  /// Total calls granted since construction.
+  [[nodiscard]] double total_granted() const noexcept {
+    return total_granted_;
+  }
+
+ private:
+  std::string name_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  double call_latency_ms_;
+  double total_granted_ = 0.0;
+};
+
+}  // namespace autra::sim

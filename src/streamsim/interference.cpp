@@ -1,0 +1,36 @@
+#include "streamsim/interference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autra::sim {
+
+InterferenceModel::InterferenceModel(InterferenceParams params)
+    : params_(params) {
+  if (params_.bandwidth_penalty < 0.0 || params_.coordination_penalty < 0.0 ||
+      params_.coordination_exponent < 0.0 ||
+      params_.load_smoothing <= 0.0 || params_.load_smoothing > 1.0) {
+    throw std::invalid_argument("InterferenceModel: bad parameters");
+  }
+}
+
+double InterferenceModel::coordination_factor(int parallelism) const noexcept {
+  if (!params_.enabled || parallelism <= 1) return 1.0;
+  const double k = static_cast<double>(parallelism - 1);
+  return 1.0 + params_.coordination_penalty *
+                   std::pow(k, params_.coordination_exponent) / 10.0;
+}
+
+double InterferenceModel::contention_divisor(double busy_load,
+                                             int cores) const noexcept {
+  if (!params_.enabled || busy_load <= 1.0) return 1.0;
+  const double c = static_cast<double>(cores);
+  double divisor =
+      1.0 + params_.bandwidth_penalty * (std::min(busy_load, c) - 1.0) / c;
+  if (busy_load > c) {
+    divisor *= busy_load / c;  // CPU time slicing once oversubscribed.
+  }
+  return divisor;
+}
+
+}  // namespace autra::sim

@@ -1,0 +1,60 @@
+// Interference and coordination-overhead model.
+//
+// Flink slots share machine CPUs without isolation, so co-located operator
+// instances contend; and keyed shuffles cost more as parallelism grows.
+// These two effects produce the paper's motivating observations:
+//   - Obs. 2.1: throughput grows sub-linearly with parallelism, and
+//   - Obs. 2.2: latency has a sweet spot — too much parallelism hurts.
+// DS2's linear-scaling assumption ignores both; AuTraScale's GP absorbs
+// them from measurements. Disabling this model (`enabled = false`) is the
+// interference ablation: with it off, DS2 becomes near-optimal.
+#pragma once
+
+#include <vector>
+
+namespace autra::sim {
+
+struct InterferenceParams {
+  bool enabled = true;
+
+  /// Per-machine contention: when the *busy-equivalent* load on a machine is
+  /// L instances over C cores, each instance's effective speed is divided by
+  ///   1 + bandwidth_penalty * max(0, L - 1) / C       (L <= C)
+  ///   (as above) * L / C                              (L >  C, time slicing)
+  double bandwidth_penalty = 0.6;
+
+  /// Per-operator coordination overhead: an operator running with
+  /// parallelism k pays a per-record cost multiplier
+  ///   1 + coordination_penalty * (k - 1)^coordination_exponent / 10
+  /// modelling keyed-shuffle fan-out, state synchronisation and buffer
+  /// management.
+  double coordination_penalty = 0.3;
+  double coordination_exponent = 0.8;
+
+  /// Smoothing factor for the busy-load estimate carried between ticks
+  /// (exponential moving average weight of the newest tick).
+  double load_smoothing = 0.35;
+};
+
+/// Effective-speed computations shared by the engine.
+class InterferenceModel {
+ public:
+  explicit InterferenceModel(InterferenceParams params = {});
+
+  [[nodiscard]] const InterferenceParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Cost multiplier from running an operator at parallelism k.
+  [[nodiscard]] double coordination_factor(int parallelism) const noexcept;
+
+  /// Speed divisor for an instance on a machine whose smoothed busy load is
+  /// `busy_load` instances over `cores` cores.
+  [[nodiscard]] double contention_divisor(double busy_load,
+                                          int cores) const noexcept;
+
+ private:
+  InterferenceParams params_;
+};
+
+}  // namespace autra::sim

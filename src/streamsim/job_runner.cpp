@@ -1,0 +1,139 @@
+#include "streamsim/job_runner.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace autra::sim {
+
+double JobSpec::initial_rate() const {
+  if (!schedule) {
+    throw std::logic_error("JobSpec: no rate schedule");
+  }
+  return schedule->rate_at(0.0);
+}
+
+int JobMetrics::total_parallelism() const {
+  return std::accumulate(parallelism.begin(), parallelism.end(), 0);
+}
+
+std::unique_ptr<Engine> make_engine(const JobSpec& spec, const Parallelism& p,
+                                    double start_time,
+                                    std::uint64_t seed_salt) {
+  if (!spec.schedule) {
+    throw std::invalid_argument("make_engine: spec has no rate schedule");
+  }
+  EngineParams params = spec.engine;
+  params.start_time = start_time;
+  params.seed += seed_salt * 7919;  // decorrelate reruns
+  auto engine = std::make_unique<Engine>(
+      spec.topology, Cluster(spec.cluster), p,
+      std::make_unique<KafkaLog>(spec.schedule->clone()), params);
+  for (const ExternalServiceSpec& svc : spec.services) {
+    engine->add_external_service(
+        ExternalService(svc.name, svc.max_calls_per_sec, svc.burst_sec,
+                        svc.call_latency_ms));
+  }
+  return engine;
+}
+
+JobMetrics snapshot(const Engine& engine) {
+  JobMetrics m;
+  m.parallelism = engine.parallelism();
+  m.throughput = engine.throughput();
+  m.input_rate = engine.kafka().rate_at(engine.now());
+  const LatencyStats& lat = engine.processing_latency();
+  m.latency_ms = lat.mean() * 1000.0;
+  m.latency_p50_ms = lat.quantile(0.5) * 1000.0;
+  m.latency_p95_ms = lat.quantile(0.95) * 1000.0;
+  m.latency_p99_ms = lat.quantile(0.99) * 1000.0;
+  m.event_latency_ms = engine.event_latency().mean() * 1000.0;
+  m.kafka_lag = engine.kafka().lag();
+  m.lag_growth_per_sec = engine.lag_growth_per_sec();
+  m.busy_cores = engine.busy_cores();
+  m.memory_mb = engine.memory_mb();
+  for (std::size_t i = 0; i < engine.topology().num_operators(); ++i) {
+    m.operators.push_back(engine.rates(i));
+  }
+  return m;
+}
+
+JobRunner::JobRunner(JobSpec spec, double warmup_sec, double measure_sec)
+    : spec_(std::move(spec)),
+      warmup_sec_(warmup_sec),
+      measure_sec_(measure_sec) {
+  spec_.topology.validate();
+  if (warmup_sec_ < 0.0 || measure_sec_ <= 0.0) {
+    throw std::invalid_argument("JobRunner: bad window lengths");
+  }
+}
+
+int JobRunner::max_parallelism() const {
+  return Cluster(spec_.cluster).max_parallelism();
+}
+
+JobMetrics JobRunner::measure(const Parallelism& p,
+                              std::uint64_t seed_salt) const {
+  auto engine = make_engine(spec_, p, 0.0, seed_salt);
+  engine->run_until(warmup_sec_);
+  engine->reset_counters();
+  engine->run_until(warmup_sec_ + measure_sec_);
+  JobMetrics m = snapshot(*engine);
+  ++evaluations_;
+  return m;
+}
+
+ScalingSession::ScalingSession(JobSpec spec, Parallelism initial,
+                               double restart_downtime_sec,
+                               double hot_downtime_sec)
+    : spec_(std::move(spec)),
+      restart_downtime_sec_(restart_downtime_sec),
+      hot_downtime_sec_(hot_downtime_sec) {
+  spec_.topology.validate();
+  engine_ = make_engine(spec_, initial, 0.0, 0);
+  engine_->set_external_metrics(&history_);
+}
+
+void ScalingSession::run_for(double sec) {
+  engine_->run_until(engine_->now() + sec);
+}
+
+void ScalingSession::reconfigure(const Parallelism& p, RescaleMode mode) {
+  if (p == engine_->parallelism()) return;
+  if (mode == RescaleMode::kHotScaleOut) {
+    const Parallelism& current = engine_->parallelism();
+    for (std::size_t i = 0; i < p.size() && i < current.size(); ++i) {
+      if (p[i] < current[i]) {
+        throw std::invalid_argument(
+            "ScalingSession: hot scale-out cannot shrink an operator");
+      }
+    }
+  }
+  const double downtime = mode == RescaleMode::kHotScaleOut
+                              ? hot_downtime_sec_
+                              : restart_downtime_sec_;
+  const double t = engine_->now();
+  std::unique_ptr<KafkaLog> kafka = engine_->release_kafka();
+
+  EngineParams params = spec_.engine;
+  params.start_time = t;
+  params.seed += ++reconfig_salt_ * 104729;
+  auto next = std::make_unique<Engine>(spec_.topology, Cluster(spec_.cluster),
+                                       p, std::move(kafka), params);
+  for (const ExternalServiceSpec& svc : spec_.services) {
+    next->add_external_service(
+        ExternalService(svc.name, svc.max_calls_per_sec, svc.burst_sec,
+                        svc.call_latency_ms));
+  }
+  next->set_external_metrics(&history_);
+  next->suspend_until(t + downtime);
+  engine_ = std::move(next);
+  ++restarts_;
+}
+
+JobMetrics ScalingSession::window_metrics() const {
+  return snapshot(*engine_);
+}
+
+void ScalingSession::reset_window() { engine_->reset_counters(); }
+
+}  // namespace autra::sim

@@ -1,0 +1,161 @@
+// Job evaluation harness.
+//
+// JobRunner is the "run the job with this configuration and report QoS"
+// primitive every auto-scaling policy in this repository consumes: it runs a
+// fresh engine for a warm-up period (the paper's *policy running time*,
+// during which metrics are ignored because the restarted job is unstable),
+// then measures for a window and returns a JobMetrics snapshot.
+//
+// ScalingSession models a *continuously running* job that is rescaled over
+// its lifetime: the Kafka log (and its lag) and the wall clock survive each
+// reconfiguration, and every restart costs a downtime window, exactly like
+// Flink's savepoint-stop-restart cycle in the paper's Execute stage.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "streamsim/engine.hpp"
+
+namespace autra::sim {
+
+/// Description of one external (Redis-like) service a job depends on.
+struct ExternalServiceSpec {
+  std::string name;
+  double max_calls_per_sec = 1e9;
+  double burst_sec = 0.5;
+  /// Round-trip latency each call adds to a record, milliseconds.
+  double call_latency_ms = 0.0;
+};
+
+/// Everything needed to instantiate a job, independent of parallelism.
+struct JobSpec {
+  Topology topology;
+  ClusterSpec cluster;
+  std::shared_ptr<const RateSchedule> schedule;
+  std::vector<ExternalServiceSpec> services;
+  EngineParams engine;
+
+  /// Convenience: the schedule's rate at t=0 (the steady input data rate
+  /// v_c for constant-rate experiments).
+  [[nodiscard]] double initial_rate() const;
+};
+
+/// QoS snapshot of one measurement window.
+struct JobMetrics {
+  Parallelism parallelism;
+  double input_rate = 0.0;      ///< External production rate during window.
+  double throughput = 0.0;      ///< Records/s consumed from Kafka.
+  double latency_ms = 0.0;      ///< Mean processing latency (Flink latency).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double event_latency_ms = 0.0;  ///< Mean event-time latency (incl. lag).
+  double kafka_lag = 0.0;         ///< Records pending at window end.
+  double lag_growth_per_sec = 0.0;
+  double busy_cores = 0.0;        ///< Average CPU cores in use.
+  double memory_mb = 0.0;         ///< Static memory footprint.
+  std::vector<OperatorRates> operators;
+
+  /// Sum of all operator parallelisms — the "resource units" compared in
+  /// the paper's Figs. 7 and 8.
+  [[nodiscard]] int total_parallelism() const;
+};
+
+/// Builds an engine for a spec (shared by JobRunner and ScalingSession).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(const JobSpec& spec,
+                                                  const Parallelism& p,
+                                                  double start_time = 0.0,
+                                                  std::uint64_t seed_salt = 0);
+
+/// Collects a JobMetrics snapshot from an engine's current window.
+[[nodiscard]] JobMetrics snapshot(const Engine& engine);
+
+/// Fresh-start evaluation: one configuration, one measurement.
+class JobRunner {
+ public:
+  /// `warmup_sec` is the policy running time; `measure_sec` the metric
+  /// aggregation window.
+  JobRunner(JobSpec spec, double warmup_sec = 60.0, double measure_sec = 60.0);
+
+  /// Runs the job from a cold start with parallelism `p` and returns the
+  /// post-warm-up window metrics. `seed_salt` perturbs measurement noise so
+  /// repeated evaluations differ like real reruns do.
+  [[nodiscard]] JobMetrics measure(const Parallelism& p,
+                                   std::uint64_t seed_salt = 0) const;
+
+  [[nodiscard]] const JobSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int max_parallelism() const;
+  [[nodiscard]] std::size_t num_operators() const noexcept {
+    return spec_.topology.num_operators();
+  }
+  [[nodiscard]] double warmup_sec() const noexcept { return warmup_sec_; }
+  [[nodiscard]] double measure_sec() const noexcept { return measure_sec_; }
+
+  /// Total evaluations performed so far (each is one job restart in the
+  /// paper's terms — the cost the transfer-learning method saves).
+  [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
+
+ private:
+  JobSpec spec_;
+  double warmup_sec_;
+  double measure_sec_;
+  mutable int evaluations_ = 0;
+};
+
+/// How a reconfiguration is applied.
+enum class RescaleMode {
+  /// Savepoint + full redeploy: the paper's Execute stage. Applies to any
+  /// configuration change.
+  kColdRestart,
+  /// In-place scale-out (Flink reactive-mode style): new instances join
+  /// without stopping the running ones, so the downtime shrinks to the
+  /// slot-allocation time. Only valid when no operator's parallelism
+  /// shrinks — state never needs to be re-partitioned away from a running
+  /// instance. Addresses the paper's future-work item of reducing the
+  /// latency overhead of reconfiguration.
+  kHotScaleOut,
+};
+
+/// A long-running job that can be rescaled in place.
+class ScalingSession {
+ public:
+  /// `restart_downtime_sec` is the savepoint + redeploy window during which
+  /// nothing is processed but Kafka keeps producing;
+  /// `hot_downtime_sec` is the much smaller pause of an in-place scale-out.
+  ScalingSession(JobSpec spec, Parallelism initial,
+                 double restart_downtime_sec = 15.0,
+                 double hot_downtime_sec = 1.0);
+
+  /// Advances the session by `sec` simulated seconds.
+  void run_for(double sec);
+
+  /// Applies `p`, preserving the Kafka log and the wall clock. No-op if
+  /// `p` equals the current config. kHotScaleOut throws
+  /// std::invalid_argument when any operator shrinks.
+  void reconfigure(const Parallelism& p,
+                   RescaleMode mode = RescaleMode::kColdRestart);
+
+  /// Metrics accumulated since the last reset_window()/reconfigure().
+  [[nodiscard]] JobMetrics window_metrics() const;
+  void reset_window();
+
+  [[nodiscard]] double now() const noexcept { return engine_->now(); }
+  [[nodiscard]] const Parallelism& parallelism() const noexcept {
+    return engine_->parallelism();
+  }
+  [[nodiscard]] Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const MetricsDb& history() const noexcept { return history_; }
+  [[nodiscard]] int restarts() const noexcept { return restarts_; }
+
+ private:
+  JobSpec spec_;
+  double restart_downtime_sec_;
+  double hot_downtime_sec_;
+  std::unique_ptr<Engine> engine_;
+  MetricsDb history_;
+  int restarts_ = 0;
+  std::uint64_t reconfig_salt_ = 0;
+};
+
+}  // namespace autra::sim

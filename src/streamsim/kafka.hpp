@@ -1,0 +1,56 @@
+// Kafka stand-in: a partitioned log that producers append to at a scheduled
+// rate and that job sources pull from at their processing capacity. The one
+// observable AuTraScale needs from it is the consumer lag (paper Fig. 1(b))
+// and the production timestamps that define event-time latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "streamsim/rates.hpp"
+
+namespace autra::sim {
+
+/// A cohort of records that entered the log together; the fluid engine
+/// moves record *mass* rather than individual records, so production time is
+/// tracked per cohort.
+struct LogCohort {
+  double mass = 0.0;          ///< Number of records (fractional).
+  double produced_time = 0.0; ///< Simulation time the cohort was appended.
+};
+
+class KafkaLog {
+ public:
+  explicit KafkaLog(std::unique_ptr<RateSchedule> schedule);
+
+  /// Appends `schedule.rate_at(t) * dt` records produced during [t, t+dt).
+  void produce(double t, double dt);
+
+  /// Removes up to `want` records from the head of the log. Returns the
+  /// cohorts taken (their total mass is <= want).
+  [[nodiscard]] std::vector<LogCohort> consume(double want);
+
+  /// Unconsumed records (the Kafka consumer lag metric).
+  [[nodiscard]] double lag() const noexcept { return lag_; }
+
+  [[nodiscard]] double total_produced() const noexcept {
+    return total_produced_;
+  }
+  [[nodiscard]] double total_consumed() const noexcept {
+    return total_consumed_;
+  }
+  [[nodiscard]] double rate_at(double t) const { return schedule_->rate_at(t); }
+
+  /// Drops all pending records (used when a test resets the pipeline).
+  void clear() noexcept;
+
+ private:
+  std::unique_ptr<RateSchedule> schedule_;
+  std::deque<LogCohort> cohorts_;
+  double lag_ = 0.0;
+  double total_produced_ = 0.0;
+  double total_consumed_ = 0.0;
+};
+
+}  // namespace autra::sim

@@ -1,0 +1,43 @@
+// Mass-weighted latency statistics. The fluid engine contributes
+// (latency, record-mass) pairs at the sink; this accumulator keeps a running
+// mean plus a fixed-size weighted reservoir for percentile queries
+// (Fig. 8(b) plots per-record latency distributions).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace autra::sim {
+
+class LatencyStats {
+ public:
+  explicit LatencyStats(std::size_t reservoir_size = 4096,
+                        std::uint64_t seed = 7);
+
+  /// Adds `mass` records that each experienced `latency_sec`.
+  void add(double latency_sec, double mass);
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double total_mass() const noexcept { return total_mass_; }
+  [[nodiscard]] bool empty() const noexcept { return total_mass_ <= 0.0; }
+
+  /// Approximate quantile from the reservoir, q in [0, 1].
+  /// Returns 0 when empty; throws std::invalid_argument for q outside [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset();
+
+  /// Merges another accumulator's running mean and reservoir.
+  void merge(const LatencyStats& other);
+
+ private:
+  std::size_t reservoir_size_;
+  std::vector<double> reservoir_;
+  double total_mass_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double mass_since_last_keep_ = 0.0;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace autra::sim

@@ -1,0 +1,116 @@
+#include "streamsim/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+namespace autra::sim {
+
+void MetricsDb::record(const std::string& name, double time, double value) {
+  auto& points = series_[name];
+  if (!points.empty() && time < points.back().time) {
+    throw std::invalid_argument("MetricsDb::record: time went backwards for " +
+                                name);
+  }
+  points.push_back({time, value});
+}
+
+std::vector<MetricPoint> MetricsDb::query(const std::string& name, double t0,
+                                          double t1) const {
+  std::vector<MetricPoint> out;
+  const auto it = series_.find(name);
+  if (it == series_.end()) return out;
+  const auto& points = it->second;
+  const auto lo = std::lower_bound(
+      points.begin(), points.end(), t0,
+      [](const MetricPoint& p, double t) { return p.time < t; });
+  for (auto p = lo; p != points.end() && p->time <= t1; ++p) {
+    out.push_back(*p);
+  }
+  return out;
+}
+
+std::optional<double> MetricsDb::mean(const std::string& name, double t0,
+                                      double t1) const {
+  const auto points = query(name, t0, t1);
+  if (points.empty()) return std::nullopt;
+  double s = 0.0;
+  for (const MetricPoint& p : points) s += p.value;
+  return s / static_cast<double>(points.size());
+}
+
+std::optional<MetricPoint> MetricsDb::last(const std::string& name) const {
+  const auto it = series_.find(name);
+  if (it == series_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::vector<std::string> MetricsDb::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) names.push_back(name);
+  return names;
+}
+
+bool MetricsDb::has_series(const std::string& name) const {
+  return series_.contains(name);
+}
+
+void MetricsDb::clear() { series_.clear(); }
+
+void MetricsDb::write_csv(std::ostream& out,
+                          std::span<const std::string> series) const {
+  std::vector<std::string> names(series.begin(), series.end());
+  if (names.empty()) names = series_names();
+
+  // Collect the union of timestamps, then the (possibly missing) value of
+  // each series at each timestamp. Duplicate timestamps within one series
+  // keep the last value.
+  std::set<double> times;
+  std::vector<std::map<double, double>> columns(names.size());
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    const auto it = series_.find(names[c]);
+    if (it == series_.end()) continue;
+    for (const MetricPoint& p : it->second) {
+      times.insert(p.time);
+      columns[c][p.time] = p.value;
+    }
+  }
+
+  out << "time";
+  for (const std::string& n : names) out << "," << n;
+  out << "\n";
+  for (const double t : times) {
+    out << t;
+    for (std::size_t c = 0; c < names.size(); ++c) {
+      out << ",";
+      const auto it = columns[c].find(t);
+      if (it != columns[c].end()) out << it->second;
+    }
+    out << "\n";
+  }
+}
+
+namespace metric_names {
+
+std::string true_rate(const std::string& op) {
+  return "taskmanager.job.task.trueProcessingRate." + op;
+}
+std::string observed_rate(const std::string& op) {
+  return "taskmanager.job.task.observedProcessingRate." + op;
+}
+std::string input_rate(const std::string& op) {
+  return "taskmanager.job.task.numRecordsInPerSecond." + op;
+}
+std::string output_rate(const std::string& op) {
+  return "taskmanager.job.task.numRecordsOutPerSecond." + op;
+}
+std::string queue_size(const std::string& op) {
+  return "taskmanager.job.task.inputQueueLength." + op;
+}
+
+}  // namespace metric_names
+
+}  // namespace autra::sim

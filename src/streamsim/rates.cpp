@@ -1,0 +1,59 @@
+#include "streamsim/rates.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autra::sim {
+
+ConstantRate::ConstantRate(double rate) : rate_(rate) {
+  if (rate < 0.0) {
+    throw std::invalid_argument("ConstantRate: negative rate");
+  }
+}
+
+StaircaseRate::StaircaseRate(double base, double step, double period)
+    : base_(base), step_(step), period_(period) {
+  if (base < 0.0 || period <= 0.0) {
+    throw std::invalid_argument("StaircaseRate: bad parameters");
+  }
+}
+
+double StaircaseRate::rate_at(double t) const {
+  if (t < 0.0) return base_;
+  const double steps = std::floor(t / period_);
+  return std::max(0.0, base_ + step_ * steps);
+}
+
+PiecewiseRate::PiecewiseRate(
+    std::vector<std::pair<double, double>> breakpoints)
+    : breakpoints_(std::move(breakpoints)) {
+  if (breakpoints_.empty() || breakpoints_.front().first != 0.0) {
+    throw std::invalid_argument(
+        "PiecewiseRate: breakpoints must start at t=0");
+  }
+  for (std::size_t i = 1; i < breakpoints_.size(); ++i) {
+    if (breakpoints_[i].first <= breakpoints_[i - 1].first) {
+      throw std::invalid_argument(
+          "PiecewiseRate: times must be strictly increasing");
+    }
+  }
+  for (const auto& [t, r] : breakpoints_) {
+    if (r < 0.0) {
+      throw std::invalid_argument("PiecewiseRate: negative rate");
+    }
+  }
+}
+
+double PiecewiseRate::rate_at(double t) const {
+  double rate = breakpoints_.front().second;
+  for (const auto& [start, r] : breakpoints_) {
+    if (t >= start) {
+      rate = r;
+    } else {
+      break;
+    }
+  }
+  return rate;
+}
+
+}  // namespace autra::sim

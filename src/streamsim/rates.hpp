@@ -1,0 +1,63 @@
+// Input-rate schedules: how fast the producers write into the Kafka log as
+// a function of simulation time. The paper's cases use constant rates and
+// staircase ramps (Fig. 1: 100k records/s + 50k every 10 minutes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace autra::sim {
+
+/// Rate in records/second at simulation time t (seconds).
+class RateSchedule {
+ public:
+  virtual ~RateSchedule() = default;
+  [[nodiscard]] virtual double rate_at(double t) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<RateSchedule> clone() const = 0;
+};
+
+/// Constant rate.
+class ConstantRate final : public RateSchedule {
+ public:
+  explicit ConstantRate(double rate);
+  [[nodiscard]] double rate_at(double) const override { return rate_; }
+  [[nodiscard]] std::unique_ptr<RateSchedule> clone() const override {
+    return std::make_unique<ConstantRate>(*this);
+  }
+
+ private:
+  double rate_;
+};
+
+/// Staircase: starts at `base`, increases by `step` every `period` seconds.
+class StaircaseRate final : public RateSchedule {
+ public:
+  StaircaseRate(double base, double step, double period);
+  [[nodiscard]] double rate_at(double t) const override;
+  [[nodiscard]] std::unique_ptr<RateSchedule> clone() const override {
+    return std::make_unique<StaircaseRate>(*this);
+  }
+
+ private:
+  double base_;
+  double step_;
+  double period_;
+};
+
+/// Piecewise-constant: sorted (start_time, rate) breakpoints.
+class PiecewiseRate final : public RateSchedule {
+ public:
+  /// Throws std::invalid_argument if empty or times not strictly increasing
+  /// starting at 0.
+  explicit PiecewiseRate(std::vector<std::pair<double, double>> breakpoints);
+  [[nodiscard]] double rate_at(double t) const override;
+  [[nodiscard]] std::unique_ptr<RateSchedule> clone() const override {
+    return std::make_unique<PiecewiseRate>(*this);
+  }
+
+ private:
+  std::vector<std::pair<double, double>> breakpoints_;
+};
+
+}  // namespace autra::sim

@@ -1,0 +1,251 @@
+#include "workloads/workloads.hpp"
+
+#include <stdexcept>
+
+namespace autra::workloads {
+
+namespace {
+
+sim::JobSpec base_spec(std::shared_ptr<const sim::RateSchedule> schedule) {
+  if (!schedule) {
+    throw std::invalid_argument("workload: null rate schedule");
+  }
+  sim::JobSpec spec;
+  spec.cluster = sim::paper_cluster();
+  spec.schedule = std::move(schedule);
+  return spec;
+}
+
+}  // namespace
+
+sim::JobSpec word_count(std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  const auto source = t.add_operator({.name = "source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 0.6,
+                                      .process_us = 0.4,
+                                      .serialize_us = 0.2,
+                                      .state_mb = 8.0});
+  const auto flat_map = t.add_operator({.name = "flatmap",
+                                        .kind = sim::OperatorKind::kStateless,
+                                        .selectivity = 1.8,
+                                        .deserialize_us = 0.4,
+                                        .process_us = 1.2,
+                                        .serialize_us = 0.4,
+                                        .state_mb = 8.0});
+  const auto count = t.add_operator({.name = "count",
+                                     .kind = sim::OperatorKind::kKeyedAggregate,
+                                     .selectivity = 1.0,
+                                     .deserialize_us = 0.6,
+                                     .process_us = 3.0,
+                                     .serialize_us = 0.4,
+                                     .state_mb = 96.0});
+  const auto sink = t.add_operator({.name = "sink",
+                                    .kind = sim::OperatorKind::kSink,
+                                    .selectivity = 0.0,
+                                    .deserialize_us = 0.4,
+                                    .process_us = 1.8,
+                                    .serialize_us = 0.3,
+                                    .state_mb = 8.0});
+  t.connect(source, flat_map);
+  t.connect(flat_map, count);
+  t.connect(count, sink);
+  return spec;
+}
+
+sim::JobSpec yahoo_streaming(
+    std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  // JSON event deserialisation makes the Yahoo source expensive; the
+  // Redis-backed window sink is the other heavy stage, which is why the
+  // paper's parallelism vectors look like (k, 1, 1, 1, K).
+  const auto source = t.add_operator({.name = "source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 90.0,
+                                      .process_us = 40.0,
+                                      .serialize_us = 20.0,
+                                      .state_mb = 16.0});
+  const auto deserialize =
+      t.add_operator({.name = "deserialize",
+                      .kind = sim::OperatorKind::kStateless,
+                      .selectivity = 1.0,
+                      .deserialize_us = 2.0,
+                      .process_us = 7.0,
+                      .serialize_us = 1.0,
+                      .state_mb = 8.0});
+  const auto filter = t.add_operator({.name = "filter",
+                                      .kind = sim::OperatorKind::kStateless,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 1.0,
+                                      .process_us = 4.0,
+                                      .serialize_us = 1.0,
+                                      .state_mb = 8.0});
+  const auto join = t.add_operator({.name = "join",
+                                    .kind = sim::OperatorKind::kStateless,
+                                    .selectivity = 1.0,
+                                    .deserialize_us = 2.0,
+                                    .process_us = 8.0,
+                                    .serialize_us = 2.0,
+                                    .state_mb = 32.0});
+  const auto window_sink =
+      t.add_operator({.name = "window-sink",
+                      .kind = sim::OperatorKind::kSink,
+                      .selectivity = 0.0,
+                      .deserialize_us = 20.0,
+                      .process_us = 340.0,
+                      .serialize_us = 40.0,
+                      .state_mb = 128.0,
+                      .external_service = std::string(kYahooRedisService),
+                      .external_calls_per_record = 1.0});
+  t.connect(source, deserialize);
+  t.connect(deserialize, filter);
+  t.connect(filter, join);
+  t.connect(join, window_sink);
+  spec.services.push_back({.name = kYahooRedisService,
+                           .max_calls_per_sec = kYahooRedisCallsPerSec,
+                           .burst_sec = 0.5,
+                           .call_latency_ms = 0.3});
+  return spec;
+}
+
+sim::JobSpec nexmark_q5(std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  const auto source = t.add_operator({.name = "bids-source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 10.0,
+                                      .process_us = 8.0,
+                                      .serialize_us = 2.0,
+                                      .state_mb = 16.0});
+  const auto window =
+      t.add_operator({.name = "sliding-window",
+                      .kind = sim::OperatorKind::kSlidingWindow,
+                      .selectivity = 0.0,
+                      .deserialize_us = 60.0,
+                      .process_us = 480.0,
+                      .serialize_us = 60.0,
+                      .state_mb = 192.0});
+  t.connect(source, window);
+  return spec;
+}
+
+sim::JobSpec nexmark_q11(std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  const auto source = t.add_operator({.name = "bids-source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 4.0,
+                                      .process_us = 3.0,
+                                      .serialize_us = 1.0,
+                                      .state_mb = 16.0});
+  const auto window =
+      t.add_operator({.name = "session-window",
+                      .kind = sim::OperatorKind::kSessionWindow,
+                      .selectivity = 0.0,
+                      .deserialize_us = 12.0,
+                      .process_us = 84.0,
+                      .serialize_us = 12.0,
+                      .state_mb = 128.0});
+  t.connect(source, window);
+  return spec;
+}
+
+sim::JobSpec nexmark_q1(std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  const auto source = t.add_operator({.name = "bids-source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 3.0,
+                                      .process_us = 1.5,
+                                      .serialize_us = 0.5,
+                                      .state_mb = 8.0});
+  const auto convert = t.add_operator({.name = "currency-convert",
+                                       .kind = sim::OperatorKind::kStateless,
+                                       .selectivity = 1.0,
+                                       .deserialize_us = 0.5,
+                                       .process_us = 2.0,
+                                       .serialize_us = 0.5,
+                                       .state_mb = 4.0});
+  const auto sink = t.add_operator({.name = "sink",
+                                    .kind = sim::OperatorKind::kSink,
+                                    .selectivity = 0.0,
+                                    .deserialize_us = 0.5,
+                                    .process_us = 1.0,
+                                    .serialize_us = 0.5,
+                                    .state_mb = 4.0});
+  t.connect(source, convert);
+  t.connect(convert, sink);
+  return spec;
+}
+
+sim::JobSpec nexmark_q8(std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  // One event stream split by type into persons (20%) and auctions (80%),
+  // rejoined by a tumbling-window join — the fan-out/fan-in diamond.
+  const auto source = t.add_operator({.name = "events-source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 6.0,
+                                      .process_us = 3.0,
+                                      .serialize_us = 1.0,
+                                      .state_mb = 16.0});
+  const auto persons = t.add_operator({.name = "persons-filter",
+                                       .kind = sim::OperatorKind::kStateless,
+                                       .selectivity = 0.2,
+                                       .deserialize_us = 1.0,
+                                       .process_us = 2.0,
+                                       .serialize_us = 1.0,
+                                       .state_mb = 8.0});
+  const auto auctions = t.add_operator({.name = "auctions-filter",
+                                        .kind = sim::OperatorKind::kStateless,
+                                        .selectivity = 0.8,
+                                        .deserialize_us = 1.0,
+                                        .process_us = 2.0,
+                                        .serialize_us = 1.0,
+                                        .state_mb = 8.0});
+  const auto join = t.add_operator({.name = "window-join",
+                                    .kind = sim::OperatorKind::kSlidingWindow,
+                                    .selectivity = 0.0,
+                                    .deserialize_us = 10.0,
+                                    .process_us = 64.0,
+                                    .serialize_us = 6.0,
+                                    .state_mb = 160.0});
+  t.connect(source, persons);
+  t.connect(source, auctions);
+  t.connect(persons, join);
+  t.connect(auctions, join);
+  return spec;
+}
+
+sim::JobSpec synthetic_chain(std::size_t n,
+                             std::shared_ptr<const sim::RateSchedule> schedule,
+                             double cost_us) {
+  if (n < 2) {
+    throw std::invalid_argument("synthetic_chain: need at least 2 operators");
+  }
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::OperatorSpec op;
+    op.name = "op" + std::to_string(i);
+    op.kind = i == 0 ? sim::OperatorKind::kSource
+                     : (i + 1 == n ? sim::OperatorKind::kSink
+                                   : sim::OperatorKind::kStateless);
+    op.selectivity = i + 1 == n ? 0.0 : 1.0;
+    op.process_us = cost_us;
+    op.state_mb = 16.0;
+    t.add_operator(op);
+    if (i > 0) t.connect(i - 1, i);
+  }
+  return spec;
+}
+
+}  // namespace autra::workloads

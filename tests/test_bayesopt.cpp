@@ -1,0 +1,302 @@
+// Unit tests for the discrete search space and the generic BO loop.
+#include "bayesopt/bayes_opt.hpp"
+#include "bayesopt/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace autra::bo {
+namespace {
+
+TEST(SearchSpace, ValidatesBounds) {
+  EXPECT_THROW(SearchSpace({}, {}), std::invalid_argument);
+  EXPECT_THROW(SearchSpace({1, 2}, {3}), std::invalid_argument);
+  EXPECT_THROW(SearchSpace({5}, {3}), std::invalid_argument);
+  EXPECT_NO_THROW(SearchSpace({1, 1}, {1, 1}));
+}
+
+TEST(SearchSpace, Contains) {
+  const SearchSpace s({1, 2}, {3, 4});
+  EXPECT_TRUE(s.contains({1, 2}));
+  EXPECT_TRUE(s.contains({3, 4}));
+  EXPECT_TRUE(s.contains({2, 3}));
+  EXPECT_FALSE(s.contains({0, 3}));
+  EXPECT_FALSE(s.contains({2, 5}));
+  EXPECT_FALSE(s.contains({2}));
+  EXPECT_FALSE(s.contains({2, 3, 4}));
+}
+
+TEST(SearchSpace, Clamp) {
+  const SearchSpace s({1, 2}, {3, 4});
+  EXPECT_EQ(s.clamp({0, 9}), (Config{1, 4}));
+  EXPECT_EQ(s.clamp({2, 3}), (Config{2, 3}));
+}
+
+TEST(SearchSpace, Cardinality) {
+  EXPECT_EQ(SearchSpace({1, 1}, {3, 4}).cardinality(), 12u);
+  EXPECT_EQ(SearchSpace({2}, {2}).cardinality(), 1u);
+  // Saturates instead of overflowing.
+  const SearchSpace huge(16, 1, 1000000);
+  EXPECT_EQ(huge.cardinality(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SearchSpace, EnumerateCompleteAndOrdered) {
+  const SearchSpace s({1, 1}, {2, 3});
+  const auto all = s.enumerate();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all.front(), (Config{1, 1}));
+  EXPECT_EQ(all.back(), (Config{2, 3}));
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  const std::set<Config> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+  for (const Config& c : all) EXPECT_TRUE(s.contains(c));
+}
+
+TEST(SearchSpace, EnumerateTooLargeThrows) {
+  const SearchSpace s(8, 1, 60);
+  EXPECT_THROW(s.enumerate(1000), std::length_error);
+}
+
+TEST(SearchSpace, SampleWithinBounds) {
+  const SearchSpace s({1, 5, 10}, {3, 9, 60});
+  std::mt19937_64 rng(3);
+  for (const Config& c : s.sample(200, rng)) {
+    EXPECT_TRUE(s.contains(c));
+  }
+}
+
+TEST(SearchSpace, CandidatesSmallSpaceEnumerates) {
+  const SearchSpace s({1, 1}, {3, 3});
+  std::mt19937_64 rng(3);
+  EXPECT_EQ(s.candidates(100, rng).size(), 9u);
+}
+
+TEST(SearchSpace, CandidatesLargeSpaceIncludesCorners) {
+  const SearchSpace s(6, 1, 60);
+  std::mt19937_64 rng(3);
+  const auto cands = s.candidates(64, rng);
+  EXPECT_LE(cands.size(), 66u);
+  EXPECT_NE(std::find(cands.begin(), cands.end(), Config(6, 1)), cands.end());
+  EXPECT_NE(std::find(cands.begin(), cands.end(), Config(6, 60)), cands.end());
+}
+
+TEST(SearchSpace, ToFeatures) {
+  EXPECT_EQ(to_features({1, 5}), (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(SearchSpace, LocalCandidatesWithinSpaceAndAdjacent) {
+  const SearchSpace s({1, 1, 1}, {10, 10, 10});
+  const Config center{5, 5, 5};
+  const auto local = s.local_candidates(center, 2);
+  EXPECT_FALSE(local.empty());
+  for (const Config& c : local) {
+    EXPECT_TRUE(s.contains(c));
+    EXPECT_NE(c, center);
+    int linf = 0, changed = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      linf = std::max(linf, std::abs(c[i] - center[i]));
+      changed += c[i] != center[i];
+    }
+    EXPECT_LE(linf, 2);
+  }
+  // Single-dim +-1 moves must be present.
+  EXPECT_NE(std::find(local.begin(), local.end(), Config({6, 5, 5})),
+            local.end());
+  EXPECT_NE(std::find(local.begin(), local.end(), Config({4, 5, 5})),
+            local.end());
+  // The uniform +1 move too.
+  EXPECT_NE(std::find(local.begin(), local.end(), Config({6, 6, 6})),
+            local.end());
+}
+
+TEST(SearchSpace, AxisCandidatesSweepEachDimension) {
+  const SearchSpace s({1, 1}, {61, 61});
+  const auto axis = s.axis_candidates({1, 1}, 7);
+  for (const Config& c : axis) {
+    EXPECT_TRUE(s.contains(c));
+    // Exactly one coordinate differs from the center.
+    EXPECT_TRUE((c[0] == 1) != (c[1] == 1));
+  }
+  // The sweep reaches both the middle and the far end of each axis.
+  EXPECT_NE(std::find(axis.begin(), axis.end(), Config({61, 1})),
+            axis.end());
+  EXPECT_NE(std::find(axis.begin(), axis.end(), Config({31, 1})),
+            axis.end());
+  EXPECT_NE(std::find(axis.begin(), axis.end(), Config({1, 61})),
+            axis.end());
+}
+
+TEST(SearchSpace, AxisCandidatesExcludeCenterAndClamp) {
+  const SearchSpace s({2, 2}, {10, 10});
+  const auto axis = s.axis_candidates({5, 100}, 5);  // center clamped to 10
+  for (const Config& c : axis) {
+    EXPECT_TRUE(s.contains(c));
+    EXPECT_NE(c, (Config{5, 10}));
+  }
+}
+
+TEST(SearchSpace, LocalCandidatesAtCornerAreClamped) {
+  const SearchSpace s({1, 1}, {10, 10});
+  const auto local = s.local_candidates({1, 1}, 2);
+  for (const Config& c : local) EXPECT_TRUE(s.contains(c));
+  // Downward moves from the corner are dropped, upward ones kept.
+  EXPECT_NE(std::find(local.begin(), local.end(), Config({2, 1})),
+            local.end());
+  EXPECT_EQ(std::find(local.begin(), local.end(), Config({0, 1})),
+            local.end());
+}
+
+TEST(BayesOpt, SuggestFineTunesNearIncumbentInHugeSpace) {
+  // Optimum at (3,3,3,3) right next to the lower corner of a space with
+  // ~13M points: random candidates alone would essentially never find it,
+  // local moves around the incumbent must.
+  const auto f = [](const Config& c) {
+    double s = 0.0;
+    for (int k : c) {
+      const double d = k - 3.0;
+      s -= d * d;
+    }
+    return s;
+  };
+  BayesOpt opt(SearchSpace(4, 2, 62), {.xi = 0.01, .seed = 17});
+  opt.observe({2, 2, 2, 2}, f({2, 2, 2, 2}));
+  opt.observe({62, 62, 62, 62}, f({62, 62, 62, 62}));
+  for (int i = 0; i < 20; ++i) {
+    const Config next = opt.suggest();
+    opt.observe(next, f(next));
+    if (opt.best()->score == 0.0) break;
+  }
+  // Within L-inf distance 1 of the optimum (score -4 would mean every
+  // coordinate off by one); pure random candidates score around -10^3.
+  const Observation best = *opt.best();
+  EXPECT_GE(best.score, -4.0);
+  for (int k : best.config) EXPECT_NEAR(k, 3, 1);
+}
+
+TEST(BayesOpt, ObserveValidation) {
+  BayesOpt opt(SearchSpace({1, 1}, {5, 5}));
+  EXPECT_THROW(opt.observe({0, 1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(opt.suggest(), std::logic_error);
+  EXPECT_FALSE(opt.best().has_value());
+}
+
+TEST(BayesOpt, ReobserveReplacesScore) {
+  BayesOpt opt(SearchSpace({1}, {5}));
+  opt.observe({2}, 1.0);
+  opt.observe({2}, 3.0);
+  ASSERT_EQ(opt.observations().size(), 1u);
+  EXPECT_DOUBLE_EQ(opt.observations().front().score, 3.0);
+}
+
+TEST(BayesOpt, BestTracksMaximum) {
+  BayesOpt opt(SearchSpace({1}, {9}));
+  opt.observe({1}, 0.2);
+  opt.observe({5}, 0.9);
+  opt.observe({9}, 0.4);
+  ASSERT_TRUE(opt.best());
+  EXPECT_EQ(opt.best()->config, (Config{5}));
+  EXPECT_DOUBLE_EQ(opt.best()->score, 0.9);
+}
+
+TEST(BayesOpt, SuggestAvoidsObservedPoints) {
+  BayesOpt opt(SearchSpace({1}, {4}));
+  opt.observe({1}, 0.1);
+  opt.observe({2}, 0.2);
+  opt.observe({3}, 0.3);
+  const Config next = opt.suggest();
+  EXPECT_EQ(next, (Config{4}));
+}
+
+TEST(BayesOpt, SuggestReturnsIncumbentWhenExhausted) {
+  BayesOpt opt(SearchSpace({1}, {2}));
+  opt.observe({1}, 0.1);
+  opt.observe({2}, 0.9);
+  const Config next = opt.suggest();
+  EXPECT_EQ(next, (Config{2}));  // Space exhausted -> incumbent.
+}
+
+TEST(BayesOpt, OptimizesConcaveFunction) {
+  // f(x, y) = -(x-6)^2 - (y-3)^2, maximum at (6, 3).
+  const auto f = [](const Config& c) {
+    const double dx = c[0] - 6.0, dy = c[1] - 3.0;
+    return -(dx * dx) - (dy * dy);
+  };
+  BayesOpt opt(SearchSpace({1, 1}, {12, 12}), {.xi = 0.01, .seed = 9});
+  opt.observe({1, 1}, f({1, 1}));
+  opt.observe({12, 12}, f({12, 12}));
+  opt.observe({1, 12}, f({1, 12}));
+  for (int i = 0; i < 30; ++i) {
+    const Config next = opt.suggest();
+    opt.observe(next, f(next));
+    if (opt.best()->score == 0.0) break;
+  }
+  const Config best = opt.best()->config;
+  EXPECT_NEAR(best[0], 6, 1);
+  EXPECT_NEAR(best[1], 3, 1);
+}
+
+TEST(BayesOpt, PredictBeforeObservationsThrows) {
+  BayesOpt opt(SearchSpace({1}, {5}));
+  EXPECT_THROW((void)opt.predict({3}), std::logic_error);
+}
+
+TEST(BayesOpt, SingleObservationSuggestsRandomFresh) {
+  BayesOpt opt(SearchSpace({1}, {9}));
+  opt.observe({5}, 0.5);
+  const Config next = opt.suggest();
+  EXPECT_NE(next, (Config{5}));
+  EXPECT_TRUE(opt.space().contains(next));
+}
+
+TEST(BayesOpt, TinyCandidateBudgetStillWorks) {
+  BayesOpt opt(SearchSpace(4, 1, 50), {.candidate_budget = 8, .seed = 5});
+  opt.observe({1, 1, 1, 1}, 0.1);
+  opt.observe({50, 50, 50, 50}, 0.9);
+  for (int i = 0; i < 5; ++i) {
+    const Config next = opt.suggest();
+    ASSERT_TRUE(opt.space().contains(next));
+    opt.observe(next, 0.5);
+  }
+}
+
+TEST(BayesOpt, PredictMatchesSurrogateAfterFit) {
+  BayesOpt opt(SearchSpace({1}, {10}));
+  for (int x = 1; x <= 10; x += 3) {
+    opt.observe({x}, static_cast<double>(x));
+  }
+  const gp::Prediction p = opt.predict({7});
+  EXPECT_NEAR(p.mean, 7.0, 1.5);
+}
+
+// Property: across seeds, BO on a separable quadratic beats random search
+// with the same budget (sanity that the surrogate actually guides search).
+class BayesOptSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BayesOptSeeds, FindsNearOptimum) {
+  const auto f = [](const Config& c) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const double d = c[i] - 7.0;
+      s -= d * d;
+    }
+    return s;
+  };
+  BayesOpt opt(SearchSpace(3, 1, 15), {.xi = 0.01, .seed = GetParam()});
+  opt.observe({1, 1, 1}, f({1, 1, 1}));
+  opt.observe({15, 15, 15}, f({15, 15, 15}));
+  for (int i = 0; i < 25; ++i) {
+    const Config next = opt.suggest();
+    opt.observe(next, f(next));
+  }
+  EXPECT_GT(opt.best()->score, -27.0)
+      << "BO failed to approach optimum for seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BayesOptSeeds,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace autra::bo

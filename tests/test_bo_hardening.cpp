@@ -1,0 +1,115 @@
+// BO hardening: convergence quality across benefit-surface families that
+// auto-scaling produces in practice — smooth concave bowls, cliffs
+// (latency targets that flip compliance at a threshold), plateaus
+// (externally capped regions), and ridges (one critical operator). Also
+// includes the umbrella-header compile check.
+#include "autrascale.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+namespace autra::bo {
+namespace {
+
+struct Surface {
+  const char* name;
+  std::function<double(const Config&)> f;
+  /// A known global optimum (any one of them).
+  Config optimum;
+  /// Required score gap to the optimum after the budget.
+  double max_gap;
+};
+
+double dist2(const Config& c, const Config& o) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const double d = c[i] - o[i];
+    s += d * d;
+  }
+  return s;
+}
+
+std::vector<Surface> surfaces() {
+  std::vector<Surface> out;
+  // Smooth bowl.
+  out.push_back({"bowl",
+                 [](const Config& c) {
+                   return 1.0 - 0.01 * dist2(c, {8, 8, 8});
+                 },
+                 {8, 8, 8},
+                 0.02});
+  // Cliff: full score only once every coordinate clears a threshold, plus
+  // a resource penalty above it (the latency-target shape).
+  out.push_back({"cliff",
+                 [](const Config& c) {
+                   double total = 0.0;
+                   bool ok = true;
+                   for (int k : c) {
+                     ok = ok && k >= 6;
+                     total += k;
+                   }
+                   return (ok ? 1.0 : 0.3) - 0.004 * total;
+                 },
+                 {6, 6, 6},
+                 0.05});
+  // Plateau: score saturates beyond a point (external cap): the optimiser
+  // must not wander forever on the flat region.
+  out.push_back({"plateau",
+                 [](const Config& c) {
+                   const double t = std::min(c[0] + c[1] + c[2], 24);
+                   return t / 24.0;
+                 },
+                 {20, 2, 2},
+                 0.02});
+  // Ridge: only the middle coordinate matters.
+  out.push_back({"ridge",
+                 [](const Config& c) {
+                   const double d = c[1] - 11.0;
+                   return 1.0 - 0.02 * d * d - 0.001 * (c[0] + c[2]);
+                 },
+                 {1, 11, 1},
+                 0.03});
+  return out;
+}
+
+class BoSurfaces
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BoSurfaces, ReachesNearOptimumWithinBudget) {
+  const auto [surface_idx, seed] = GetParam();
+  const Surface s = surfaces()[static_cast<std::size_t>(surface_idx)];
+
+  BayesOpt opt(SearchSpace(3, 1, 20), {.xi = 0.01, .seed = seed});
+  opt.observe({1, 1, 1}, s.f({1, 1, 1}));
+  opt.observe({20, 20, 20}, s.f({20, 20, 20}));
+  for (int i = 0; i < 24; ++i) {
+    const Config next = opt.suggest();
+    opt.observe(next, s.f(next));
+  }
+  const double best = opt.best()->score;
+  const double target = s.f(s.optimum);
+  EXPECT_GE(best, target - s.max_gap)
+      << s.name << " seed=" << seed << " best=" << best
+      << " target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SurfacesBySeeds, BoSurfaces,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(7u, 19u, 31u)));
+
+TEST(UmbrellaHeader, ExposesEveryLayer) {
+  // Touch one symbol per layer to prove the umbrella header is complete.
+  EXPECT_GT(gp::normal_cdf(1.0), 0.8);
+  EXPECT_EQ(SearchSpace(2, 1, 3).cardinality(), 9u);
+  EXPECT_EQ(sim::paper_cluster().machines.size(), 3u);
+  EXPECT_NO_THROW((void)workloads::word_count(
+      std::make_shared<sim::ConstantRate>(1.0)));
+  EXPECT_NEAR(core::score_threshold(0.5, 0.25), 0.9, 1e-12);
+  EXPECT_TRUE(std::isinf(baselines::mmk_sojourn_time(10.0, 10.0, 1)));
+}
+
+}  // namespace
+}  // namespace autra::bo

@@ -1,0 +1,92 @@
+// Unit tests for the cluster / slot placement model.
+#include "streamsim/cluster.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace autra::sim {
+namespace {
+
+TEST(ClusterSpec, PaperClusterShape) {
+  const ClusterSpec spec = paper_cluster();
+  ASSERT_EQ(spec.machines.size(), 3u);
+  for (const MachineSpec& m : spec.machines) {
+    EXPECT_EQ(m.cores, 20);
+    EXPECT_DOUBLE_EQ(m.memory_gb, 256.0);
+  }
+}
+
+TEST(Cluster, RejectsEmptyAndBadSpecs) {
+  EXPECT_THROW(Cluster(ClusterSpec{}), std::invalid_argument);
+  ClusterSpec bad;
+  bad.machines.push_back({.name = "m", .cores = 0});
+  EXPECT_THROW((void)Cluster{bad}, std::invalid_argument);
+  ClusterSpec bad2;
+  bad2.machines.push_back({.name = "m", .cores = 4, .memory_gb = -1.0});
+  EXPECT_THROW((void)Cluster{bad2}, std::invalid_argument);
+}
+
+TEST(Cluster, SlotsDefaultToCores) {
+  const Cluster c(paper_cluster());
+  EXPECT_EQ(c.total_slots(), 60);
+  EXPECT_EQ(c.max_parallelism(), 60);
+  EXPECT_EQ(c.slots_per_machine(0), 20);
+  EXPECT_THROW(c.slots_per_machine(5), std::out_of_range);
+}
+
+TEST(Cluster, ExplicitSlotsPerMachine) {
+  ClusterSpec spec = paper_cluster();
+  spec.slots_per_machine = 4;
+  const Cluster c(spec);
+  EXPECT_EQ(c.total_slots(), 12);
+}
+
+TEST(Cluster, RoundRobinSlotSpread) {
+  const Cluster c(paper_cluster());
+  // Slots are spread evenly: consecutive slots land on different machines.
+  EXPECT_EQ(c.machine_of_slot(0), 0u);
+  EXPECT_EQ(c.machine_of_slot(1), 1u);
+  EXPECT_EQ(c.machine_of_slot(2), 2u);
+  EXPECT_EQ(c.machine_of_slot(3), 0u);
+  EXPECT_THROW(c.machine_of_slot(-1), std::out_of_range);
+  EXPECT_THROW(c.machine_of_slot(60), std::out_of_range);
+  // Every machine receives exactly its slot count.
+  std::vector<int> count(3, 0);
+  for (int s = 0; s < 60; ++s) ++count[c.machine_of_slot(s)];
+  EXPECT_EQ(count, (std::vector<int>{20, 20, 20}));
+}
+
+TEST(Cluster, Feasibility) {
+  const Cluster c(paper_cluster());
+  EXPECT_TRUE(c.feasible({1, 1, 1}));
+  EXPECT_TRUE(c.feasible({60, 1, 60}));
+  EXPECT_FALSE(c.feasible({61, 1}));
+  EXPECT_FALSE(c.feasible({0, 1}));
+  EXPECT_FALSE(c.feasible({}));
+}
+
+TEST(Cluster, InstancesPerMachine) {
+  const Cluster c(paper_cluster());
+  // Two operators with parallelism 3 and 1: subtasks 0,1,2 of op A at
+  // machines 0,1,2 and subtask 0 of op B at machine 0.
+  const std::vector<int> per_machine = c.instances_per_machine({3, 1});
+  EXPECT_EQ(per_machine, (std::vector<int>{2, 1, 1}));
+  const int total =
+      std::accumulate(per_machine.begin(), per_machine.end(), 0);
+  EXPECT_EQ(total, 4);
+}
+
+TEST(Cluster, UnevenMachinesStillSpreadAllSlots) {
+  ClusterSpec spec;
+  spec.machines.push_back({.name = "big", .cores = 8});
+  spec.machines.push_back({.name = "small", .cores = 2});
+  const Cluster c(spec);
+  EXPECT_EQ(c.total_slots(), 10);
+  std::vector<int> count(2, 0);
+  for (int s = 0; s < 10; ++s) ++count[c.machine_of_slot(s)];
+  EXPECT_EQ(count, (std::vector<int>{8, 2}));
+}
+
+}  // namespace
+}  // namespace autra::sim

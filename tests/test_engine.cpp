@@ -1,0 +1,395 @@
+// Integration-grade tests of the fluid engine: conservation, backpressure,
+// true-vs-observed rates, suspension, and the latency model.
+#include "streamsim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autra::sim {
+namespace {
+
+Topology simple_chain(double src_us = 2.0, double mid_us = 5.0,
+                      double sink_us = 2.0, double selectivity = 1.0) {
+  Topology t;
+  t.add_operator({.name = "src",
+                  .kind = OperatorKind::kSource,
+                  .process_us = src_us});
+  t.add_operator({.name = "mid",
+                  .kind = OperatorKind::kStateless,
+                  .selectivity = selectivity,
+                  .process_us = mid_us});
+  t.add_operator({.name = "sink",
+                  .kind = OperatorKind::kSink,
+                  .selectivity = 0.0,
+                  .process_us = sink_us});
+  t.connect(0, 1);
+  t.connect(1, 2);
+  return t;
+}
+
+EngineParams quiet_params() {
+  EngineParams p;
+  p.measurement_noise = 0.0;
+  return p;
+}
+
+std::unique_ptr<Engine> make_engine_with(Topology t, Parallelism p,
+                                         double rate,
+                                         EngineParams params = quiet_params()) {
+  return std::make_unique<Engine>(
+      std::move(t), Cluster(paper_cluster()), std::move(p),
+      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(rate)),
+      params);
+}
+
+TEST(Engine, ConstructorValidation) {
+  EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1},
+                      std::make_unique<KafkaLog>(
+                          std::make_unique<ConstantRate>(10.0)),
+                      quiet_params()),
+               std::invalid_argument);  // parallelism size mismatch
+  EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1, 100},
+                      std::make_unique<KafkaLog>(
+                          std::make_unique<ConstantRate>(10.0)),
+                      quiet_params()),
+               std::invalid_argument);  // infeasible parallelism
+  EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1, 1},
+                      nullptr, quiet_params()),
+               std::invalid_argument);  // null kafka
+  EngineParams bad = quiet_params();
+  bad.tick_sec = 0.0;
+  EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1, 1},
+                      std::make_unique<KafkaLog>(
+                          std::make_unique<ConstantRate>(10.0)),
+                      bad),
+               std::invalid_argument);
+}
+
+TEST(Engine, ThroughputMatchesRateWhenProvisioned) {
+  // 5 us bottleneck -> 200k records/s per instance >> 50k input.
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 50000.0);
+  e->run_until(30.0);
+  e->reset_counters();
+  e->run_until(60.0);
+  EXPECT_NEAR(e->throughput(), 50000.0, 500.0);
+  EXPECT_NEAR(e->kafka().lag(), 0.0, 5000.0);
+}
+
+TEST(Engine, UnderProvisionedAccumulatesLag) {
+  // Bottleneck 50 us -> ~20k records/s max, input 50k.
+  auto e = make_engine_with(simple_chain(2.0, 50.0, 2.0), {1, 1, 1}, 50000.0);
+  e->run_until(30.0);
+  e->reset_counters();
+  const double lag_before = e->kafka().lag();
+  e->run_until(60.0);
+  EXPECT_LT(e->throughput(), 25000.0);
+  EXPECT_GT(e->kafka().lag(), lag_before);
+}
+
+TEST(Engine, RecordConservationThroughSelectivity) {
+  auto e = make_engine_with(simple_chain(2.0, 5.0, 2.0, 2.0), {1, 1, 1},
+                            20000.0);
+  e->run_until(30.0);
+  e->reset_counters();
+  e->run_until(90.0);
+  const OperatorRates mid = e->rates(1);
+  const OperatorRates sink = e->rates(2);
+  // mid doubles the stream: sink input == 2x mid input.
+  EXPECT_NEAR(mid.total_output_rate, 2.0 * mid.total_input_rate,
+              0.05 * mid.total_output_rate);
+  EXPECT_NEAR(sink.total_input_rate, mid.total_output_rate,
+              0.05 * mid.total_output_rate);
+}
+
+TEST(Engine, TrueRateMatchesCostModelWhenUncontended) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 50000.0);
+  e->run_until(30.0);
+  e->reset_counters();
+  e->run_until(60.0);
+  // mid: 5 us/record -> 200k records/s true rate; busy fraction 25%.
+  const OperatorRates mid = e->rates(1);
+  EXPECT_NEAR(mid.true_rate_per_instance, 200000.0, 8000.0);
+  EXPECT_NEAR(mid.observed_rate_per_instance, 50000.0, 2000.0);
+  EXPECT_LT(mid.observed_rate_per_instance, mid.true_rate_per_instance);
+}
+
+TEST(Engine, IdleOperatorReportsPotentialTrueRate) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 0.0);
+  e->run_until(10.0);
+  const OperatorRates mid = e->rates(1);
+  EXPECT_NEAR(mid.true_rate_per_instance, 200000.0, 1000.0);
+  EXPECT_DOUBLE_EQ(mid.observed_rate_per_instance, 0.0);
+}
+
+TEST(Engine, RatesIndexValidation) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 100.0);
+  EXPECT_THROW(e->rates(3), std::out_of_range);
+}
+
+TEST(Engine, SuspensionStopsProcessingButKafkaGrows) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 10000.0);
+  e->suspend_until(10.0);
+  e->run_until(10.0);
+  EXPECT_NEAR(e->throughput(), 0.0, 1.0);
+  EXPECT_NEAR(e->kafka().lag(), 100000.0, 2000.0);
+  // After resuming, the backlog is drained (capacity is 5x the rate).
+  e->run_until(40.0);
+  EXPECT_LT(e->kafka().lag(), 10000.0);
+}
+
+TEST(Engine, LatencyFloorGrowsWithParallelism) {
+  auto e1 = make_engine_with(simple_chain(), {1, 1, 1}, 100.0);
+  auto e2 = make_engine_with(simple_chain(), {1, 8, 8}, 100.0);
+  EXPECT_GT(e2->latency_floor_sec(), e1->latency_floor_sec());
+}
+
+TEST(Engine, CongestionDelayGrowsWithUtilisation) {
+  // Same job at low vs near-saturation input.
+  auto quiet = make_engine_with(simple_chain(2.0, 10.0, 2.0), {1, 1, 1},
+                                5000.0);
+  auto busy = make_engine_with(simple_chain(2.0, 10.0, 2.0), {1, 1, 1},
+                               90000.0);  // mid capacity ~100k
+  quiet->run_until(30.0);
+  busy->run_until(30.0);
+  EXPECT_GT(busy->congestion_delay_sec(), quiet->congestion_delay_sec());
+}
+
+TEST(Engine, LatencyReflectsBacklogWhenSaturated) {
+  auto ok = make_engine_with(simple_chain(2.0, 10.0, 2.0), {1, 1, 1}, 50000.0);
+  auto bad = make_engine_with(simple_chain(2.0, 50.0, 2.0), {1, 1, 1}, 50000.0);
+  for (auto* e : {ok.get(), bad.get()}) {
+    e->run_until(30.0);
+    e->reset_counters();
+    e->run_until(60.0);
+  }
+  EXPECT_GT(bad->processing_latency().mean(),
+            2.0 * ok->processing_latency().mean());
+  // Event latency dominates processing latency once Kafka backlog exists.
+  EXPECT_GT(bad->event_latency().mean(), bad->processing_latency().mean());
+}
+
+TEST(Engine, ExternalServiceCapsThroughput) {
+  Topology t = simple_chain();
+  t.op(2).external_service = "redis";
+  t.op(2).external_calls_per_record = 1.0;
+  auto e = std::make_unique<Engine>(
+      std::move(t), Cluster(paper_cluster()), Parallelism{4, 4, 4},
+      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(50000.0)),
+      quiet_params());
+  e->add_external_service(ExternalService("redis", 10000.0));
+  e->run_until(30.0);
+  e->reset_counters();
+  e->run_until(90.0);
+  EXPECT_NEAR(e->throughput(), 10000.0, 1500.0);
+}
+
+TEST(Engine, UnknownExternalServiceThrowsOnTick) {
+  Topology t = simple_chain();
+  t.op(1).external_service = "ghost";
+  auto e = std::make_unique<Engine>(
+      std::move(t), Cluster(paper_cluster()), Parallelism{1, 1, 1},
+      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(100.0)),
+      quiet_params());
+  EXPECT_THROW(e->run_until(1.0), std::logic_error);
+}
+
+TEST(Engine, DuplicateServiceRejected) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 100.0);
+  e->add_external_service(ExternalService("redis", 100.0));
+  EXPECT_THROW(e->add_external_service(ExternalService("redis", 100.0)),
+               std::invalid_argument);
+  e->tick();
+  EXPECT_THROW(e->add_external_service(ExternalService("other", 100.0)),
+               std::logic_error);  // too late after start
+}
+
+TEST(Engine, ResetCountersClearsWindow) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 10000.0);
+  e->run_until(10.0);
+  EXPECT_GT(e->throughput(), 0.0);
+  e->reset_counters();
+  EXPECT_DOUBLE_EQ(e->throughput(), 0.0);
+  EXPECT_TRUE(e->processing_latency().empty());
+}
+
+TEST(Engine, MemoryAccountsStateAndSlots) {
+  Topology t = simple_chain();
+  t.op(0).state_mb = 10.0;
+  t.op(1).state_mb = 20.0;
+  t.op(2).state_mb = 30.0;
+  ClusterSpec cs = paper_cluster();
+  cs.slot_overhead_mb = 100.0;
+  auto e = std::make_unique<Engine>(
+      std::move(t), Cluster(cs), Parallelism{1, 2, 1},
+      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(100.0)),
+      quiet_params());
+  // 10*1 + 20*2 + 30*1 + 100*max(k)=2 slots -> 280 MB.
+  EXPECT_DOUBLE_EQ(e->memory_mb(), 280.0);
+}
+
+TEST(Engine, MetricsWrittenAtInterval) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 10000.0);
+  e->run_until(5.0);
+  const auto pts =
+      e->metrics().query(metric_names::kThroughput, 0.0, 5.0);
+  EXPECT_GE(pts.size(), 4u);
+  EXPECT_TRUE(e->metrics().has_series(metric_names::true_rate("mid")));
+}
+
+TEST(Engine, ExternalMetricsMirrored) {
+  MetricsDb external;
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 10000.0);
+  e->set_external_metrics(&external);
+  e->run_until(3.0);
+  EXPECT_TRUE(external.has_series(metric_names::kThroughput));
+}
+
+TEST(Engine, StartTimeOffsetsClock) {
+  EngineParams p = quiet_params();
+  p.start_time = 100.0;
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 1000.0, p);
+  EXPECT_DOUBLE_EQ(e->now(), 100.0);
+  e->run_until(101.0);
+  EXPECT_NEAR(e->now(), 101.0, 0.051);
+}
+
+TEST(Engine, KeySkewReducesEffectiveCapacity) {
+  // mid at 50 us needs 3 instances for 50k/s; with heavy skew the hot
+  // instance caps the operator well below 3x the per-instance rate.
+  Topology uniform = simple_chain(2.0, 50.0, 2.0);
+  Topology skewed = simple_chain(2.0, 50.0, 2.0);
+  skewed.op(1).key_skew = 2.0;  // hot instance gets 3x the uniform share
+  auto e_uniform = make_engine_with(std::move(uniform), {1, 4, 1}, 70000.0);
+  auto e_skewed = make_engine_with(std::move(skewed), {1, 4, 1}, 70000.0);
+  for (auto* e : {e_uniform.get(), e_skewed.get()}) {
+    e->run_until(30.0);
+    e->reset_counters();
+    e->run_until(60.0);
+  }
+  EXPECT_GT(e_uniform->throughput(), e_skewed->throughput() * 1.3);
+}
+
+TEST(Engine, ZeroSkewMatchesDefault) {
+  Topology t = simple_chain(2.0, 20.0, 2.0);
+  t.op(1).key_skew = 0.0;
+  auto e = make_engine_with(std::move(t), {1, 2, 1}, 50000.0);
+  e->run_until(30.0);
+  e->reset_counters();
+  e->run_until(60.0);
+  EXPECT_NEAR(e->throughput(), 50000.0, 1000.0);
+}
+
+TEST(Engine, NegativeSkewRejectedByValidation) {
+  Topology t = simple_chain();
+  t.op(1).key_skew = -0.5;
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(Engine, SlowdownInjectionValidation) {
+  auto e = make_engine_with(simple_chain(), {1, 1, 1}, 100.0);
+  EXPECT_THROW(e->inject_slowdown(9, 0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(e->inject_slowdown(0, 0.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(e->inject_slowdown(0, 0.5, 5.0, 1.0), std::invalid_argument);
+}
+
+TEST(Engine, SlowdownWindowThrottlesThroughput) {
+  // mid runs at ~40k/s capacity on machine 1 (slot 1); input 30k. A 4x
+  // slowdown of its machine during [30, 60) drops capacity below the rate.
+  Topology t = simple_chain(2.0, 25.0, 2.0);
+  auto e = make_engine_with(std::move(t), {1, 1, 1}, 30000.0);
+  // Every subtask 0 shares slot 0, which lives on machine 0.
+  e->inject_slowdown(0, 0.25, 30.0, 60.0);
+
+  // Before the event: full throughput.
+  e->run_until(25.0);
+  e->reset_counters();
+  e->run_until(30.0);
+  const double before = e->throughput();
+
+  // During the event: the affected machine hosts one of the subtasks; if
+  // that subtask is the bottleneck, throughput collapses to ~10k.
+  e->reset_counters();
+  e->run_until(60.0);
+  const double during = e->throughput();
+
+  // After: backlog drains, throughput recovers above the input rate.
+  e->reset_counters();
+  e->run_until(120.0);
+  const double after = e->throughput();
+
+  EXPECT_NEAR(before, 30000.0, 1500.0);
+  EXPECT_LT(during, before * 0.75);
+  EXPECT_GT(after, during);
+}
+
+TEST(Engine, BackgroundLoadReducesThroughputAtSaturation) {
+  ClusterSpec busy = paper_cluster();
+  for (MachineSpec& m : busy.machines) m.background_load = 15.0;
+  const auto throughput_on = [&](const ClusterSpec& cs) {
+    Engine e(simple_chain(2.0, 20.0, 2.0), Cluster(cs), {4, 4, 4},
+             std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(1e6)),
+             quiet_params());
+    e.run_until(20.0);
+    e.reset_counters();
+    e.run_until(40.0);
+    return e.throughput();
+  };
+  const double quiet_cluster = throughput_on(paper_cluster());
+  const double noisy_cluster = throughput_on(busy);
+  EXPECT_LT(noisy_cluster, quiet_cluster * 0.85);
+}
+
+TEST(Engine, NegativeBackgroundLoadRejected) {
+  ClusterSpec bad = paper_cluster();
+  bad.machines[0].background_load = -1.0;
+  EXPECT_THROW((void)Cluster{bad}, std::invalid_argument);
+}
+
+TEST(Engine, ExternalServiceCallLatencyRaisesFloor) {
+  Topology with_latency = simple_chain();
+  with_latency.op(1).external_service = "redis";
+  with_latency.op(1).external_calls_per_record = 2.0;
+  auto e = std::make_unique<Engine>(
+      std::move(with_latency), Cluster(paper_cluster()), Parallelism{1, 1, 1},
+      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(1000.0)),
+      quiet_params());
+  e->add_external_service(ExternalService("redis", 1e6, 0.5, 5.0));
+  auto plain = make_engine_with(simple_chain(), {1, 1, 1}, 1000.0);
+  // 2 calls/record x 5 ms = +10 ms on the latency floor.
+  EXPECT_NEAR(e->latency_floor_sec() - plain->latency_floor_sec(), 0.010,
+              1e-9);
+}
+
+TEST(Engine, HeterogeneousMachineSpeedScalesCapacity) {
+  // A cluster whose single machine runs at half speed halves every rate.
+  ClusterSpec slow_spec;
+  slow_spec.machines.push_back(
+      {.name = "slow", .cores = 8, .memory_gb = 64.0, .speed = 0.5});
+  ClusterSpec fast_spec;
+  fast_spec.machines.push_back(
+      {.name = "fast", .cores = 8, .memory_gb = 64.0, .speed = 1.0});
+  const auto throughput_on = [&](const ClusterSpec& cs) {
+    Engine e(simple_chain(2.0, 20.0, 2.0), Cluster(cs), {1, 1, 1},
+             std::make_unique<KafkaLog>(
+                 std::make_unique<ConstantRate>(1e6)),  // saturating
+             quiet_params());
+    e.run_until(20.0);
+    e.reset_counters();
+    e.run_until(40.0);
+    return e.throughput();
+  };
+  const double slow = throughput_on(slow_spec);
+  const double fast = throughput_on(fast_spec);
+  EXPECT_NEAR(slow, fast / 2.0, 0.05 * fast);
+}
+
+TEST(Engine, BusyCoresBoundedByClusterAndPositiveUnderLoad) {
+  auto e = make_engine_with(simple_chain(2.0, 20.0, 2.0), {2, 2, 2}, 80000.0);
+  e->run_until(20.0);
+  e->reset_counters();
+  e->run_until(40.0);
+  EXPECT_GT(e->busy_cores(), 0.5);
+  EXPECT_LT(e->busy_cores(), 60.0);
+}
+
+}  // namespace
+}  // namespace autra::sim

@@ -1,0 +1,179 @@
+// Tests for the JobRunner evaluation harness and the live ScalingSession.
+#include "streamsim/job_runner.hpp"
+
+#include "core/evaluator.hpp"
+
+#include "workloads/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autra::sim {
+namespace {
+
+JobSpec small_job(double rate) {
+  JobSpec spec = autra::workloads::synthetic_chain(
+      3, std::make_shared<ConstantRate>(rate), 10.0);
+  spec.engine.measurement_noise = 0.0;
+  return spec;
+}
+
+TEST(JobSpec, InitialRate) {
+  EXPECT_DOUBLE_EQ(small_job(123.0).initial_rate(), 123.0);
+  JobSpec empty;
+  EXPECT_THROW(empty.initial_rate(), std::logic_error);
+}
+
+TEST(JobMetrics, TotalParallelism) {
+  JobMetrics m;
+  m.parallelism = {1, 4, 2};
+  EXPECT_EQ(m.total_parallelism(), 7);
+}
+
+TEST(JobRunner, Validation) {
+  EXPECT_THROW(JobRunner(small_job(100.0), -1.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(JobRunner(small_job(100.0), 10.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(JobRunner, MeasureReturnsConsistentSnapshot) {
+  JobRunner runner(small_job(30000.0), 20.0, 30.0);
+  const JobMetrics m = runner.measure({1, 1, 1});
+  EXPECT_EQ(m.parallelism, (Parallelism{1, 1, 1}));
+  EXPECT_NEAR(m.throughput, 30000.0, 600.0);
+  EXPECT_DOUBLE_EQ(m.input_rate, 30000.0);
+  EXPECT_GT(m.latency_ms, 0.0);
+  EXPECT_LE(m.latency_p50_ms, m.latency_p99_ms);
+  EXPECT_GE(m.event_latency_ms, m.latency_ms - 1.0);
+  EXPECT_EQ(m.operators.size(), 3u);
+  EXPECT_GT(m.memory_mb, 0.0);
+  EXPECT_EQ(runner.evaluations(), 1);
+}
+
+TEST(JobRunner, LagGrowthDetectsUnderProvisioning) {
+  // 10 us ops -> 100k/s capacity; feed 220k so one instance cannot keep up.
+  JobRunner runner(small_job(220000.0), 20.0, 30.0);
+  const JobMetrics starved = runner.measure({1, 1, 1});
+  EXPECT_GT(starved.lag_growth_per_sec, 50000.0);
+  const JobMetrics ok = runner.measure({3, 3, 3});
+  EXPECT_LT(ok.lag_growth_per_sec, 10000.0);
+}
+
+TEST(JobRunner, SeedSaltChangesNoiseOnly) {
+  JobSpec spec = small_job(30000.0);
+  spec.engine.measurement_noise = 0.05;
+  JobRunner runner(std::move(spec), 10.0, 20.0);
+  const JobMetrics a = runner.measure({1, 1, 1}, 1);
+  const JobMetrics b = runner.measure({1, 1, 1}, 2);
+  // Same physics; throughput identical because it is not noise-derived in
+  // the snapshot, but operator gauges in the metric DB would differ. Here
+  // we only require both runs to be sane and equal in expectation.
+  EXPECT_NEAR(a.throughput, b.throughput, 0.02 * a.throughput);
+}
+
+TEST(JobRunner, EvaluatorSaltsDecorrelateMetricNoise) {
+  // Two evaluations through the evaluator must see different noise draws
+  // in the recorded metric gauges (same physics, different jitter), which
+  // is what keeps the GP's noise handling honest.
+  JobSpec spec = small_job(30000.0);
+  spec.engine.measurement_noise = 0.05;
+  JobRunner runner(std::move(spec), 10.0, 20.0);
+  const autra::core::Evaluator eval =
+      autra::core::make_runner_evaluator(runner);
+  const JobMetrics a = eval({1, 1, 1});
+  const JobMetrics b = eval({1, 1, 1});
+  EXPECT_EQ(runner.evaluations(), 2);
+  // Latency carries per-cohort jitter resampled per run.
+  EXPECT_NE(a.latency_p99_ms, b.latency_p99_ms);
+}
+
+TEST(JobRunner, MaxParallelismComesFromCluster) {
+  JobRunner runner(small_job(100.0));
+  EXPECT_EQ(runner.max_parallelism(), 60);
+  EXPECT_EQ(runner.num_operators(), 3u);
+}
+
+TEST(ScalingSession, RunAdvancesClock) {
+  ScalingSession session(small_job(1000.0), {1, 1, 1});
+  session.run_for(10.0);
+  EXPECT_NEAR(session.now(), 10.0, 0.051);
+  EXPECT_EQ(session.restarts(), 0);
+}
+
+TEST(ScalingSession, ReconfigureSameConfigIsNoOp) {
+  ScalingSession session(small_job(1000.0), {1, 1, 1});
+  session.run_for(5.0);
+  session.reconfigure({1, 1, 1});
+  EXPECT_EQ(session.restarts(), 0);
+}
+
+TEST(ScalingSession, ReconfigurePreservesLagAndClock) {
+  // Under-provisioned: lag builds up, then a restart must carry it over.
+  ScalingSession session(small_job(220000.0), {1, 1, 1}, 10.0);
+  session.run_for(30.0);
+  const double lag_before = session.engine().kafka().lag();
+  EXPECT_GT(lag_before, 1e5);
+  const double t_before = session.now();
+
+  session.reconfigure({4, 4, 4});
+  EXPECT_EQ(session.restarts(), 1);
+  EXPECT_EQ(session.parallelism(), (Parallelism{4, 4, 4}));
+  EXPECT_NEAR(session.now(), t_before, 1e-9);
+  EXPECT_GE(session.engine().kafka().lag(), lag_before - 1.0);
+
+  // During the 10 s downtime nothing is processed and lag keeps growing.
+  session.run_for(10.0);
+  EXPECT_GT(session.engine().kafka().lag(), lag_before);
+
+  // With 4x the capacity the backlog eventually drains.
+  session.run_for(120.0);
+  EXPECT_LT(session.engine().kafka().lag(), 1e4);
+}
+
+TEST(ScalingSession, HotScaleOutValidation) {
+  ScalingSession session(small_job(1000.0), {2, 2, 2});
+  EXPECT_THROW(session.reconfigure({1, 2, 2}, RescaleMode::kHotScaleOut),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      session.reconfigure({2, 3, 2}, RescaleMode::kHotScaleOut));
+  EXPECT_EQ(session.parallelism(), (Parallelism{2, 3, 2}));
+}
+
+TEST(ScalingSession, HotScaleOutHasMuchLessDowntime) {
+  // Under-provisioned at 150k (one 100k/s instance): compare the lag built
+  // up during a cold restart vs a hot scale-out to the same target.
+  const auto lag_after = [&](RescaleMode mode) {
+    ScalingSession session(small_job(150000.0), {1, 1, 1},
+                           /*restart_downtime_sec=*/20.0,
+                           /*hot_downtime_sec=*/1.0);
+    session.run_for(10.0);
+    session.reconfigure({2, 2, 2}, mode);
+    session.run_for(25.0);  // spans the cold downtime fully
+    return session.engine().kafka().lag();
+  };
+  const double cold = lag_after(RescaleMode::kColdRestart);
+  const double hot = lag_after(RescaleMode::kHotScaleOut);
+  EXPECT_LT(hot, cold * 0.5);
+}
+
+TEST(ScalingSession, HistorySpansRestarts) {
+  ScalingSession session(small_job(1000.0), {1, 1, 1}, 2.0);
+  session.run_for(5.0);
+  session.reconfigure({2, 2, 2});
+  session.run_for(5.0);
+  const auto pts =
+      session.history().query(metric_names::kThroughput, 0.0, 10.0);
+  EXPECT_GE(pts.size(), 8u);  // Continuous series across the restart.
+}
+
+TEST(ScalingSession, WindowMetricsResettable) {
+  ScalingSession session(small_job(10000.0), {1, 1, 1});
+  session.run_for(10.0);
+  session.reset_window();
+  session.run_for(10.0);
+  const JobMetrics m = session.window_metrics();
+  EXPECT_NEAR(m.throughput, 10000.0, 300.0);
+}
+
+}  // namespace
+}  // namespace autra::sim

@@ -1,0 +1,171 @@
+// Unit tests for the latency accumulator and the metric time-series store.
+#include <sstream>
+
+#include "streamsim/latency.hpp"
+#include "streamsim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autra::sim {
+namespace {
+
+TEST(LatencyStats, EmptyState) {
+  const LatencyStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(LatencyStats, WeightedMean) {
+  LatencyStats s;
+  s.add(1.0, 3.0);
+  s.add(2.0, 1.0);
+  EXPECT_NEAR(s.mean(), 1.25, 1e-12);
+  EXPECT_DOUBLE_EQ(s.total_mass(), 4.0);
+}
+
+TEST(LatencyStats, ZeroMassIgnored) {
+  LatencyStats s;
+  s.add(5.0, 0.0);
+  s.add(5.0, -1.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(LatencyStats, QuantileBoundsAndMonotonicity) {
+  LatencyStats s(1024);
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i), 1.0);
+  const double q10 = s.quantile(0.1);
+  const double q50 = s.quantile(0.5);
+  const double q99 = s.quantile(0.99);
+  EXPECT_LE(q10, q50);
+  EXPECT_LE(q50, q99);
+  EXPECT_GE(q10, 1.0);
+  EXPECT_LE(q99, 1000.0);
+  EXPECT_NEAR(q50, 500.0, 120.0);  // Reservoir approximation.
+}
+
+TEST(LatencyStats, QuantileValidation) {
+  LatencyStats s;
+  s.add(1.0, 1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(LatencyStats, Reset) {
+  LatencyStats s;
+  s.add(1.0, 5.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(LatencyStats, MergeCombinesMass) {
+  LatencyStats a, b;
+  a.add(1.0, 2.0);
+  b.add(3.0, 2.0);
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.total_mass(), 4.0);
+}
+
+TEST(MetricsDb, RecordAndQueryWindow) {
+  MetricsDb db;
+  db.record("x", 0.0, 1.0);
+  db.record("x", 1.0, 2.0);
+  db.record("x", 2.0, 3.0);
+  const auto pts = db.query("x", 0.5, 2.0);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].value, 3.0);
+}
+
+TEST(MetricsDb, UnknownSeriesEmpty) {
+  const MetricsDb db;
+  EXPECT_TRUE(db.query("nope", 0.0, 1.0).empty());
+  EXPECT_FALSE(db.mean("nope", 0.0, 1.0).has_value());
+  EXPECT_FALSE(db.last("nope").has_value());
+  EXPECT_FALSE(db.has_series("nope"));
+}
+
+TEST(MetricsDb, TimeMustNotGoBackwards) {
+  MetricsDb db;
+  db.record("x", 5.0, 1.0);
+  EXPECT_THROW(db.record("x", 4.0, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(db.record("x", 5.0, 2.0));  // equal time is fine
+  EXPECT_NO_THROW(db.record("y", 0.0, 1.0));  // other series independent
+}
+
+TEST(MetricsDb, MeanOverWindow) {
+  MetricsDb db;
+  db.record("x", 0.0, 10.0);
+  db.record("x", 1.0, 20.0);
+  db.record("x", 2.0, 90.0);
+  EXPECT_DOUBLE_EQ(db.mean("x", 0.0, 1.0).value(), 15.0);
+  EXPECT_FALSE(db.mean("x", 10.0, 20.0).has_value());
+}
+
+TEST(MetricsDb, Last) {
+  MetricsDb db;
+  db.record("x", 0.0, 1.0);
+  db.record("x", 9.0, 42.0);
+  const auto p = db.last("x");
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->time, 9.0);
+  EXPECT_DOUBLE_EQ(p->value, 42.0);
+}
+
+TEST(MetricsDb, SeriesNamesAndClear) {
+  MetricsDb db;
+  db.record("b", 0.0, 1.0);
+  db.record("a", 0.0, 1.0);
+  EXPECT_EQ(db.series_names(), (std::vector<std::string>{"a", "b"}));
+  db.clear();
+  EXPECT_TRUE(db.series_names().empty());
+}
+
+TEST(MetricsDb, CsvExportSelectedSeries) {
+  MetricsDb db;
+  db.record("a", 0.0, 1.0);
+  db.record("a", 1.0, 2.0);
+  db.record("b", 1.0, 20.0);
+  std::ostringstream out;
+  const std::vector<std::string> cols{"a", "b"};
+  db.write_csv(out, cols);
+  EXPECT_EQ(out.str(),
+            "time,a,b\n"
+            "0,1,\n"
+            "1,2,20\n");
+}
+
+TEST(MetricsDb, CsvExportAllSeriesByDefault) {
+  MetricsDb db;
+  db.record("x", 0.0, 5.0);
+  std::ostringstream out;
+  db.write_csv(out);
+  EXPECT_EQ(out.str(), "time,x\n0,5\n");
+}
+
+TEST(MetricsDb, CsvExportUnknownSeriesGivesEmptyColumn) {
+  MetricsDb db;
+  db.record("x", 0.0, 5.0);
+  std::ostringstream out;
+  const std::vector<std::string> cols{"x", "ghost"};
+  db.write_csv(out, cols);
+  EXPECT_EQ(out.str(), "time,x,ghost\n0,5,\n");
+}
+
+TEST(MetricNames, FlinkStylePaths) {
+  EXPECT_EQ(metric_names::true_rate("count"),
+            "taskmanager.job.task.trueProcessingRate.count");
+  EXPECT_EQ(metric_names::observed_rate("count"),
+            "taskmanager.job.task.observedProcessingRate.count");
+  EXPECT_EQ(metric_names::input_rate("x"),
+            "taskmanager.job.task.numRecordsInPerSecond.x");
+  EXPECT_EQ(metric_names::output_rate("x"),
+            "taskmanager.job.task.numRecordsOutPerSecond.x");
+  EXPECT_EQ(metric_names::queue_size("x"),
+            "taskmanager.job.task.inputQueueLength.x");
+}
+
+}  // namespace
+}  // namespace autra::sim

@@ -1,0 +1,240 @@
+// Unit tests for the dense linear-algebra substrate.
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace autra::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, SizedConstructorFills) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = a * Vector{1.0, 1.0};
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, MatVecShapeMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW((void)(a * Vector{1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  Matrix c = a + b;
+  EXPECT_DOUBLE_EQ(c(1, 1), 5.0);
+  c -= b;
+  EXPECT_EQ(c, a);
+  c *= 2.0;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(Matrix, AddShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(3, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix a(3, 3, 1.0);
+  a.add_diagonal(0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+}
+
+TEST(VectorOps, DotKnownValue) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, 5.0, 6.0}), 32.0);
+}
+
+TEST(VectorOps, DotLengthMismatchThrows) {
+  EXPECT_THROW(dot(Vector{1.0}, Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, Norm2) {
+  EXPECT_DOUBLE_EQ(norm2(Vector{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{}), 0.0);
+}
+
+TEST(VectorOps, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(squared_distance(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 25.0);
+  EXPECT_THROW(squared_distance(Vector{1.0}, Vector{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Cholesky, KnownFactorisation) {
+  // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto c = Cholesky::factor(a);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(c->lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(c->lower()(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(Cholesky::factor(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, IndefiniteReturnsNullopt) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, JitterRecoversNearSingular) {
+  // Rank-one matrix: singular, needs jitter.
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_NO_THROW({
+    const Cholesky c = Cholesky::factor_with_jitter(a);
+    EXPECT_GT(c.lower()(1, 1), 0.0);
+  });
+}
+
+TEST(Cholesky, JitterGivesUpOnNegativeDefinite) {
+  const Matrix a{{-5.0, 0.0}, {0.0, -5.0}};
+  EXPECT_THROW(Cholesky::factor_with_jitter(a), std::runtime_error);
+}
+
+TEST(Cholesky, SolveKnownSystem) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const auto c = Cholesky::factor(a);
+  ASSERT_TRUE(c);
+  const Vector x = c->solve(Vector{8.0, 7.0});
+  // Verify A x = b.
+  const Vector b = a * x;
+  EXPECT_NEAR(b[0], 8.0, 1e-10);
+  EXPECT_NEAR(b[1], 7.0, 1e-10);
+}
+
+TEST(Cholesky, SolveSizeMismatchThrows) {
+  const auto c = Cholesky::factor(Matrix::identity(2));
+  ASSERT_TRUE(c);
+  EXPECT_THROW(c->solve(Vector{1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(c->solve_lower(Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(c->solve_upper(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Cholesky, LogDeterminantIdentity) {
+  const auto c = Cholesky::factor(Matrix::identity(4));
+  ASSERT_TRUE(c);
+  EXPECT_NEAR(c->log_determinant(), 0.0, 1e-12);
+}
+
+TEST(Cholesky, LogDeterminantDiagonal) {
+  Matrix a = Matrix::identity(3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 3.0;
+  a(2, 2) = 4.0;
+  const auto c = Cholesky::factor(a);
+  ASSERT_TRUE(c);
+  EXPECT_NEAR(c->log_determinant(), std::log(24.0), 1e-12);
+}
+
+// Property: for random SPD systems A = B B^T + I of any size, the Cholesky
+// solve reproduces b to high accuracy.
+class CholeskyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyProperty, RandomSpdSolveResidualSmall) {
+  const int n = GetParam();
+  std::mt19937_64 rng(42 + static_cast<unsigned>(n));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) b(r, c) = dist(rng);
+  }
+  Matrix a = b * b.transposed();
+  a.add_diagonal(1.0);
+
+  Vector rhs(static_cast<std::size_t>(n));
+  for (double& v : rhs) v = dist(rng);
+
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol);
+  const Vector x = chol->solve(rhs);
+  const Vector reproduced = a * x;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    EXPECT_NEAR(reproduced[i], rhs[i], 1e-8) << "n=" << n << " i=" << i;
+  }
+  // log|A| must be finite and positive (all eigenvalues >= 1).
+  EXPECT_GE(chol->log_determinant(), -1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace autra::linalg

@@ -1,0 +1,118 @@
+// Tests for benefit-model library persistence.
+#include "core/model_io.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace autra::core {
+namespace {
+
+SamplePoint real_sample(sim::Parallelism config, double score) {
+  SamplePoint s;
+  s.config = std::move(config);
+  s.score = score;
+  s.metrics = sim::JobMetrics{};
+  return s;
+}
+
+ModelLibrary two_model_library() {
+  ModelLibrary lib;
+  BenefitModel a;
+  a.rate = 20000.0;
+  a.base = {1, 3};
+  a.samples = {real_sample({1, 3}, 1.0), real_sample({1, 9}, 0.8),
+               real_sample({4, 3}, 0.7)};
+  a.fit();
+  lib.add(std::move(a));
+  BenefitModel b;
+  b.rate = 50000.0;
+  b.base = {2, 7};
+  b.samples = {real_sample({2, 7}, 0.95), real_sample({2, 12}, 0.85),
+               real_sample({5, 7}, 0.6)};
+  b.fit();
+  lib.add(std::move(b));
+  return lib;
+}
+
+TEST(ModelIo, RoundTripPreservesModels) {
+  const ModelLibrary lib = two_model_library();
+  std::stringstream buffer;
+  save_library(lib, buffer);
+  const ModelLibrary restored = load_library(buffer);
+
+  ASSERT_EQ(restored.size(), 2u);
+  const BenefitModel* m20 = restored.closest(20000.0);
+  ASSERT_NE(m20, nullptr);
+  EXPECT_DOUBLE_EQ(m20->rate, 20000.0);
+  EXPECT_EQ(m20->base, (sim::Parallelism{1, 3}));
+  EXPECT_EQ(m20->samples.size(), 3u);
+  EXPECT_TRUE(m20->gp.is_fitted());
+
+  // Predictions of the restored model reproduce the original's ordering.
+  const BenefitModel* orig = lib.closest(20000.0);
+  EXPECT_NEAR(m20->predict_mean({1, 3}), orig->predict_mean({1, 3}), 1e-9);
+  EXPECT_NEAR(m20->predict_mean({4, 3}), orig->predict_mean({4, 3}), 1e-9);
+}
+
+TEST(ModelIo, EstimatedSamplesAreNotPersisted) {
+  ModelLibrary lib;
+  BenefitModel m;
+  m.rate = 1000.0;
+  m.base = {1};
+  m.samples = {real_sample({1}, 0.9), real_sample({2}, 0.8)};
+  SamplePoint estimated;
+  estimated.config = {3};
+  estimated.score = 0.7;  // no metrics -> estimated
+  m.samples.push_back(estimated);
+  m.fit();
+  lib.add(std::move(m));
+
+  std::stringstream buffer;
+  save_library(lib, buffer);
+  const ModelLibrary restored = load_library(buffer);
+  EXPECT_EQ(restored.models().front().samples.size(), 2u);
+}
+
+TEST(ModelIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# header\n"
+      "\n"
+      "model 1000 2 1 2\n"
+      "sample 1 2 0.9\n"
+      "sample 3 4 0.5\n"
+      "end\n");
+  const ModelLibrary lib = load_library(in);
+  ASSERT_EQ(lib.size(), 1u);
+  EXPECT_EQ(lib.models().front().samples.size(), 2u);
+}
+
+TEST(ModelIo, MalformedInputThrows) {
+  const auto expect_bad = [](const std::string& text) {
+    std::stringstream in(text);
+    EXPECT_THROW((void)load_library(in), std::runtime_error) << text;
+  };
+  expect_bad("sample 1 2 0.5\n");                    // sample before model
+  expect_bad("model 0 1 1\nsample 1 0.5\nend\n");    // non-positive rate
+  expect_bad("model 1000 2 1 2\nend\n");             // no samples
+  expect_bad("model 1000 2 1 2\nsample 1 0.5\nend\n");  // short config
+  expect_bad("model 1000 1 1\nmodel 2000 1 1\n");    // nested model
+  expect_bad("model 1000 1 1\nsample 1 0.5\n");      // unterminated
+  expect_bad("bogus 1 2 3\n");                       // unknown record
+  expect_bad("model 1000 1 0\nsample 1 0.5\nend\n"); // base below 1
+}
+
+TEST(ModelIo, FileHelpersRoundTrip) {
+  const ModelLibrary lib = two_model_library();
+  const std::string path = testing::TempDir() + "/autra_models.txt";
+  save_library_file(lib, path);
+  const ModelLibrary restored = load_library_file(path);
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_THROW((void)load_library_file("/nonexistent/dir/x.txt"),
+               std::runtime_error);
+  EXPECT_THROW(save_library_file(lib, "/nonexistent/dir/x.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace autra::core

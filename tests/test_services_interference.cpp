@@ -1,0 +1,124 @@
+// Unit tests for the rate-capped external service (Redis stand-in) and the
+// interference model.
+#include "streamsim/external_service.hpp"
+#include "streamsim/interference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autra::sim {
+namespace {
+
+TEST(ExternalService, Validation) {
+  EXPECT_THROW(ExternalService("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(ExternalService("x", -5.0), std::invalid_argument);
+  EXPECT_THROW(ExternalService("x", 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ExternalService("x", 100.0, 0.5, -1.0),
+               std::invalid_argument);
+}
+
+TEST(ExternalService, CallLatencyStored) {
+  const ExternalService svc("redis", 1000.0, 0.5, 0.4);
+  EXPECT_DOUBLE_EQ(svc.call_latency_ms(), 0.4);
+  EXPECT_DOUBLE_EQ(ExternalService("r", 1.0).call_latency_ms(), 0.0);
+}
+
+TEST(ExternalService, StartsWithFullBurst) {
+  ExternalService svc("redis", 1000.0, 0.5);
+  EXPECT_DOUBLE_EQ(svc.available(), 500.0);
+  EXPECT_EQ(svc.name(), "redis");
+  EXPECT_DOUBLE_EQ(svc.capacity_per_sec(), 1000.0);
+}
+
+TEST(ExternalService, AcquireClampsToAvailable) {
+  ExternalService svc("redis", 1000.0, 0.5);
+  EXPECT_DOUBLE_EQ(svc.acquire(200.0), 200.0);
+  EXPECT_DOUBLE_EQ(svc.acquire(1000.0), 300.0);
+  EXPECT_DOUBLE_EQ(svc.acquire(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(svc.total_granted(), 500.0);
+}
+
+TEST(ExternalService, NegativeAcquireGrantsNothing) {
+  ExternalService svc("redis", 1000.0);
+  EXPECT_DOUBLE_EQ(svc.acquire(-5.0), 0.0);
+}
+
+TEST(ExternalService, TickRefillsUpToBurst) {
+  ExternalService svc("redis", 1000.0, 0.5);
+  (void)svc.acquire(500.0);
+  svc.tick(0.1);
+  EXPECT_DOUBLE_EQ(svc.available(), 100.0);
+  svc.tick(10.0);  // Refill saturates at the burst bound.
+  EXPECT_DOUBLE_EQ(svc.available(), 500.0);
+}
+
+TEST(ExternalService, SteadyStateThroughputEqualsCapacity) {
+  ExternalService svc("redis", 1000.0, 0.5);
+  (void)svc.acquire(500.0);  // drain the initial burst
+  double granted = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    svc.tick(0.05);
+    granted += svc.acquire(1e9);
+  }
+  EXPECT_NEAR(granted / 5.0, 1000.0, 1.0);  // 5 simulated seconds
+}
+
+TEST(Interference, Validation) {
+  InterferenceParams p;
+  p.bandwidth_penalty = -1.0;
+  EXPECT_THROW((void)InterferenceModel{p}, std::invalid_argument);
+  p = {};
+  p.load_smoothing = 0.0;
+  EXPECT_THROW((void)InterferenceModel{p}, std::invalid_argument);
+  p = {};
+  p.load_smoothing = 1.5;
+  EXPECT_THROW((void)InterferenceModel{p}, std::invalid_argument);
+}
+
+TEST(Interference, CoordinationIsOneForSingleInstance) {
+  const InterferenceModel m;
+  EXPECT_DOUBLE_EQ(m.coordination_factor(1), 1.0);
+}
+
+TEST(Interference, CoordinationMonotonicInParallelism) {
+  const InterferenceModel m;
+  double prev = m.coordination_factor(1);
+  for (int k = 2; k <= 60; ++k) {
+    const double cur = m.coordination_factor(k);
+    EXPECT_GT(cur, prev) << "k=" << k;
+    prev = cur;
+  }
+}
+
+TEST(Interference, ContentionIsOneBelowUnitLoad) {
+  const InterferenceModel m;
+  EXPECT_DOUBLE_EQ(m.contention_divisor(0.5, 20), 1.0);
+  EXPECT_DOUBLE_EQ(m.contention_divisor(1.0, 20), 1.0);
+}
+
+TEST(Interference, ContentionMonotonicInLoad) {
+  const InterferenceModel m;
+  double prev = m.contention_divisor(1.0, 20);
+  for (double load = 2.0; load <= 60.0; load += 1.0) {
+    const double cur = m.contention_divisor(load, 20);
+    EXPECT_GE(cur, prev) << "load=" << load;
+    prev = cur;
+  }
+}
+
+TEST(Interference, OversubscriptionTimeSlices) {
+  const InterferenceModel m;
+  // At twice the core count the divisor must exceed 2 (time slicing plus
+  // bandwidth penalty).
+  EXPECT_GT(m.contention_divisor(40.0, 20), 2.0);
+}
+
+TEST(Interference, DisabledModelIsNeutral) {
+  InterferenceParams p;
+  p.enabled = false;
+  const InterferenceModel m(p);
+  EXPECT_DOUBLE_EQ(m.coordination_factor(60), 1.0);
+  EXPECT_DOUBLE_EQ(m.contention_divisor(100.0, 4), 1.0);
+}
+
+}  // namespace
+}  // namespace autra::sim

@@ -1,0 +1,116 @@
+// Long-run integration ("soak") tests: the full MAPE loop over multi-step
+// rate schedules, a controller restart with a persisted model library, and
+// a slowdown-injection recovery — the closest this suite gets to a day in
+// production.
+#include "core/controller.hpp"
+#include "core/model_io.hpp"
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace autra {
+namespace {
+
+using core::AuTraScaleController;
+using core::ControllerParams;
+using sim::Parallelism;
+using sim::PiecewiseRate;
+
+sim::JobSpec chain_spec(std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = workloads::synthetic_chain(3, std::move(schedule), 10.0);
+  spec.engine.measurement_noise = 0.0;
+  return spec;
+}
+
+ControllerParams controller_params() {
+  ControllerParams p;
+  p.steady.target_latency_ms = 400.0;
+  p.steady.target_throughput = 0.0;  // track the input rate
+  p.steady.bootstrap_m = 4;
+  p.steady.max_evaluations = 20;
+  p.policy_interval_sec = 30.0;
+  p.policy_running_time_sec = 60.0;
+  return p;
+}
+
+TEST(Soak, MultiStepRateScheduleKeepsQos) {
+  // 150k -> 300k -> 450k -> 250k over 20 simulated minutes; one instance
+  // sustains 100k/s, so every step needs a rescale.
+  auto spec = chain_spec(std::make_shared<PiecewiseRate>(
+      std::vector<std::pair<double, double>>{{0.0, 150000.0},
+                                             {300.0, 300000.0},
+                                             {600.0, 450000.0},
+                                             {900.0, 250000.0}}));
+  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  AuTraScaleController controller(spec, controller_params());
+  const auto decisions = controller.run(session, 1200.0);
+
+  // At least one decision per upward step; the library accumulates models.
+  EXPECT_GE(decisions.size(), 3u);
+  EXPECT_GE(controller.library().size(), 3u);
+
+  // Final steady state meets the final 250k rate.
+  session.reset_window();
+  session.run_for(60.0);
+  EXPECT_GE(session.window_metrics().throughput, 0.95 * 250000.0);
+
+  // The backlog from the transitions has been worked off.
+  EXPECT_LT(session.engine().kafka().lag(), 5e5);
+}
+
+TEST(Soak, RestartedControllerReusesPersistedLibrary) {
+  // First controller learns at 220k, its library is persisted; a second
+  // controller starts fresh with the restored library and must answer a
+  // nearby new rate with Algorithm 2 (transfer), not from scratch.
+  auto spec1 = chain_spec(std::make_shared<sim::ConstantRate>(220000.0));
+  sim::ScalingSession session1(spec1, {1, 1, 1}, 10.0);
+  AuTraScaleController first(spec1, controller_params());
+  const auto d1 = first.run(session1, 300.0);
+  ASSERT_FALSE(d1.empty());
+  ASSERT_GE(first.library().size(), 1u);
+
+  std::stringstream storage;
+  core::save_library(first.library(), storage);
+
+  auto spec2 = chain_spec(std::make_shared<sim::ConstantRate>(300000.0));
+  sim::ScalingSession session2(spec2, {1, 1, 1}, 10.0);
+  AuTraScaleController second(spec2, controller_params());
+  second.set_library(core::load_library(storage));
+  const auto d2 = second.run(session2, 300.0);
+
+  ASSERT_FALSE(d2.empty());
+  EXPECT_EQ(d2.front().algorithm, "algorithm2")
+      << "restored library should enable transfer at the new rate";
+  session2.reset_window();
+  session2.run_for(60.0);
+  EXPECT_GE(session2.window_metrics().throughput, 0.95 * 300000.0);
+}
+
+TEST(Soak, RecoversAfterTransientSlowdown) {
+  // A provisioned job (80k on a 100k/s pipeline, all subtasks on machine
+  // 0) suffers a 10x slowdown of that machine for two minutes; the backlog
+  // must drain once the injection ends.
+  auto spec = chain_spec(std::make_shared<sim::ConstantRate>(80000.0));
+  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  session.engine().inject_slowdown(0, 0.1, 120.0, 240.0);
+
+  session.run_for(120.0);
+  session.reset_window();
+  session.run_for(120.0);  // during the slowdown
+  const double during = session.window_metrics().throughput;
+  const double lag_peak = session.engine().kafka().lag();
+
+  session.reset_window();
+  session.run_for(600.0);  // after it
+  const double after = session.window_metrics().throughput;
+
+  EXPECT_LT(during, 80000.0 * 0.5);
+  EXPECT_GT(lag_peak, 1e5);
+  EXPECT_GE(after, 80000.0 * 0.98);
+  EXPECT_LT(session.engine().kafka().lag(), lag_peak * 0.2);
+}
+
+}  // namespace
+}  // namespace autra
