@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel.dir/ablation_kernel.cpp.o"
+  "CMakeFiles/ablation_kernel.dir/ablation_kernel.cpp.o.d"
+  "ablation_kernel"
+  "ablation_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

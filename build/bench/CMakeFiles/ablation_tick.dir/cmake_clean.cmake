@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tick.dir/ablation_tick.cpp.o"
+  "CMakeFiles/ablation_tick.dir/ablation_tick.cpp.o.d"
+  "ablation_tick"
+  "ablation_tick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xi_alpha.dir/ablation_xi_alpha.cpp.o"
+  "CMakeFiles/ablation_xi_alpha.dir/ablation_xi_alpha.cpp.o.d"
+  "ablation_xi_alpha"
+  "ablation_xi_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xi_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_timeline.dir/controller_timeline.cpp.o"
+  "CMakeFiles/controller_timeline.dir/controller_timeline.cpp.o.d"
+  "controller_timeline"
+  "controller_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

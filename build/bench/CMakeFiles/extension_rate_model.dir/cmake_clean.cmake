@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_rate_model.dir/extension_rate_model.cpp.o"
+  "CMakeFiles/extension_rate_model.dir/extension_rate_model.cpp.o.d"
+  "extension_rate_model"
+  "extension_rate_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_rate_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

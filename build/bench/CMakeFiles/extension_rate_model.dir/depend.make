@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_rate_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_transfer.dir/fig8_transfer.cpp.o"
+  "CMakeFiles/fig8_transfer.dir/fig8_transfer.cpp.o.d"
+  "fig8_transfer"
+  "fig8_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table23_elasticity.dir/table23_elasticity.cpp.o"
+  "CMakeFiles/table23_elasticity.dir/table23_elasticity.cpp.o.d"
+  "table23_elasticity"
+  "table23_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table23_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

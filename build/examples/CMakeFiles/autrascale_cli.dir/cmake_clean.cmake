@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autrascale_cli.dir/autrascale_cli.cpp.o"
+  "CMakeFiles/autrascale_cli.dir/autrascale_cli.cpp.o.d"
+  "autrascale_cli"
+  "autrascale_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autrascale_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_export.dir/metrics_export.cpp.o"
+  "CMakeFiles/metrics_export.dir/metrics_export.cpp.o.d"
+  "metrics_export"
+  "metrics_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

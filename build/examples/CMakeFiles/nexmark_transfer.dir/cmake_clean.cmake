@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexmark_transfer.dir/nexmark_transfer.cpp.o"
+  "CMakeFiles/nexmark_transfer.dir/nexmark_transfer.cpp.o.d"
+  "nexmark_transfer"
+  "nexmark_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexmark_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_autoscaling.dir/wordcount_autoscaling.cpp.o"
+  "CMakeFiles/wordcount_autoscaling.dir/wordcount_autoscaling.cpp.o.d"
+  "wordcount_autoscaling"
+  "wordcount_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

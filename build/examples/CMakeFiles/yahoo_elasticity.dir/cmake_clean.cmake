@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yahoo_elasticity.dir/yahoo_elasticity.cpp.o"
+  "CMakeFiles/yahoo_elasticity.dir/yahoo_elasticity.cpp.o.d"
+  "yahoo_elasticity"
+  "yahoo_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yahoo_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

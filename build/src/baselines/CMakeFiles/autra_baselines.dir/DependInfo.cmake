@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dhalion.cpp" "src/baselines/CMakeFiles/autra_baselines.dir/dhalion.cpp.o" "gcc" "src/baselines/CMakeFiles/autra_baselines.dir/dhalion.cpp.o.d"
+  "/root/repo/src/baselines/drs.cpp" "src/baselines/CMakeFiles/autra_baselines.dir/drs.cpp.o" "gcc" "src/baselines/CMakeFiles/autra_baselines.dir/drs.cpp.o.d"
+  "/root/repo/src/baselines/ds2.cpp" "src/baselines/CMakeFiles/autra_baselines.dir/ds2.cpp.o" "gcc" "src/baselines/CMakeFiles/autra_baselines.dir/ds2.cpp.o.d"
+  "/root/repo/src/baselines/threshold.cpp" "src/baselines/CMakeFiles/autra_baselines.dir/threshold.cpp.o" "gcc" "src/baselines/CMakeFiles/autra_baselines.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamsim/CMakeFiles/autra_streamsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesopt/CMakeFiles/autra_bayesopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/autra_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autra_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

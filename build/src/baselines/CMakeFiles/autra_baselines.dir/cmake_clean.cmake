@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autra_baselines.dir/dhalion.cpp.o"
+  "CMakeFiles/autra_baselines.dir/dhalion.cpp.o.d"
+  "CMakeFiles/autra_baselines.dir/drs.cpp.o"
+  "CMakeFiles/autra_baselines.dir/drs.cpp.o.d"
+  "CMakeFiles/autra_baselines.dir/ds2.cpp.o"
+  "CMakeFiles/autra_baselines.dir/ds2.cpp.o.d"
+  "CMakeFiles/autra_baselines.dir/threshold.cpp.o"
+  "CMakeFiles/autra_baselines.dir/threshold.cpp.o.d"
+  "libautra_baselines.a"
+  "libautra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayesopt/bayes_opt.cpp" "src/bayesopt/CMakeFiles/autra_bayesopt.dir/bayes_opt.cpp.o" "gcc" "src/bayesopt/CMakeFiles/autra_bayesopt.dir/bayes_opt.cpp.o.d"
+  "/root/repo/src/bayesopt/search_space.cpp" "src/bayesopt/CMakeFiles/autra_bayesopt.dir/search_space.cpp.o" "gcc" "src/bayesopt/CMakeFiles/autra_bayesopt.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/autra_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autra_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

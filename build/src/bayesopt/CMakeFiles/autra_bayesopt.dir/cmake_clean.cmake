@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autra_bayesopt.dir/bayes_opt.cpp.o"
+  "CMakeFiles/autra_bayesopt.dir/bayes_opt.cpp.o.d"
+  "CMakeFiles/autra_bayesopt.dir/search_space.cpp.o"
+  "CMakeFiles/autra_bayesopt.dir/search_space.cpp.o.d"
+  "libautra_bayesopt.a"
+  "libautra_bayesopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autra_bayesopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

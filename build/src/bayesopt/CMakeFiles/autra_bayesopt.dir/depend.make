@@ -1,0 +1,2 @@
+# Empty dependencies file for autra_bayesopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/autra_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/autra_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/autra_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/autra_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/rate_aware.cpp" "src/core/CMakeFiles/autra_core.dir/rate_aware.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/rate_aware.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/core/CMakeFiles/autra_core.dir/scoring.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/scoring.cpp.o.d"
+  "/root/repo/src/core/steady_rate.cpp" "src/core/CMakeFiles/autra_core.dir/steady_rate.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/steady_rate.cpp.o.d"
+  "/root/repo/src/core/throughput_opt.cpp" "src/core/CMakeFiles/autra_core.dir/throughput_opt.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/throughput_opt.cpp.o.d"
+  "/root/repo/src/core/transfer.cpp" "src/core/CMakeFiles/autra_core.dir/transfer.cpp.o" "gcc" "src/core/CMakeFiles/autra_core.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/streamsim/CMakeFiles/autra_streamsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesopt/CMakeFiles/autra_bayesopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/autra_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autra_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autra_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/autra_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/autra_core.dir/controller.cpp.o"
+  "CMakeFiles/autra_core.dir/controller.cpp.o.d"
+  "CMakeFiles/autra_core.dir/evaluator.cpp.o"
+  "CMakeFiles/autra_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/autra_core.dir/model_io.cpp.o"
+  "CMakeFiles/autra_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/autra_core.dir/rate_aware.cpp.o"
+  "CMakeFiles/autra_core.dir/rate_aware.cpp.o.d"
+  "CMakeFiles/autra_core.dir/scoring.cpp.o"
+  "CMakeFiles/autra_core.dir/scoring.cpp.o.d"
+  "CMakeFiles/autra_core.dir/steady_rate.cpp.o"
+  "CMakeFiles/autra_core.dir/steady_rate.cpp.o.d"
+  "CMakeFiles/autra_core.dir/throughput_opt.cpp.o"
+  "CMakeFiles/autra_core.dir/throughput_opt.cpp.o.d"
+  "CMakeFiles/autra_core.dir/transfer.cpp.o"
+  "CMakeFiles/autra_core.dir/transfer.cpp.o.d"
+  "libautra_core.a"
+  "libautra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autra_gp.dir/acquisition.cpp.o"
+  "CMakeFiles/autra_gp.dir/acquisition.cpp.o.d"
+  "CMakeFiles/autra_gp.dir/gp_regressor.cpp.o"
+  "CMakeFiles/autra_gp.dir/gp_regressor.cpp.o.d"
+  "CMakeFiles/autra_gp.dir/kernel.cpp.o"
+  "CMakeFiles/autra_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/autra_gp.dir/normal.cpp.o"
+  "CMakeFiles/autra_gp.dir/normal.cpp.o.d"
+  "libautra_gp.a"
+  "libautra_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autra_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

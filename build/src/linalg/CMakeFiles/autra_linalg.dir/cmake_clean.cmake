@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autra_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/autra_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/autra_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/autra_linalg.dir/matrix.cpp.o.d"
+  "libautra_linalg.a"
+  "libautra_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autra_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

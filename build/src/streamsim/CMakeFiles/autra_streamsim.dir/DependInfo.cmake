@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streamsim/chaining.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/chaining.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/chaining.cpp.o.d"
+  "/root/repo/src/streamsim/cluster.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/cluster.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/cluster.cpp.o.d"
+  "/root/repo/src/streamsim/engine.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/engine.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/engine.cpp.o.d"
+  "/root/repo/src/streamsim/external_service.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/external_service.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/external_service.cpp.o.d"
+  "/root/repo/src/streamsim/interference.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/interference.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/interference.cpp.o.d"
+  "/root/repo/src/streamsim/job_runner.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/job_runner.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/job_runner.cpp.o.d"
+  "/root/repo/src/streamsim/kafka.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/kafka.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/kafka.cpp.o.d"
+  "/root/repo/src/streamsim/latency.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/latency.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/latency.cpp.o.d"
+  "/root/repo/src/streamsim/metrics.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/metrics.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/metrics.cpp.o.d"
+  "/root/repo/src/streamsim/rates.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/rates.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/rates.cpp.o.d"
+  "/root/repo/src/streamsim/topology.cpp" "src/streamsim/CMakeFiles/autra_streamsim.dir/topology.cpp.o" "gcc" "src/streamsim/CMakeFiles/autra_streamsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

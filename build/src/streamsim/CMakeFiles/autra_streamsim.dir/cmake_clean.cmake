@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autra_streamsim.dir/chaining.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/chaining.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/cluster.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/cluster.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/engine.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/engine.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/external_service.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/external_service.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/interference.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/interference.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/job_runner.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/job_runner.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/kafka.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/kafka.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/latency.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/latency.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/metrics.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/metrics.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/rates.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/rates.cpp.o.d"
+  "CMakeFiles/autra_streamsim.dir/topology.cpp.o"
+  "CMakeFiles/autra_streamsim.dir/topology.cpp.o.d"
+  "libautra_streamsim.a"
+  "libautra_streamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autra_streamsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

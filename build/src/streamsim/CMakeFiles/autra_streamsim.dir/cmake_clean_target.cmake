@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautra_streamsim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autra_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/autra_workloads.dir/workloads.cpp.o.d"
+  "libautra_workloads.a"
+  "libautra_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

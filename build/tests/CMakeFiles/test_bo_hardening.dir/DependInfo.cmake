@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bo_hardening.cpp" "tests/CMakeFiles/test_bo_hardening.dir/test_bo_hardening.cpp.o" "gcc" "tests/CMakeFiles/test_bo_hardening.dir/test_bo_hardening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/autra_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/autra_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamsim/CMakeFiles/autra_streamsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesopt/CMakeFiles/autra_bayesopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/autra_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/autra_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bo_hardening.dir/test_bo_hardening.cpp.o"
+  "CMakeFiles/test_bo_hardening.dir/test_bo_hardening.cpp.o.d"
+  "test_bo_hardening"
+  "test_bo_hardening.pdb"
+  "test_bo_hardening[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bo_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

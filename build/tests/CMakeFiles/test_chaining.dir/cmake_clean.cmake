@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chaining.dir/test_chaining.cpp.o"
+  "CMakeFiles/test_chaining.dir/test_chaining.cpp.o.d"
+  "test_chaining"
+  "test_chaining.pdb"
+  "test_chaining[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_runner.dir/test_job_runner.cpp.o"
+  "CMakeFiles/test_job_runner.dir/test_job_runner.cpp.o.d"
+  "test_job_runner"
+  "test_job_runner.pdb"
+  "test_job_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

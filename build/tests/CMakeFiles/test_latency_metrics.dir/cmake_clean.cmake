@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_metrics.dir/test_latency_metrics.cpp.o"
+  "CMakeFiles/test_latency_metrics.dir/test_latency_metrics.cpp.o.d"
+  "test_latency_metrics"
+  "test_latency_metrics.pdb"
+  "test_latency_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rates_kafka.dir/test_rates_kafka.cpp.o"
+  "CMakeFiles/test_rates_kafka.dir/test_rates_kafka.cpp.o.d"
+  "test_rates_kafka"
+  "test_rates_kafka.pdb"
+  "test_rates_kafka[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rates_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

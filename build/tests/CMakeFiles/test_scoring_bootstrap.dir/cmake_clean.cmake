@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scoring_bootstrap.dir/test_scoring_bootstrap.cpp.o"
+  "CMakeFiles/test_scoring_bootstrap.dir/test_scoring_bootstrap.cpp.o.d"
+  "test_scoring_bootstrap"
+  "test_scoring_bootstrap.pdb"
+  "test_scoring_bootstrap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scoring_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_services_interference.dir/test_services_interference.cpp.o"
+  "CMakeFiles/test_services_interference.dir/test_services_interference.cpp.o.d"
+  "test_services_interference"
+  "test_services_interference.pdb"
+  "test_services_interference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_services_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_throughput_opt.dir/test_throughput_opt.cpp.o"
+  "CMakeFiles/test_throughput_opt.dir/test_throughput_opt.cpp.o.d"
+  "test_throughput_opt"
+  "test_throughput_opt.pdb"
+  "test_throughput_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_throughput_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_gp[1]_include.cmake")
+include("/root/repo/build/tests/test_bayesopt[1]_include.cmake")
+include("/root/repo/build/tests/test_bo_hardening[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_rates_kafka[1]_include.cmake")
+include("/root/repo/build/tests/test_services_interference[1]_include.cmake")
+include("/root/repo/build/tests/test_latency_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_chaining[1]_include.cmake")
+include("/root/repo/build/tests/test_job_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_scoring_bootstrap[1]_include.cmake")
+include("/root/repo/build/tests/test_throughput_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_steady_rate[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_model_io[1]_include.cmake")
+include("/root/repo/build/tests/test_soak[1]_include.cmake")
