@@ -33,33 +33,35 @@ struct Timeline {
   int restarts = 0;
 };
 
-/// Summarises a session's metric history over [0, kHorizonSec].
-Timeline summarize(const sim::ScalingSession& session) {
-  namespace mn = sim::metric_names;
-  const sim::MetricsDb& db = session.history();
+/// Summarises a backend's metric history over [0, kHorizonSec]. Works on
+/// any StreamingBackend; reads are id-based over columnar series views.
+Timeline summarize(const runtime::StreamingBackend& session) {
+  namespace mn = runtime::metric_names;
+  const runtime::MetricStore& db = session.history();
   Timeline t;
-  const auto alloc = db.query(mn::kParallelismTotal, 0.0, kHorizonSec);
-  const auto cores = db.query(mn::kBusyCores, 0.0, kHorizonSec);
-  const auto thr = db.query(mn::kThroughput, 0.0, kHorizonSec);
-  const auto rate = db.query(mn::kInputRate, 0.0, kHorizonSec);
-  const auto lat = db.query(mn::kLatencyMean, 0.0, kHorizonSec);
-  for (const auto& p : alloc) t.avg_alloc += p.value;
-  if (!alloc.empty()) t.avg_alloc /= alloc.size();
-  for (const auto& p : cores) t.avg_cores += p.value;
-  if (!cores.empty()) t.avg_cores /= cores.size();
+  t.avg_alloc =
+      db.mean(db.find(mn::kParallelismTotal), 0.0, kHorizonSec).value_or(0.0);
+  t.avg_cores =
+      db.mean(db.find(mn::kBusyCores), 0.0, kHorizonSec).value_or(0.0);
+  const runtime::MetricId lat_id = db.find(mn::kLatencyMean);
+  const runtime::MetricStore::SeriesView lat = db.series(lat_id);
+  const auto [lat_first, lat_last] = db.range(lat_id, 0.0, kHorizonSec);
   int lat_n = 0;
-  for (const auto& p : lat) {
-    if (p.value > 0.0) {
-      t.avg_latency_ms += p.value * 1000.0;
+  for (std::size_t i = lat_first; i < lat_last; ++i) {
+    if (lat.values[i] > 0.0) {
+      t.avg_latency_ms += lat.values[i] * 1000.0;
       ++lat_n;
     }
   }
   if (lat_n > 0) t.avg_latency_ms /= lat_n;
   // Violation time: metric samples arrive once per second.
-  for (std::size_t i = 0; i < thr.size() && i < rate.size(); ++i) {
-    if (thr[i].value < 0.97 * rate[i].value) t.violation_sec += 1.0;
+  const runtime::MetricStore::SeriesView thr = db.series(db.find(mn::kThroughput));
+  const runtime::MetricStore::SeriesView rate = db.series(db.find(mn::kInputRate));
+  for (std::size_t i = 0; i < thr.values.size() && i < rate.values.size();
+       ++i) {
+    if (thr.values[i] < 0.97 * rate.values[i]) t.violation_sec += 1.0;
   }
-  if (const auto lag = db.last(mn::kKafkaLag)) t.end_lag = lag->value;
+  if (const auto lag = db.last(db.find(mn::kKafkaLag))) t.end_lag = lag->value;
   t.restarts = session.restarts();
   return t;
 }
@@ -81,7 +83,8 @@ Timeline run_controller() {
   params.steady.max_evaluations = 24;
   params.policy_interval_sec = 60.0;
   params.policy_running_time_sec = 120.0;
-  core::AuTraScaleController controller(spec, params);
+  core::AuTraScaleController controller(spec.topology,
+                                        sim::make_trial_service(spec), params);
   controller.run(session, kHorizonSec);
   return summarize(session);
 }

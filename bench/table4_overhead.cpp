@@ -25,7 +25,7 @@ namespace {
 using namespace autra;
 
 // Synthetic benefit surface: smooth, concave, rate-shifted.
-double synthetic_score(const sim::Parallelism& config, double shift) {
+double synthetic_score(const runtime::Parallelism& config, double shift) {
   double s = 1.0;
   for (int k : config) {
     const double d = (k - 6.0 - shift) / 10.0;
@@ -36,13 +36,13 @@ double synthetic_score(const sim::Parallelism& config, double shift) {
 
 std::vector<core::SamplePoint> make_samples(std::size_t n_ops, double shift,
                                             std::uint64_t seed) {
-  const sim::Parallelism base(n_ops, 2);
+  const runtime::Parallelism base(n_ops, 2);
   std::vector<core::SamplePoint> samples;
-  for (const sim::Parallelism& c : core::bootstrap_samples(base, 20, 6)) {
+  for (const runtime::Parallelism& c : core::bootstrap_samples(base, 20, 6)) {
     core::SamplePoint s;
     s.config = c;
     s.score = synthetic_score(c, shift);
-    sim::JobMetrics m;
+    runtime::JobMetrics m;
     m.parallelism = c;
     m.latency_ms = 1000.0 * (1.1 - s.score);
     m.throughput = 1000.0;
@@ -75,7 +75,7 @@ core::SteadyRateParams params_for(std::size_t n_ops) {
 void Alg1Train(benchmark::State& state) {
   const auto n_ops = static_cast<std::size_t>(state.range(0));
   const auto samples = make_samples(n_ops, 0.0, 11);
-  const sim::Parallelism base(n_ops, 2);
+  const runtime::Parallelism base(n_ops, 2);
   const auto params = params_for(n_ops);
   for (auto _ : state) {
     // Fit + recommend, the per-iteration planning cost of Algorithm 1.
@@ -92,7 +92,7 @@ void Alg1Train(benchmark::State& state) {
 void Alg1Use(benchmark::State& state) {
   const auto n_ops = static_cast<std::size_t>(state.range(0));
   const auto samples = make_samples(n_ops, 0.0, 13);
-  const sim::Parallelism base(n_ops, 2);
+  const runtime::Parallelism base(n_ops, 2);
   core::BenefitModel model;
   model.rate = 1000.0;
   model.base = base;
@@ -106,7 +106,7 @@ void Alg1Use(benchmark::State& state) {
 
 void Alg2Step(benchmark::State& state) {
   const auto n_ops = static_cast<std::size_t>(state.range(0));
-  const sim::Parallelism base(n_ops, 2);
+  const runtime::Parallelism base(n_ops, 2);
   const auto params = params_for(n_ops);
 
   core::BenefitModel prior;
@@ -131,7 +131,7 @@ void Alg2Step(benchmark::State& state) {
     res.fit();
 
     std::vector<core::SamplePoint> dataset = few;
-    for (const sim::Parallelism& x :
+    for (const runtime::Parallelism& x :
          core::bootstrap_samples(base, 20, 6)) {
       core::SamplePoint est;
       est.config = x;

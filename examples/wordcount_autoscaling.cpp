@@ -51,7 +51,9 @@ int main() {
     params.policy_interval_sec = 60.0;
     params.policy_running_time_sec = 120.0;
 
-    core::AuTraScaleController controller(spec, params);
+    core::AuTraScaleController controller(spec.topology,
+                                          sim::make_trial_service(spec),
+                                          params);
     const auto decisions = controller.run(session, 1500.0);
 
     for (const auto& d : decisions) {

@@ -17,10 +17,10 @@ DhalionPolicy::DhalionPolicy(const sim::Topology& topology,
 }
 
 std::vector<std::size_t> DhalionPolicy::diagnose(
-    const sim::JobMetrics& metrics) const {
+    const runtime::JobMetrics& metrics) const {
   std::vector<std::pair<double, std::size_t>> severity;
   for (std::size_t i = 0; i < metrics.operators.size(); ++i) {
-    const sim::OperatorRates& r = metrics.operators[i];
+    const runtime::OperatorRates& r = metrics.operators[i];
     const double per_instance_queue =
         r.parallelism > 0 ? r.queue_length / r.parallelism : 0.0;
     if (per_instance_queue > params_.backpressure_queue_threshold) {
@@ -34,10 +34,10 @@ std::vector<std::size_t> DhalionPolicy::diagnose(
   return out;
 }
 
-std::size_t DhalionPolicy::culprit_of(const sim::JobMetrics& metrics,
+std::size_t DhalionPolicy::culprit_of(const runtime::JobMetrics& metrics,
                                       std::size_t jammed) const {
   const auto utilization = [&](std::size_t i) {
-    const sim::OperatorRates& r = metrics.operators[i];
+    const runtime::OperatorRates& r = metrics.operators[i];
     return r.true_rate_per_instance > 0.0
                ? r.observed_rate_per_instance / r.true_rate_per_instance
                : 0.0;
@@ -59,12 +59,12 @@ std::size_t DhalionPolicy::culprit_of(const sim::JobMetrics& metrics,
 }
 
 DhalionResult DhalionPolicy::run(const core::Evaluator& evaluate,
-                                 const sim::Parallelism& initial) const {
+                                 const runtime::Parallelism& initial) const {
   DhalionResult result;
-  sim::Parallelism current = initial;
-  sim::JobMetrics metrics = evaluate(current);
+  runtime::Parallelism current = initial;
+  runtime::JobMetrics metrics = evaluate(current);
   ++result.iterations;
-  std::set<sim::Parallelism> blacklist;
+  std::set<runtime::Parallelism> blacklist;
 
   while (result.iterations < params_.max_iterations) {
     // The job is also unhealthy when the source cannot keep up (growing
@@ -86,10 +86,10 @@ DhalionResult DhalionPolicy::run(const core::Evaluator& evaluate,
 
     // Resolution: for each jam, scale the culprit (the saturated operator
     // downstream of the backlog) by its observed pressure ratio.
-    sim::Parallelism next = current;
+    runtime::Parallelism next = current;
     for (std::size_t b : bottlenecks) {
       const std::size_t target_op = culprit_of(metrics, b);
-      const sim::OperatorRates& r = metrics.operators[target_op];
+      const runtime::OperatorRates& r = metrics.operators[target_op];
       // Pressure: what the culprit would have to absorb, including the
       // demand currently piling up upstream (the jam's input rate carried
       // through to it), relative to its current capacity.
@@ -109,7 +109,7 @@ DhalionResult DhalionPolicy::run(const core::Evaluator& evaluate,
       break;  // Nothing new to try.
     }
 
-    const sim::JobMetrics trial = evaluate(next);
+    const runtime::JobMetrics trial = evaluate(next);
     ++result.iterations;
     const double gain = trial.throughput - metrics.throughput;
     // A resolution is useful when it raised throughput OR cleared some of

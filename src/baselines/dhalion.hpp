@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "streamsim/topology.hpp"
 
 namespace autra::baselines {
 
@@ -35,12 +36,12 @@ struct DhalionParams {
 };
 
 struct DhalionResult {
-  sim::Parallelism final_config;
-  sim::JobMetrics final_metrics;
+  runtime::Parallelism final_config;
+  runtime::JobMetrics final_metrics;
   int iterations = 0;
   bool healthy = false;  ///< No symptom at termination.
   /// Resolutions that were rolled back and blacklisted.
-  std::vector<sim::Parallelism> blacklisted;
+  std::vector<runtime::Parallelism> blacklisted;
 };
 
 class DhalionPolicy {
@@ -48,19 +49,19 @@ class DhalionPolicy {
   DhalionPolicy(const sim::Topology& topology, DhalionParams params);
 
   [[nodiscard]] DhalionResult run(const core::Evaluator& evaluate,
-                                  const sim::Parallelism& initial) const;
+                                  const runtime::Parallelism& initial) const;
 
   /// Diagnosis step (exposed for tests): indices of backpressured
   /// operators (jammed input queues), most severe first.
   [[nodiscard]] std::vector<std::size_t> diagnose(
-      const sim::JobMetrics& metrics) const;
+      const runtime::JobMetrics& metrics) const;
 
   /// Resolution target for a jammed operator: the backlog sits in front of
   /// the operator that is *blocked*, while the slow operator causing it
   /// sits downstream running at full utilisation. Walks downstream from
   /// `jammed` to the first operator with utilisation >= 0.8; falls back to
   /// the jammed operator itself when the whole chain is merely slow.
-  [[nodiscard]] std::size_t culprit_of(const sim::JobMetrics& metrics,
+  [[nodiscard]] std::size_t culprit_of(const runtime::JobMetrics& metrics,
                                        std::size_t jammed) const;
 
  private:

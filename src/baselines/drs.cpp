@@ -56,7 +56,7 @@ DrsPolicy::DrsPolicy(const sim::Topology& topology, DrsParams params)
   }
 }
 
-sim::Parallelism DrsPolicy::allocate(const sim::JobMetrics& metrics,
+runtime::Parallelism DrsPolicy::allocate(const runtime::JobMetrics& metrics,
                                      double* predicted_latency_ms) const {
   const std::size_t n = topology_.num_operators();
   if (metrics.operators.size() != n) {
@@ -71,7 +71,7 @@ sim::Parallelism DrsPolicy::allocate(const sim::JobMetrics& metrics,
   std::vector<double> arrival(n, 0.0);
   std::vector<double> service(n, 0.0);
   for (std::size_t i : topology_.topological_order()) {
-    const sim::OperatorRates& r = metrics.operators[i];
+    const runtime::OperatorRates& r = metrics.operators[i];
     if (topology_.op(i).kind == sim::OperatorKind::kSource) {
       arrival[i] = target;
     }
@@ -92,7 +92,7 @@ sim::Parallelism DrsPolicy::allocate(const sim::JobMetrics& metrics,
   }
 
   // Minimal stable configuration.
-  sim::Parallelism config(n, 1);
+  runtime::Parallelism config(n, 1);
   for (std::size_t i = 0; i < n; ++i) {
     const int k = static_cast<int>(std::floor(arrival[i] / service[i])) + 1;
     config[i] = std::clamp(k, 1, params_.max_parallelism);
@@ -104,7 +104,7 @@ sim::Parallelism DrsPolicy::allocate(const sim::JobMetrics& metrics,
                                   params_.service_scv)
                : mmk_sojourn_time(lambda, mu, k);
   };
-  const auto total_latency = [&](const sim::Parallelism& c) {
+  const auto total_latency = [&](const runtime::Parallelism& c) {
     double sum = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       sum += sojourn(arrival[i], service[i], c[i]);
@@ -140,20 +140,20 @@ sim::Parallelism DrsPolicy::allocate(const sim::JobMetrics& metrics,
 }
 
 DrsResult DrsPolicy::run(const core::Evaluator& evaluate,
-                         const sim::Parallelism& initial) const {
+                         const runtime::Parallelism& initial) const {
   if (initial.size() != topology_.num_operators()) {
     throw std::invalid_argument("DrsPolicy::run: initial config mismatch");
   }
   DrsResult result;
-  sim::Parallelism current = initial;
-  sim::JobMetrics metrics;
+  runtime::Parallelism current = initial;
+  runtime::JobMetrics metrics;
 
   for (int iter = 0; iter < params_.max_iterations; ++iter) {
     metrics = evaluate(current);
     ++result.iterations;
 
     double predicted = 0.0;
-    const sim::Parallelism next = allocate(metrics, &predicted);
+    const runtime::Parallelism next = allocate(metrics, &predicted);
     result.predicted_latency_ms = predicted;
     result.prediction_feasible =
         predicted <= params_.target_latency_ms + kEps;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "streamsim/topology.hpp"
 
 namespace autra::baselines {
 
@@ -56,8 +57,8 @@ struct DrsParams {
 };
 
 struct DrsResult {
-  sim::Parallelism final_config;
-  sim::JobMetrics final_metrics;
+  runtime::Parallelism final_config;
+  runtime::JobMetrics final_metrics;
   int iterations = 0;
   bool converged = false;            ///< Allocation stopped changing.
   bool prediction_feasible = false;  ///< Model predicted target met.
@@ -85,12 +86,12 @@ class DrsPolicy {
   DrsPolicy(const sim::Topology& topology, DrsParams params);
 
   [[nodiscard]] DrsResult run(const core::Evaluator& evaluate,
-                              const sim::Parallelism& initial) const;
+                              const runtime::Parallelism& initial) const;
 
   /// The greedy allocation step given measured metrics (exposed for
   /// testing): picks the configuration the queueing model believes meets
   /// the latency target with the fewest instances.
-  [[nodiscard]] sim::Parallelism allocate(const sim::JobMetrics& metrics,
+  [[nodiscard]] runtime::Parallelism allocate(const runtime::JobMetrics& metrics,
                                           double* predicted_latency_ms =
                                               nullptr) const;
 

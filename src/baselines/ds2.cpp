@@ -12,21 +12,21 @@ Ds2Policy::Ds2Policy(const sim::Topology& topology, Ds2Params params)
 }
 
 Ds2Result Ds2Policy::run(const core::Evaluator& evaluate,
-                         const sim::Parallelism& initial) const {
+                         const runtime::Parallelism& initial) const {
   if (initial.size() != topology_.num_operators()) {
     throw std::invalid_argument("Ds2Policy: initial config size mismatch");
   }
   Ds2Result result;
-  sim::Parallelism current = initial;
+  runtime::Parallelism current = initial;
 
   for (int iter = 0; iter < params_.max_iterations; ++iter) {
-    sim::JobMetrics m = evaluate(current);
+    runtime::JobMetrics m = evaluate(current);
     ++result.iterations;
 
     const double target = params_.target_throughput > 0.0
                               ? params_.target_throughput
                               : m.input_rate;
-    const sim::Parallelism rec = core::scale_step(
+    const runtime::Parallelism rec = core::scale_step(
         topology_, m, target, params_.max_parallelism);
     result.trajectory.push_back({current, std::move(m), rec});
 

@@ -23,6 +23,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/throughput_opt.hpp"
+#include "streamsim/topology.hpp"
 
 namespace autra::baselines {
 
@@ -35,8 +36,8 @@ struct Ds2Params {
 };
 
 struct Ds2Result {
-  sim::Parallelism final_config;
-  sim::JobMetrics final_metrics;
+  runtime::Parallelism final_config;
+  runtime::JobMetrics final_metrics;
   int iterations = 0;
   bool reached_target = false;
   /// True when the iteration budget ran out without the target being met —
@@ -51,7 +52,7 @@ class Ds2Policy {
 
   /// Runs the DS2 convergence loop from `initial`.
   [[nodiscard]] Ds2Result run(const core::Evaluator& evaluate,
-                              const sim::Parallelism& initial) const;
+                              const runtime::Parallelism& initial) const;
 
  private:
   const sim::Topology& topology_;

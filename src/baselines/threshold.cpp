@@ -16,10 +16,10 @@ ThresholdPolicy::ThresholdPolicy(ThresholdParams params) : params_(params) {
   }
 }
 
-sim::Parallelism ThresholdPolicy::step(const sim::JobMetrics& metrics) const {
-  sim::Parallelism next = metrics.parallelism;
+runtime::Parallelism ThresholdPolicy::step(const runtime::JobMetrics& metrics) const {
+  runtime::Parallelism next = metrics.parallelism;
   for (std::size_t i = 0; i < metrics.operators.size(); ++i) {
-    const sim::OperatorRates& r = metrics.operators[i];
+    const runtime::OperatorRates& r = metrics.operators[i];
     if (r.true_rate_per_instance <= 0.0) continue;
     const double util =
         r.observed_rate_per_instance / r.true_rate_per_instance;
@@ -33,15 +33,15 @@ sim::Parallelism ThresholdPolicy::step(const sim::JobMetrics& metrics) const {
 }
 
 ThresholdResult ThresholdPolicy::run(const core::Evaluator& evaluate,
-                                     const sim::Parallelism& initial) const {
+                                     const runtime::Parallelism& initial) const {
   ThresholdResult result;
-  sim::Parallelism current = initial;
-  sim::JobMetrics metrics;
+  runtime::Parallelism current = initial;
+  runtime::JobMetrics metrics;
 
   for (int iter = 0; iter < params_.max_iterations; ++iter) {
     metrics = evaluate(current);
     ++result.iterations;
-    const sim::Parallelism next = step(metrics);
+    const runtime::Parallelism next = step(metrics);
     if (next == current) {
       result.converged = true;
       break;

@@ -22,8 +22,8 @@ struct ThresholdParams {
 };
 
 struct ThresholdResult {
-  sim::Parallelism final_config;
-  sim::JobMetrics final_metrics;
+  runtime::Parallelism final_config;
+  runtime::JobMetrics final_metrics;
   int iterations = 0;
   bool converged = false;  ///< A full pass changed nothing.
 };
@@ -33,10 +33,10 @@ class ThresholdPolicy {
   explicit ThresholdPolicy(ThresholdParams params);
 
   [[nodiscard]] ThresholdResult run(const core::Evaluator& evaluate,
-                                    const sim::Parallelism& initial) const;
+                                    const runtime::Parallelism& initial) const;
 
   /// One reactive step (exposed for testing).
-  [[nodiscard]] sim::Parallelism step(const sim::JobMetrics& metrics) const;
+  [[nodiscard]] runtime::Parallelism step(const runtime::JobMetrics& metrics) const;
 
  private:
   ThresholdParams params_;

@@ -6,7 +6,7 @@
 
 namespace autra::core {
 
-std::vector<sim::Parallelism> bootstrap_samples(const sim::Parallelism& base,
+std::vector<runtime::Parallelism> bootstrap_samples(const runtime::Parallelism& base,
                                                 int max_parallelism,
                                                 int m_uniform) {
   if (base.empty()) {
@@ -21,7 +21,7 @@ std::vector<sim::Parallelism> bootstrap_samples(const sim::Parallelism& base,
         "bootstrap_samples: base config exceeds P_max");
   }
 
-  std::vector<sim::Parallelism> samples;
+  std::vector<runtime::Parallelism> samples;
 
   // The base configuration itself: the job already runs at k' when the BO
   // stage starts (the throughput optimiser left it there), so its QoS is
@@ -39,14 +39,14 @@ std::vector<sim::Parallelism> bootstrap_samples(const sim::Parallelism& base,
 
   // Family 2: one operator at P_max, the rest at the base configuration.
   for (std::size_t j = 0; j < base.size(); ++j) {
-    sim::Parallelism s = base;
+    runtime::Parallelism s = base;
     s[j] = max_parallelism;
     samples.push_back(std::move(s));
   }
 
   // De-duplicate, preserving first occurrence.
-  std::vector<sim::Parallelism> unique;
-  for (sim::Parallelism& s : samples) {
+  std::vector<runtime::Parallelism> unique;
+  for (runtime::Parallelism& s : samples) {
     if (std::find(unique.begin(), unique.end(), s) == unique.end()) {
       unique.push_back(std::move(s));
     }

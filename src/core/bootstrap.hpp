@@ -22,7 +22,7 @@ namespace autra::core {
 /// `m_uniform` is M (>= 1). Duplicate configurations are removed while
 /// preserving order. Throws std::invalid_argument on empty base, m < 1, or
 /// P_max below every base entry's requirement.
-[[nodiscard]] std::vector<sim::Parallelism> bootstrap_samples(
-    const sim::Parallelism& base, int max_parallelism, int m_uniform);
+[[nodiscard]] std::vector<runtime::Parallelism> bootstrap_samples(
+    const runtime::Parallelism& base, int max_parallelism, int m_uniform);
 
 }  // namespace autra::core

@@ -3,36 +3,68 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace autra::core {
 
 MetricAggregator::MetricAggregator(const sim::Topology& topology)
     : topology_(topology) {}
 
-AggregatedMetrics MetricAggregator::aggregate(const sim::MetricsDb& db,
+void MetricAggregator::bind(const runtime::MetricStore& db) const {
+  namespace mn = runtime::metric_names;
+  if (ids_.db != &db) {
+    ids_ = ResolvedIds{};
+    ids_.db = &db;
+    ids_.true_rate.resize(topology_.num_operators());
+    ids_.input_rate_per_op.resize(topology_.num_operators());
+  }
+  // A series only exists in the store after its first write, so early
+  // aggregate() calls may precede some series; re-find any still missing.
+  if (!ids_.input_rate.valid()) ids_.input_rate = db.find(mn::kInputRate);
+  if (!ids_.throughput.valid()) ids_.throughput = db.find(mn::kThroughput);
+  if (!ids_.latency_mean.valid()) ids_.latency_mean = db.find(mn::kLatencyMean);
+  if (!ids_.kafka_lag.valid()) ids_.kafka_lag = db.find(mn::kKafkaLag);
+  for (std::size_t i = 0; i < topology_.num_operators(); ++i) {
+    const std::string& name = topology_.op(i).name;
+    if (!ids_.true_rate[i].valid()) {
+      ids_.true_rate[i] = db.find(mn::true_rate(name));
+    }
+    if (!ids_.input_rate_per_op[i].valid()) {
+      ids_.input_rate_per_op[i] = db.find(mn::input_rate(name));
+    }
+  }
+}
+
+AggregatedMetrics MetricAggregator::aggregate(const runtime::MetricStore& db,
                                               double t0, double t1) const {
-  namespace mn = sim::metric_names;
+  bind(db);
   AggregatedMetrics out;
   out.window_start = t0;
   out.window_end = t1;
-  out.input_rate = db.mean(mn::kInputRate, t0, t1).value_or(0.0);
-  out.throughput = db.mean(mn::kThroughput, t0, t1).value_or(0.0);
-  // Mean latency over gauges that actually saw completions.
-  double lat_sum = 0.0;
-  int lat_n = 0;
-  for (const sim::MetricPoint& p : db.query(mn::kLatencyMean, t0, t1)) {
-    if (p.value > 0.0) {
-      lat_sum += p.value;
-      ++lat_n;
+  out.input_rate = db.mean(ids_.input_rate, t0, t1).value_or(0.0);
+  out.throughput = db.mean(ids_.throughput, t0, t1).value_or(0.0);
+  // Mean latency over gauges that actually saw completions, read straight
+  // off the columnar series — no point-vector copy.
+  if (ids_.latency_mean.valid()) {
+    const runtime::MetricStore::SeriesView lat = db.series(ids_.latency_mean);
+    const auto [lat_first, lat_last] = db.range(ids_.latency_mean, t0, t1);
+    double lat_sum = 0.0;
+    int lat_n = 0;
+    for (std::size_t i = lat_first; i < lat_last; ++i) {
+      if (lat.values[i] > 0.0) {
+        lat_sum += lat.values[i];
+        ++lat_n;
+      }
     }
+    out.latency_ms = lat_n > 0 ? lat_sum / lat_n * 1000.0 : 0.0;
   }
-  out.latency_ms = lat_n > 0 ? lat_sum / lat_n * 1000.0 : 0.0;
-  if (const auto lag = db.last(mn::kKafkaLag)) out.kafka_lag = lag->value;
+  if (ids_.kafka_lag.valid()) {
+    if (const auto lag = db.last(ids_.kafka_lag)) out.kafka_lag = lag->value;
+  }
   for (std::size_t i = 0; i < topology_.num_operators(); ++i) {
-    const std::string& name = topology_.op(i).name;
-    out.true_rate.push_back(db.mean(mn::true_rate(name), t0, t1).value_or(0.0));
+    out.true_rate.push_back(db.mean(ids_.true_rate[i], t0, t1).value_or(0.0));
     out.input_rate_per_op.push_back(
-        db.mean(mn::input_rate(name), t0, t1).value_or(0.0));
+        db.mean(ids_.input_rate_per_op[i], t0, t1).value_or(0.0));
   }
   return out;
 }
@@ -53,11 +85,17 @@ const char* to_string(ScalingTrigger trigger) noexcept {
   return "unknown";
 }
 
-AuTraScaleController::AuTraScaleController(sim::JobSpec spec,
-                                           ControllerParams params)
-    : spec_(std::move(spec)),
+AuTraScaleController::AuTraScaleController(
+    sim::Topology topology,
+    std::shared_ptr<const runtime::TrialService> trials,
+    ControllerParams params)
+    : topology_(std::move(topology)),
+      trials_(std::move(trials)),
       params_(std::move(params)),
-      aggregator_(spec_.topology) {
+      aggregator_(topology_) {
+  if (trials_ == nullptr) {
+    throw std::invalid_argument("AuTraScaleController: null trial service");
+  }
   if (params_.policy_interval_sec <= 0.0 ||
       params_.policy_running_time_sec < params_.policy_interval_sec) {
     throw std::invalid_argument(
@@ -67,7 +105,7 @@ AuTraScaleController::AuTraScaleController(sim::JobSpec spec,
 }
 
 ScalingTrigger AuTraScaleController::analyze(
-    const AggregatedMetrics& m, const sim::Parallelism& current) const {
+    const AggregatedMetrics& m, const runtime::Parallelism& current) const {
   if (model_rate_ > 0.0 && m.input_rate > 0.0 &&
       std::abs(m.input_rate - model_rate_) / model_rate_ >
           params_.rate_change_tolerance) {
@@ -107,32 +145,30 @@ ScalingTrigger AuTraScaleController::analyze(
 }
 
 ControlDecision AuTraScaleController::plan_and_execute(
-    sim::ScalingSession& session, ScalingTrigger trigger, double rate) {
+    runtime::StreamingBackend& session, ScalingTrigger trigger, double rate) {
   ControlDecision decision;
   decision.time = session.now();
   decision.trigger = trigger;
 
-  // The Plan stage evaluates candidates on fresh-start runs of the same job
-  // spec at the current rate (each is one real job restart in the paper).
-  sim::JobSpec plan_spec = spec_;
-  plan_spec.schedule = std::make_shared<sim::ConstantRate>(rate);
-  sim::JobRunner runner(std::move(plan_spec),
-                        params_.policy_running_time_sec / 2.0,
-                        params_.policy_running_time_sec / 2.0);
-  const Evaluator evaluate = make_runner_evaluator(runner);
+  // The Plan stage evaluates candidates on fresh-start trials of the same
+  // job at the current rate (each is one real job restart in the paper).
+  const Evaluator evaluate =
+      trials_->evaluator_at(rate, params_.policy_running_time_sec / 2.0,
+                            params_.policy_running_time_sec / 2.0);
+  const int max_parallelism = trials_->max_parallelism();
 
   // Base configuration k' for this rate via throughput optimisation.
   ThroughputOptParams topt = params_.throughput;
-  topt.max_parallelism = runner.max_parallelism();
-  const ThroughputOptimizer optimizer(spec_.topology, topt);
+  topt.max_parallelism = max_parallelism;
+  const ThroughputOptimizer optimizer(topology_, topt);
   const ThroughputOptResult base_result = optimizer.optimize(
-      evaluate, sim::Parallelism(spec_.topology.num_operators(), 1));
+      evaluate, runtime::Parallelism(topology_.num_operators(), 1));
   base_ = base_result.best;
   model_rate_ = rate;
   decision.evaluations += base_result.iterations;
 
   SteadyRateParams sp = params_.steady;
-  sp.max_parallelism = runner.max_parallelism();
+  sp.max_parallelism = max_parallelism;
 
   const BenefitModel* prior = library_.closest(rate);
   const bool use_transfer =
@@ -167,7 +203,7 @@ ControlDecision AuTraScaleController::plan_and_execute(
 }
 
 std::vector<ControlDecision> AuTraScaleController::run(
-    sim::ScalingSession& session, double until_sec) {
+    runtime::StreamingBackend& session, double until_sec) {
   std::vector<ControlDecision> decisions;
   double stable_since = session.now();
 
@@ -188,7 +224,7 @@ std::vector<ControlDecision> AuTraScaleController::run(
 
     const double rate = m.input_rate > 0.0
                             ? m.input_rate
-                            : spec_.schedule->rate_at(session.now());
+                            : trials_->scheduled_rate_at(session.now());
     decisions.push_back(plan_and_execute(session, trigger, rate));
     stable_since = session.now();
   }

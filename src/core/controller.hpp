@@ -1,7 +1,7 @@
 // The AuTraScale system (paper Sec. IV): a MAPE control loop around a live
 // streaming job.
 //
-//   Monitor  — the engine writes Flink-path gauges into a MetricsDb
+//   Monitor  — the backend writes Flink-path gauges into a MetricStore
 //              (the InfluxDB stand-in);
 //   Analyze  — the Metric Aggregator summarises the last policy interval;
 //              the Scaling Manager decides whether action is needed and
@@ -12,21 +12,27 @@
 //              library;
 //   Execute  — the System Scheduler stops the job with a savepoint and
 //              restarts it with the recommended configuration (modelled as
-//              a downtime window by ScalingSession::reconfigure).
+//              a downtime window by the backend's reconfigure()).
+//
+// The controller is compiled only against the backend-agnostic runtime
+// layer: it drives any runtime::StreamingBackend (the fluid simulator, a
+// trace replay, a real cluster adapter) and evaluates Plan-stage trials
+// through a runtime::TrialService.
 //
 // Two cadence parameters from the paper: the *policy interval* (how often
 // the loop runs) and the *policy running time* (how long after a restart
 // metrics are ignored while the job stabilises).
 #pragma once
 
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/steady_rate.hpp"
 #include "core/throughput_opt.hpp"
 #include "core/transfer.hpp"
-#include "streamsim/job_runner.hpp"
+#include "runtime/backend.hpp"
+#include "streamsim/topology.hpp"
 
 namespace autra::core {
 
@@ -44,14 +50,27 @@ struct AggregatedMetrics {
 };
 
 /// Reads a window of the metric store into an AggregatedMetrics summary.
+///
+/// Series ids are resolved once per store and cached; each aggregate()
+/// call then reads incrementally maintained window sums (two binary
+/// searches per series), never copying point vectors.
 class MetricAggregator {
  public:
   explicit MetricAggregator(const sim::Topology& topology);
-  [[nodiscard]] AggregatedMetrics aggregate(const sim::MetricsDb& db,
+  [[nodiscard]] AggregatedMetrics aggregate(const runtime::MetricStore& db,
                                             double t0, double t1) const;
 
  private:
+  struct ResolvedIds {
+    const runtime::MetricStore* db = nullptr;
+    runtime::MetricId input_rate, throughput, latency_mean, kafka_lag;
+    std::vector<runtime::MetricId> true_rate;
+    std::vector<runtime::MetricId> input_rate_per_op;
+  };
+  void bind(const runtime::MetricStore& db) const;
+
   const sim::Topology& topology_;
+  mutable ResolvedIds ids_;
 };
 
 /// Why the Scaling Manager asked for action.
@@ -83,23 +102,24 @@ struct ControlDecision {
   double time = 0.0;
   ScalingTrigger trigger = ScalingTrigger::kNone;
   std::string algorithm;  ///< "none", "algorithm1", "algorithm2".
-  sim::Parallelism applied;
+  runtime::Parallelism applied;
   int evaluations = 0;
 };
 
-/// The full AuTraScale controller driving a live ScalingSession.
+/// The full AuTraScale controller driving a live StreamingBackend.
 ///
-/// The Plan stage's algorithms evaluate candidate configurations on a
-/// fresh-start JobRunner sharing the session's JobSpec (the paper likewise
-/// restarts the real job per trial); the chosen configuration is then
-/// applied to the live session.
+/// The Plan stage's algorithms evaluate candidate configurations through
+/// the TrialService (the paper likewise restarts the real job per trial);
+/// the chosen configuration is then applied to the live session.
 class AuTraScaleController {
  public:
-  AuTraScaleController(sim::JobSpec spec, ControllerParams params);
+  AuTraScaleController(sim::Topology topology,
+                       std::shared_ptr<const runtime::TrialService> trials,
+                       ControllerParams params);
 
   /// Runs the MAPE loop against `session` until session time reaches
   /// `until_sec`. Returns all decisions taken.
-  std::vector<ControlDecision> run(sim::ScalingSession& session,
+  std::vector<ControlDecision> run(runtime::StreamingBackend& session,
                                    double until_sec);
 
   [[nodiscard]] const ModelLibrary& library() const noexcept {
@@ -113,17 +133,18 @@ class AuTraScaleController {
   void set_library(ModelLibrary library) { library_ = std::move(library); }
 
  private:
-  [[nodiscard]] ScalingTrigger analyze(const AggregatedMetrics& m,
-                                       const sim::Parallelism& current) const;
-  ControlDecision plan_and_execute(sim::ScalingSession& session,
+  [[nodiscard]] ScalingTrigger analyze(
+      const AggregatedMetrics& m, const runtime::Parallelism& current) const;
+  ControlDecision plan_and_execute(runtime::StreamingBackend& session,
                                    ScalingTrigger trigger, double rate);
 
-  sim::JobSpec spec_;
+  sim::Topology topology_;
+  std::shared_ptr<const runtime::TrialService> trials_;
   ControllerParams params_;
   MetricAggregator aggregator_;
   ModelLibrary library_;
-  double model_rate_ = -1.0;  ///< Rate of the base config currently applied.
-  sim::Parallelism base_;     ///< k' for the current rate.
+  double model_rate_ = -1.0;   ///< Rate of the base config currently applied.
+  runtime::Parallelism base_;  ///< k' for the current rate.
 };
 
 }  // namespace autra::core

@@ -2,11 +2,13 @@
 
 #include <memory>
 
+#include "streamsim/job_runner.hpp"
+
 namespace autra::core {
 
 Evaluator make_runner_evaluator(const sim::JobRunner& runner) {
   auto salt = std::make_shared<std::uint64_t>(0);
-  return [&runner, salt](const sim::Parallelism& p) {
+  return [&runner, salt](const runtime::Parallelism& p) {
     return runner.measure(p, (*salt)++);
   };
 }

@@ -1,19 +1,22 @@
 // Evaluation abstraction shared by every auto-scaling policy.
 //
-// An Evaluator runs a job with one parallelism configuration and reports the
-// QoS observed after the policy running time — the "run" of the paper's
-// recommend-run-judge loop. Policies never talk to the simulator directly,
-// so the same algorithm code drives a fresh-start JobRunner, a live
-// ScalingSession, or a test double.
+// An Evaluator runs a job with one parallelism configuration and reports
+// the QoS observed after the policy running time — the "run" of the
+// paper's recommend-run-judge loop. The type itself lives in the
+// backend-agnostic runtime layer; policies never include a concrete
+// engine header, so the same algorithm code drives a fresh-start
+// JobRunner, a live session, or a test double.
 #pragma once
 
-#include <functional>
+#include "runtime/backend.hpp"
 
-#include "streamsim/job_runner.hpp"
+namespace autra::sim {
+class JobRunner;
+}  // namespace autra::sim
 
 namespace autra::core {
 
-using Evaluator = std::function<sim::JobMetrics(const sim::Parallelism&)>;
+using Evaluator = runtime::Evaluator;
 
 /// Evaluator backed by fresh-start JobRunner::measure calls, with a
 /// distinct noise salt per call so repeated evaluations differ like real

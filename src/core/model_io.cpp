@@ -66,7 +66,7 @@ ModelLibrary load_library(std::istream& in) {
       if (!(ss >> s.score)) fail(line_no, "missing sample score");
       // Stored samples were real measurements; the metrics themselves are
       // not persisted, so mark them with an empty snapshot.
-      s.metrics = sim::JobMetrics{};
+      s.metrics = runtime::JobMetrics{};
       current.samples.push_back(std::move(s));
     } else if (tag == "end") {
       if (!open) fail(line_no, "end without model");

@@ -27,7 +27,7 @@ void RateAwareModel::add_sample(RatedSample sample) {
   samples_.push_back(std::move(sample));
 }
 
-std::vector<double> RateAwareModel::features(const sim::Parallelism& config,
+std::vector<double> RateAwareModel::features(const runtime::Parallelism& config,
                                              double rate) const {
   std::vector<double> f(config.begin(), config.end());
   // The GP normalises inputs per dimension, so the raw rate is fine as a
@@ -51,7 +51,7 @@ void RateAwareModel::fit() {
   gp_.fit(x, y);
 }
 
-double RateAwareModel::predict_mean(const sim::Parallelism& config,
+double RateAwareModel::predict_mean(const runtime::Parallelism& config,
                                     double rate) const {
   if (!gp_.is_fitted()) {
     throw std::logic_error("RateAwareModel: model not fitted");
@@ -59,7 +59,7 @@ double RateAwareModel::predict_mean(const sim::Parallelism& config,
   return gp_.predict(features(config, rate)).mean;
 }
 
-sim::Parallelism RateAwareModel::recommend(const sim::Parallelism& base,
+runtime::Parallelism RateAwareModel::recommend(const runtime::Parallelism& base,
                                            double rate,
                                            const SteadyRateParams& params,
                                            std::mt19937_64& rng) const {
@@ -98,7 +98,7 @@ sim::Parallelism RateAwareModel::recommend(const sim::Parallelism& base,
   double best_ei = -1.0;
   bo::Config best = space.clamp(bo::Config(base.begin(), base.end()));
   for (const bo::Config& c : cands) {
-    const sim::Parallelism config(c.begin(), c.end());
+    const runtime::Parallelism config(c.begin(), c.end());
     const gp::Prediction p = gp_.predict(features(config, rate));
     const double ei = gp::expected_improvement(p, incumbent, params.xi);
     if (ei > best_ei) {
@@ -110,7 +110,7 @@ sim::Parallelism RateAwareModel::recommend(const sim::Parallelism& base,
 }
 
 RateAwareResult run_rate_aware(const Evaluator& evaluate,
-                               const sim::Parallelism& base, double rate,
+                               const runtime::Parallelism& base, double rate,
                                RateAwareModel& model,
                                const RateAwareParams& params) {
   if (params.max_evaluations < 1) {
@@ -126,7 +126,7 @@ RateAwareResult run_rate_aware(const Evaluator& evaluate,
   std::vector<SamplePoint> measured;
 
   while (result.real_evaluations < params.max_evaluations) {
-    sim::Parallelism next = model.is_fitted()
+    runtime::Parallelism next = model.is_fitted()
                                 ? model.recommend(base, rate, sp, rng)
                                 : base;
     const bool repeat = std::any_of(
@@ -139,7 +139,7 @@ RateAwareResult run_rate_aware(const Evaluator& evaluate,
       next = base;
     }
 
-    sim::JobMetrics m = evaluate(next);
+    runtime::JobMetrics m = evaluate(next);
     SamplePoint s;
     s.config = next;
     s.score = benefit_score(m, score_params);

@@ -29,7 +29,7 @@ namespace autra::core {
 
 /// One training record: a configuration evaluated at some input rate.
 struct RatedSample {
-  sim::Parallelism config;
+  runtime::Parallelism config;
   double rate = 0.0;
   double score = 0.0;
 };
@@ -41,9 +41,9 @@ struct RateAwareParams {
 };
 
 struct RateAwareResult {
-  sim::Parallelism best;
+  runtime::Parallelism best;
   double best_score = 0.0;
-  sim::JobMetrics best_metrics;
+  runtime::JobMetrics best_metrics;
   int real_evaluations = 0;
   bool converged = false;
 };
@@ -69,19 +69,19 @@ class RateAwareModel {
   }
 
   /// Posterior mean score of `config` at `rate`.
-  [[nodiscard]] double predict_mean(const sim::Parallelism& config,
+  [[nodiscard]] double predict_mean(const runtime::Parallelism& config,
                                     double rate) const;
 
   /// EI-optimal configuration for a new rate, without any real run:
   /// maximises expected improvement over the incumbent predicted score in
   /// the search space [base, P_max]^N at that rate.
-  [[nodiscard]] sim::Parallelism recommend(const sim::Parallelism& base,
+  [[nodiscard]] runtime::Parallelism recommend(const runtime::Parallelism& base,
                                            double rate,
                                            const SteadyRateParams& params,
                                            std::mt19937_64& rng) const;
 
  private:
-  [[nodiscard]] std::vector<double> features(const sim::Parallelism& config,
+  [[nodiscard]] std::vector<double> features(const runtime::Parallelism& config,
                                              double rate) const;
 
   gp::GpConfig gp_config_;
@@ -93,7 +93,7 @@ class RateAwareModel {
 /// run for real, add the sample, refit — until the measured sample meets
 /// the steady-rate termination conditions or the budget runs out.
 [[nodiscard]] RateAwareResult run_rate_aware(const Evaluator& evaluate,
-                                             const sim::Parallelism& base,
+                                             const runtime::Parallelism& base,
                                              double rate,
                                              RateAwareModel& model,
                                              const RateAwareParams& params);

@@ -5,7 +5,7 @@
 
 namespace autra::core {
 
-double benefit_score(const sim::Parallelism& current, double latency_ms,
+double benefit_score(const runtime::Parallelism& current, double latency_ms,
                      const ScoreParams& params) {
   if (params.alpha < 0.0 || params.alpha > 1.0) {
     throw std::invalid_argument("benefit_score: alpha outside [0,1]");
@@ -38,7 +38,7 @@ double benefit_score(const sim::Parallelism& current, double latency_ms,
   return params.alpha * latency_term + (1.0 - params.alpha) * resource_term;
 }
 
-double benefit_score(const sim::JobMetrics& metrics,
+double benefit_score(const runtime::JobMetrics& metrics,
                      const ScoreParams& params) {
   return benefit_score(metrics.parallelism, metrics.latency_ms, params);
 }

@@ -18,7 +18,7 @@
 // orientation the rule demands.)
 #pragma once
 
-#include "streamsim/job_runner.hpp"
+#include "runtime/job_metrics.hpp"
 
 namespace autra::core {
 
@@ -29,17 +29,17 @@ struct ScoreParams {
   double alpha = 0.5;
   /// Base configuration k' (per-operator minimum parallelism that
   /// maximises throughput).
-  sim::Parallelism base;
+  runtime::Parallelism base;
 };
 
 /// Eq. 4. Throws std::invalid_argument on bad parameters or mismatched
 /// configuration size.
-[[nodiscard]] double benefit_score(const sim::Parallelism& current,
+[[nodiscard]] double benefit_score(const runtime::Parallelism& current,
                                    double latency_ms,
                                    const ScoreParams& params);
 
 /// Convenience overload reading latency from a metrics snapshot.
-[[nodiscard]] double benefit_score(const sim::JobMetrics& metrics,
+[[nodiscard]] double benefit_score(const runtime::JobMetrics& metrics,
                                    const ScoreParams& params);
 
 /// Eq. 9: the score threshold implied by an over-allocation budget w:

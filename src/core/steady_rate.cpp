@@ -9,7 +9,7 @@ namespace autra::core {
 
 namespace {
 
-bo::SearchSpace make_space(const sim::Parallelism& base,
+bo::SearchSpace make_space(const runtime::Parallelism& base,
                            int max_parallelism) {
   bo::Config lower(base.begin(), base.end());
   bo::Config upper(base.size(), max_parallelism);
@@ -25,13 +25,13 @@ bo::BayesOptConfig make_bo_config(const SteadyRateParams& params) {
 }
 
 ScoreParams make_score_params(const SteadyRateParams& params,
-                              const sim::Parallelism& base) {
+                              const runtime::Parallelism& base) {
   return {.target_latency_ms = params.target_latency_ms,
           .alpha = params.alpha,
           .base = base};
 }
 
-void validate(const sim::Parallelism& base, const SteadyRateParams& params) {
+void validate(const runtime::Parallelism& base, const SteadyRateParams& params) {
   if (base.empty()) {
     throw std::invalid_argument("run_steady_rate: empty base configuration");
   }
@@ -53,7 +53,7 @@ void validate(const sim::Parallelism& base, const SteadyRateParams& params) {
 const SamplePoint* pick_best_fallback(std::span<const SamplePoint> samples,
                                       const SteadyRateParams& params) {
   const auto tier = [&](const SamplePoint& s) {
-    const sim::JobMetrics& m = *s.metrics;
+    const runtime::JobMetrics& m = *s.metrics;
     const double target = params.target_throughput > 0.0
                               ? params.target_throughput
                               : m.input_rate;
@@ -79,7 +79,7 @@ const SamplePoint* pick_best_fallback(std::span<const SamplePoint> samples,
 bool meets_requirements(const SamplePoint& sample,
                         const SteadyRateParams& params) {
   if (sample.estimated()) return false;
-  const sim::JobMetrics& m = *sample.metrics;
+  const runtime::JobMetrics& m = *sample.metrics;
   if (m.latency_ms > params.target_latency_ms) return false;
   const double target = params.target_throughput > 0.0
                             ? params.target_throughput
@@ -91,7 +91,7 @@ bool meets_requirements(const SamplePoint& sample,
 }
 
 SteadyRateResult run_steady_rate(const Evaluator& evaluate,
-                                 const sim::Parallelism& base,
+                                 const runtime::Parallelism& base,
                                  const SteadyRateParams& params,
                                  std::span<const SamplePoint> seed_samples,
                                  bool skip_bootstrap) {
@@ -117,9 +117,9 @@ SteadyRateResult run_steady_rate(const Evaluator& evaluate,
 
   int budget = params.max_evaluations;
 
-  const auto measure = [&](const sim::Parallelism& config)
+  const auto measure = [&](const runtime::Parallelism& config)
       -> const SamplePoint& {
-    sim::JobMetrics m = evaluate(config);
+    runtime::JobMetrics m = evaluate(config);
     SamplePoint s;
     s.config = config;
     s.score = benefit_score(m, score_params);
@@ -129,7 +129,7 @@ SteadyRateResult run_steady_rate(const Evaluator& evaluate,
   };
 
   if (!skip_bootstrap) {
-    for (const sim::Parallelism& config :
+    for (const runtime::Parallelism& config :
          bootstrap_samples(base, params.max_parallelism, params.bootstrap_m)) {
       if (budget <= 0) break;
       measure(config);
@@ -148,7 +148,7 @@ SteadyRateResult run_steady_rate(const Evaluator& evaluate,
 
   while (satisfied == nullptr && budget > 0) {
     const bo::Config next = opt.suggest();
-    const sim::Parallelism config(next.begin(), next.end());
+    const runtime::Parallelism config(next.begin(), next.end());
 
     // The acquisition returning an already-measured configuration means the
     // model is fully exploited; measuring it again would not change the
@@ -184,8 +184,8 @@ SteadyRateResult run_steady_rate(const Evaluator& evaluate,
   return result;
 }
 
-sim::Parallelism recommend_next(std::span<const SamplePoint> samples,
-                                const sim::Parallelism& base,
+runtime::Parallelism recommend_next(std::span<const SamplePoint> samples,
+                                const runtime::Parallelism& base,
                                 const SteadyRateParams& params) {
   validate(base, params);
   if (samples.empty()) {

@@ -49,17 +49,17 @@ struct SteadyRateParams {
 
 /// One evaluated (or estimated, in the transfer path) sample.
 struct SamplePoint {
-  sim::Parallelism config;
+  runtime::Parallelism config;
   double score = 0.0;
   /// Metrics are absent for estimated samples injected by Algorithm 2.
-  std::optional<sim::JobMetrics> metrics;
+  std::optional<runtime::JobMetrics> metrics;
   [[nodiscard]] bool estimated() const noexcept { return !metrics.has_value(); }
 };
 
 struct SteadyRateResult {
-  sim::Parallelism best;
+  runtime::Parallelism best;
   double best_score = 0.0;
-  sim::JobMetrics best_metrics;
+  runtime::JobMetrics best_metrics;
   /// Real evaluations spent on bootstrap samples.
   int bootstrap_evaluations = 0;
   /// Real evaluations spent in the BO loop.
@@ -89,7 +89,7 @@ struct SteadyRateResult {
 /// evaluation is skipped when `skip_bootstrap` is set (the transfer path
 /// provides estimates of the bootstrap set instead of running it).
 [[nodiscard]] SteadyRateResult run_steady_rate(
-    const Evaluator& evaluate, const sim::Parallelism& base,
+    const Evaluator& evaluate, const runtime::Parallelism& base,
     const SteadyRateParams& params,
     std::span<const SamplePoint> seed_samples = {},
     bool skip_bootstrap = false);
@@ -98,8 +98,8 @@ struct SteadyRateResult {
 /// anything: fits the surrogate on `samples` and returns the EI-optimal
 /// next configuration. This is the "Algorithm 1 call" on line 14 of
 /// Algorithm 2 and the <1 ms "Algorithm1_use" row of Table IV.
-[[nodiscard]] sim::Parallelism recommend_next(
-    std::span<const SamplePoint> samples, const sim::Parallelism& base,
+[[nodiscard]] runtime::Parallelism recommend_next(
+    std::span<const SamplePoint> samples, const runtime::Parallelism& base,
     const SteadyRateParams& params);
 
 }  // namespace autra::core

@@ -10,8 +10,8 @@ namespace {
 constexpr double kEps = 1e-9;
 }
 
-sim::Parallelism scale_step(const sim::Topology& topology,
-                            const sim::JobMetrics& metrics,
+runtime::Parallelism scale_step(const sim::Topology& topology,
+                            const runtime::JobMetrics& metrics,
                             double target_rate, int max_parallelism) {
   const std::size_t n = topology.num_operators();
   if (metrics.operators.size() != n) {
@@ -22,9 +22,9 @@ sim::Parallelism scale_step(const sim::Topology& topology,
   // selectivity when an operator saw no traffic.
   std::vector<double> target_in(n, 0.0);
   std::vector<double> target_out(n, 0.0);
-  sim::Parallelism rec(n, 1);
+  runtime::Parallelism rec(n, 1);
   for (std::size_t i : topology.topological_order()) {
-    const sim::OperatorRates& r = metrics.operators[i];
+    const runtime::OperatorRates& r = metrics.operators[i];
     if (topology.op(i).kind == sim::OperatorKind::kSource) {
       target_in[i] = target_rate;
     }
@@ -63,22 +63,22 @@ ThroughputOptimizer::ThroughputOptimizer(const sim::Topology& topology,
 }
 
 ThroughputOptResult ThroughputOptimizer::optimize(
-    const Evaluator& evaluate, const sim::Parallelism& initial) const {
+    const Evaluator& evaluate, const runtime::Parallelism& initial) const {
   if (initial.size() != topology_.num_operators()) {
     throw std::invalid_argument(
         "ThroughputOptimizer: initial configuration size mismatch");
   }
   ThroughputOptResult result;
-  sim::Parallelism current = initial;
+  runtime::Parallelism current = initial;
 
   for (int iter = 0; iter < params_.max_iterations; ++iter) {
-    sim::JobMetrics m = evaluate(current);
+    runtime::JobMetrics m = evaluate(current);
     ++result.iterations;
 
     const double target = params_.target_throughput > 0.0
                               ? params_.target_throughput
                               : m.input_rate;
-    const sim::Parallelism rec =
+    const runtime::Parallelism rec =
         scale_step(topology_, m, target, params_.max_parallelism);
     result.trajectory.push_back({current, std::move(m), rec});
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "streamsim/topology.hpp"
 
 namespace autra::core {
 
@@ -35,13 +36,13 @@ struct ThroughputOptParams {
 };
 
 struct ThroughputIteration {
-  sim::Parallelism config;
-  sim::JobMetrics metrics;
-  sim::Parallelism recommended;  ///< Eq. 3 output measured on `config`.
+  runtime::Parallelism config;
+  runtime::JobMetrics metrics;
+  runtime::Parallelism recommended;  ///< Eq. 3 output measured on `config`.
 };
 
 struct ThroughputOptResult {
-  sim::Parallelism best;           ///< The base configuration k'.
+  runtime::Parallelism best;           ///< The base configuration k'.
   double best_throughput = 0.0;
   int iterations = 0;              ///< Number of job evaluations.
   bool reached_target = false;     ///< Throughput met the target.
@@ -54,8 +55,8 @@ struct ThroughputOptResult {
 /// the input rate `target_rate` propagated through measured selectivities.
 /// Needs the topology for the DAG structure. Parallelism is clamped to
 /// [1, max_parallelism].
-[[nodiscard]] sim::Parallelism scale_step(const sim::Topology& topology,
-                                          const sim::JobMetrics& metrics,
+[[nodiscard]] runtime::Parallelism scale_step(const sim::Topology& topology,
+                                          const runtime::JobMetrics& metrics,
                                           double target_rate,
                                           int max_parallelism);
 
@@ -67,7 +68,7 @@ class ThroughputOptimizer {
   /// Runs the iterative optimisation from `initial` (the paper starts all
   /// workloads at parallelism 1).
   [[nodiscard]] ThroughputOptResult optimize(
-      const Evaluator& evaluate, const sim::Parallelism& initial) const;
+      const Evaluator& evaluate, const runtime::Parallelism& initial) const;
 
  private:
   const sim::Topology& topology_;

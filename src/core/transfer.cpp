@@ -27,7 +27,7 @@ linalg::Matrix features_of(const std::vector<SamplePoint>& samples) {
   return x;
 }
 
-std::vector<double> config_features(const sim::Parallelism& config) {
+std::vector<double> config_features(const runtime::Parallelism& config) {
   return {config.begin(), config.end()};
 }
 
@@ -40,11 +40,11 @@ void BenefitModel::fit() {
   gp.fit(x, y);
 }
 
-double BenefitModel::predict_mean(const sim::Parallelism& config) const {
+double BenefitModel::predict_mean(const runtime::Parallelism& config) const {
   return gp.predict(config_features(config)).mean;
 }
 
-BenefitModel make_benefit_model(double rate, const sim::Parallelism& base,
+BenefitModel make_benefit_model(double rate, const runtime::Parallelism& base,
                                 const SteadyRateResult& result) {
   BenefitModel model;
   model.rate = rate;
@@ -81,7 +81,7 @@ bool ModelLibrary::has_model_for(double rate, double tolerance) const {
 }
 
 TransferResult run_transfer(const Evaluator& evaluate,
-                            const sim::Parallelism& base,
+                            const runtime::Parallelism& base,
                             const BenefitModel& prior,
                             const TransferParams& params,
                             std::vector<SamplePoint> initial_real) {
@@ -101,9 +101,9 @@ TransferResult run_transfer(const Evaluator& evaluate,
   std::vector<SamplePoint>& real = result.real_samples;
   real = std::move(initial_real);
 
-  const auto measure = [&](const sim::Parallelism& config)
+  const auto measure = [&](const runtime::Parallelism& config)
       -> const SamplePoint& {
-    sim::JobMetrics m = evaluate(config);
+    runtime::JobMetrics m = evaluate(config);
     SamplePoint s;
     s.config = config;
     s.score = benefit_score(m, score_params);
@@ -125,7 +125,7 @@ TransferResult run_transfer(const Evaluator& evaluate,
     }
   }
 
-  const std::vector<sim::Parallelism> bootstrap =
+  const std::vector<runtime::Parallelism> bootstrap =
       bootstrap_samples(base, sp.max_parallelism, sp.bootstrap_m);
 
   while (result.real_evaluations < params.max_transfer_evaluations) {
@@ -140,7 +140,7 @@ TransferResult run_transfer(const Evaluator& evaluate,
 
     // Estimated scores for the bootstrap set: mu_c = mu_{c-1} + residual.
     std::vector<SamplePoint> dataset = real;
-    for (const sim::Parallelism& x : bootstrap) {
+    for (const runtime::Parallelism& x : bootstrap) {
       const bool measured =
           std::any_of(real.begin(), real.end(), [&](const SamplePoint& s) {
             return s.config == x;
@@ -154,7 +154,7 @@ TransferResult run_transfer(const Evaluator& evaluate,
 
     // One Algorithm-1 recommendation on the mixed dataset, then one real
     // run of the recommended configuration.
-    const sim::Parallelism next = recommend_next(dataset, base, sp);
+    const runtime::Parallelism next = recommend_next(dataset, base, sp);
     const bool repeat =
         std::any_of(real.begin(), real.end(), [&](const SamplePoint& s) {
           return s.config == next;

@@ -29,18 +29,18 @@ namespace autra::core {
 /// A trained benefit model bound to one input data rate.
 struct BenefitModel {
   double rate = 0.0;  ///< Records/s the model was trained at.
-  sim::Parallelism base;  ///< Base configuration k' at that rate.
+  runtime::Parallelism base;  ///< Base configuration k' at that rate.
   std::vector<SamplePoint> samples;  ///< Real samples it was trained on.
   gp::GpRegressor gp;  ///< Fitted on (config, score).
 
   /// Fits `gp` from `samples`; throws std::invalid_argument when empty.
   void fit();
-  [[nodiscard]] double predict_mean(const sim::Parallelism& config) const;
+  [[nodiscard]] double predict_mean(const runtime::Parallelism& config) const;
 };
 
 /// Builds a benefit model from an Algorithm 1 result.
 [[nodiscard]] BenefitModel make_benefit_model(double rate,
-                                              const sim::Parallelism& base,
+                                              const runtime::Parallelism& base,
                                               const SteadyRateResult& result);
 
 /// The Plan stage's model library: benefit models keyed by rate.
@@ -76,9 +76,9 @@ struct TransferParams {
 };
 
 struct TransferResult {
-  sim::Parallelism best;
+  runtime::Parallelism best;
   double best_score = 0.0;
-  sim::JobMetrics best_metrics;
+  runtime::JobMetrics best_metrics;
   /// Real evaluations spent (the iteration count of Fig. 8(a)).
   int real_evaluations = 0;
   bool converged = false;
@@ -98,7 +98,7 @@ struct TransferResult {
 /// base configuration); when empty, the base configuration is evaluated
 /// first to seed the residual model.
 [[nodiscard]] TransferResult run_transfer(
-    const Evaluator& evaluate, const sim::Parallelism& base,
+    const Evaluator& evaluate, const runtime::Parallelism& base,
     const BenefitModel& prior, const TransferParams& params,
     std::vector<SamplePoint> initial_real = {});
 

@@ -1,0 +1,93 @@
+// The backend-agnostic runtime interface the policy layer is compiled
+// against.
+//
+// StreamingBackend is a *live, continuously running* streaming job that
+// can be observed and rescaled — the Monitor and Execute surfaces of the
+// MAPE loop. TrialService is the Plan surface: it provides fresh-start
+// evaluations of candidate configurations at a pinned input rate (each
+// evaluation is one real job restart in the paper's terms).
+//
+// The fluid simulator (sim::ScalingSession / sim::SimTrialService) is the
+// first implementation; runtime::ReplayBackend replays a recorded metric
+// trace; a real Flink/Heron adapter would be a third. Policy code in
+// src/core/ and src/baselines/ must include only this layer — never a
+// concrete engine header.
+#pragma once
+
+#include <functional>
+
+#include "runtime/job_metrics.hpp"
+#include "runtime/metrics.hpp"
+
+namespace autra::runtime {
+
+/// How a reconfiguration is applied.
+enum class RescaleMode {
+  /// Savepoint + full redeploy: the paper's Execute stage. Applies to any
+  /// configuration change.
+  kColdRestart,
+  /// In-place scale-out (Flink reactive-mode style): new instances join
+  /// without stopping the running ones, so the downtime shrinks to the
+  /// slot-allocation time. Only valid when no operator's parallelism
+  /// shrinks — state never needs to be re-partitioned away from a running
+  /// instance.
+  kHotScaleOut,
+};
+
+/// A long-running streaming job: observe it, rescale it, keep running.
+class StreamingBackend {
+ public:
+  virtual ~StreamingBackend() = default;
+
+  /// Advances the job by `sec` (simulated or wall) seconds.
+  virtual void run_for(double sec) = 0;
+
+  /// Applies `p`, preserving the source log and the wall clock. No-op if
+  /// `p` equals the current config. kHotScaleOut throws
+  /// std::invalid_argument when any operator shrinks.
+  virtual void reconfigure(const Parallelism& p,
+                           RescaleMode mode = RescaleMode::kColdRestart) = 0;
+
+  [[nodiscard]] virtual double now() const = 0;
+  [[nodiscard]] virtual const Parallelism& parallelism() const = 0;
+
+  /// Metrics accumulated since the last reset_window()/reconfigure().
+  [[nodiscard]] virtual JobMetrics window_metrics() const = 0;
+  virtual void reset_window() = 0;
+
+  /// Continuous gauge history spanning the whole session (all restarts).
+  [[nodiscard]] virtual const MetricStore& history() const = 0;
+
+  /// Number of reconfigurations applied so far.
+  [[nodiscard]] virtual int restarts() const = 0;
+};
+
+/// Runs a job with one parallelism configuration and reports the QoS
+/// observed after the policy running time — the "run" of the paper's
+/// recommend-run-judge loop. Policies never talk to a backend directly,
+/// so the same algorithm code drives a simulator, a real cluster, or a
+/// test double.
+using Evaluator = std::function<JobMetrics(const Parallelism&)>;
+
+/// Plan-stage evaluation provider: fresh-start trials of the job at a
+/// pinned input rate, decoupled from the live session being controlled.
+class TrialService {
+ public:
+  virtual ~TrialService() = default;
+
+  /// Evaluator that cold-starts the job at constant `rate`, warms up for
+  /// `warmup_sec`, measures for `measure_sec`. Repeated calls of the
+  /// returned evaluator must decorrelate measurement noise like real
+  /// reruns do.
+  [[nodiscard]] virtual Evaluator evaluator_at(double rate, double warmup_sec,
+                                               double measure_sec) const = 0;
+
+  /// Upper bound on any operator's parallelism (cluster slot capacity).
+  [[nodiscard]] virtual int max_parallelism() const = 0;
+
+  /// Externally scheduled input rate at time `t` — the fallback when the
+  /// measured rate is unusable (e.g. the job just restarted).
+  [[nodiscard]] virtual double scheduled_rate_at(double t) const = 0;
+};
+
+}  // namespace autra::runtime

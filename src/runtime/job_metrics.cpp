@@ -1,0 +1,11 @@
+#include "runtime/job_metrics.hpp"
+
+#include <numeric>
+
+namespace autra::runtime {
+
+int JobMetrics::total_parallelism() const {
+  return std::accumulate(parallelism.begin(), parallelism.end(), 0);
+}
+
+}  // namespace autra::runtime

@@ -1,0 +1,49 @@
+// Backend-neutral job observables: the parallelism configuration, the
+// per-operator rate snapshot, and the QoS summary of one measurement
+// window. These are the only job-level types the policy layer (core/ and
+// baselines/) sees — every streaming backend (the fluid simulator, a trace
+// replay, eventually a real engine) reports in these terms.
+#pragma once
+
+#include <vector>
+
+namespace autra::runtime {
+
+/// Parallelism configuration of a job: one entry per operator, in topology
+/// operator-index order.
+using Parallelism = std::vector<int>;
+
+/// Live snapshot of one operator's rates.
+struct OperatorRates {
+  /// Average true processing rate of one instance (records/s), Eq. 2.
+  double true_rate_per_instance = 0.0;
+  /// Observed rate of one instance (records/s, includes idle/blocked time).
+  double observed_rate_per_instance = 0.0;
+  double total_input_rate = 0.0;   ///< lambda_i.
+  double total_output_rate = 0.0;  ///< o_i.
+  double queue_length = 0.0;
+  int parallelism = 0;
+};
+
+/// QoS snapshot of one measurement window.
+struct JobMetrics {
+  Parallelism parallelism;
+  double input_rate = 0.0;      ///< External production rate during window.
+  double throughput = 0.0;      ///< Records/s consumed from the source log.
+  double latency_ms = 0.0;      ///< Mean processing latency (Flink latency).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double event_latency_ms = 0.0;  ///< Mean event-time latency (incl. lag).
+  double kafka_lag = 0.0;         ///< Records pending at window end.
+  double lag_growth_per_sec = 0.0;
+  double busy_cores = 0.0;        ///< Average CPU cores in use.
+  double memory_mb = 0.0;         ///< Static memory footprint.
+  std::vector<OperatorRates> operators;
+
+  /// Sum of all operator parallelisms — the "resource units" compared in
+  /// the paper's Figs. 7 and 8.
+  [[nodiscard]] int total_parallelism() const;
+};
+
+}  // namespace autra::runtime

@@ -1,0 +1,185 @@
+// Backend-agnostic metrics pipeline: interned series ids, an abstract
+// MetricSink, and the columnar MetricStore every backend writes into.
+//
+// The hot path is the per-tick gauge write of a streaming backend. A
+// series name is interned into a dense MetricId exactly once (at backend
+// construction); every subsequent write is an id-indexed vector append —
+// zero string construction, zero map lookups. Reads keep the convenient
+// string-keyed API of the original MetricsDb for cold paths (tests, CSV
+// export), while policy-interval consumers resolve ids once and read
+// incrementally maintained window sums (per-series cumulative sums make a
+// window mean two binary searches plus a subtraction, never a copy).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace autra::runtime {
+
+struct MetricPoint {
+  double time = 0.0;
+  double value = 0.0;
+};
+
+/// Dense handle of one interned metric series. Ids are stable for the
+/// lifetime of the registry that produced them (until clear()).
+class MetricId {
+ public:
+  constexpr MetricId() = default;
+  constexpr explicit MetricId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+  friend constexpr bool operator==(MetricId, MetricId) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t value_ = kInvalid;
+};
+
+/// Name -> MetricId interning table (one per MetricStore).
+class MetricRegistry {
+ public:
+  /// Returns the id of `name`, interning it on first sight.
+  MetricId intern(std::string_view name);
+
+  /// Id of `name` if already interned; invalid id otherwise.
+  [[nodiscard]] MetricId find(std::string_view name) const;
+
+  /// Name of an interned id; throws std::out_of_range on an unknown id.
+  [[nodiscard]] const std::string& name(MetricId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  void clear();
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>>
+      index_;
+  std::vector<std::string> names_;
+};
+
+/// Destination for gauge writes. Backends resolve their series names to ids
+/// once, then record by id only.
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+
+  /// Interns `name` and returns its sink-local id.
+  virtual MetricId resolve(std::string_view name) = 0;
+
+  /// Appends one point. The id must come from this sink's resolve();
+  /// time must be non-decreasing per series (std::invalid_argument).
+  virtual void record(MetricId id, double time, double value) = 0;
+};
+
+/// In-memory time-series store — the InfluxDB stand-in of the MAPE loop's
+/// Monitor stage. Per-series storage is columnar (times / values /
+/// cumulative sums in separate contiguous arrays).
+class MetricStore final : public MetricSink {
+ public:
+  // --- id-based hot path -------------------------------------------------
+  MetricId resolve(std::string_view name) override;
+  [[nodiscard]] MetricId find(std::string_view name) const;
+  void record(MetricId id, double time, double value) override;
+
+  /// Columnar view of one series; empty spans for an invalid/unknown id.
+  struct SeriesView {
+    std::span<const double> times;
+    std::span<const double> values;
+  };
+  [[nodiscard]] SeriesView series(MetricId id) const;
+
+  /// Index range [first, last) of the points with time in [t0, t1].
+  [[nodiscard]] std::pair<std::size_t, std::size_t> range(MetricId id,
+                                                          double t0,
+                                                          double t1) const;
+
+  /// Sum over [t0, t1] from the cumulative sums (no iteration, no copy);
+  /// nullopt when no points fall in range.
+  [[nodiscard]] std::optional<double> sum(MetricId id, double t0,
+                                          double t1) const;
+  [[nodiscard]] std::optional<double> mean(MetricId id, double t0,
+                                           double t1) const;
+  [[nodiscard]] std::optional<MetricPoint> last(MetricId id) const;
+
+  // --- string-keyed convenience API (cold paths) -------------------------
+  /// Appends one point to series `name`, interning it on first sight.
+  void record(const std::string& name, double time, double value);
+
+  /// All points of a series in [t0, t1]; empty when the series is unknown.
+  [[nodiscard]] std::vector<MetricPoint> query(const std::string& name,
+                                               double t0, double t1) const;
+  [[nodiscard]] std::optional<double> mean(const std::string& name, double t0,
+                                           double t1) const;
+  [[nodiscard]] std::optional<MetricPoint> last(const std::string& name) const;
+
+  /// Names of all series with at least one point, sorted.
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] bool has_series(const std::string& name) const;
+
+  [[nodiscard]] const MetricRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Drops every series *and* the registry: previously resolved ids are
+  /// invalidated and must be re-resolved.
+  void clear();
+
+  /// Writes the selected series as CSV (`time,<series...>`), one row per
+  /// distinct timestamp, empty cells where a series has no point at that
+  /// time — ready for gnuplot/pandas. Unknown series produce empty
+  /// columns. Selecting no series exports every series in the store.
+  void write_csv(std::ostream& out,
+                 std::span<const std::string> series = {}) const;
+
+ private:
+  struct Series {
+    std::vector<double> times;
+    std::vector<double> values;
+    /// cumsum[i] = values[0] + ... + values[i], maintained per record() so
+    /// any window sum is O(log n).
+    std::vector<double> cumsum;
+  };
+
+  [[nodiscard]] const Series* series_ptr(MetricId id) const;
+
+  MetricRegistry registry_;
+  std::vector<Series> series_;
+};
+
+/// Flink-like metric path helpers.
+namespace metric_names {
+
+[[nodiscard]] std::string true_rate(const std::string& op);
+[[nodiscard]] std::string observed_rate(const std::string& op);
+[[nodiscard]] std::string input_rate(const std::string& op);
+[[nodiscard]] std::string output_rate(const std::string& op);
+[[nodiscard]] std::string queue_size(const std::string& op);
+inline const std::string kThroughput = "job.throughput";
+inline const std::string kLatencyMean = "job.latency.mean";
+inline const std::string kEventLatencyMean = "job.eventLatency.mean";
+inline const std::string kKafkaLag = "kafka.consumerLag";
+inline const std::string kInputRate = "kafka.produceRate";
+inline const std::string kBusyCores = "job.busyCores";
+inline const std::string kParallelismTotal = "job.totalParallelism";
+
+}  // namespace metric_names
+
+}  // namespace autra::runtime

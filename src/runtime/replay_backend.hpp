@@ -1,0 +1,59 @@
+// ReplayBackend: a StreamingBackend that replays a recorded metric trace.
+//
+// It exists to prove the runtime interface is real — the policy layer runs
+// unchanged against it — and to let controllers and dashboards be driven
+// from captured production histories (or a ScalingSession's history())
+// without a simulator or a cluster. run_for() reveals trace points as the
+// clock passes them; window_metrics() is reconstructed from the revealed
+// gauges; reconfigure() only bumps the bookkeeping (a trace cannot
+// actually rescale), which is exactly what a what-if replay wants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/backend.hpp"
+
+namespace autra::runtime {
+
+class ReplayBackend final : public StreamingBackend {
+ public:
+  /// `trace` holds the recorded gauges (absolute times, starting near 0);
+  /// `operators` names the job's operators in topology order so
+  /// window_metrics() can rebuild per-operator rates; `initial` is the
+  /// parallelism the trace was recorded under.
+  ReplayBackend(MetricStore trace, std::vector<std::string> operators,
+                Parallelism initial);
+
+  void run_for(double sec) override;
+  void reconfigure(const Parallelism& p,
+                   RescaleMode mode = RescaleMode::kColdRestart) override;
+  [[nodiscard]] double now() const override { return now_; }
+  [[nodiscard]] const Parallelism& parallelism() const override {
+    return parallelism_;
+  }
+  [[nodiscard]] JobMetrics window_metrics() const override;
+  void reset_window() override { window_start_ = now_; }
+  [[nodiscard]] const MetricStore& history() const override {
+    return history_;
+  }
+  [[nodiscard]] int restarts() const override { return restarts_; }
+
+  /// True once every trace point has been replayed into the history.
+  [[nodiscard]] bool exhausted() const;
+
+ private:
+  MetricStore trace_;
+  MetricStore history_;
+  std::vector<std::string> operators_;
+  Parallelism parallelism_;
+  /// Per trace-series: index of the next point to reveal, and the
+  /// pre-resolved id of the same series in history_.
+  std::vector<std::size_t> cursor_;
+  std::vector<MetricId> history_ids_;
+  double now_ = 0.0;
+  double window_start_ = 0.0;
+  int restarts_ = 0;
+};
+
+}  // namespace autra::runtime

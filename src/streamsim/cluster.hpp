@@ -9,11 +9,13 @@
 #include <string>
 #include <vector>
 
+#include "runtime/job_metrics.hpp"
+
 namespace autra::sim {
 
 /// Parallelism configuration of a job: one entry per operator, in topology
-/// operator-index order.
-using Parallelism = std::vector<int>;
+/// operator-index order (defined in the backend-neutral runtime layer).
+using Parallelism = runtime::Parallelism;
 
 struct MachineSpec {
   std::string name;

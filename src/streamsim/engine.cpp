@@ -53,6 +53,35 @@ Engine::Engine(Topology topology, Cluster cluster, Parallelism parallelism,
   window_start_ = now_;
   interval_start_ = now_;
   next_metric_time_ = now_ + params_.metric_interval_sec;
+  metric_ids_ = resolve_metric_ids(metrics_);
+}
+
+Engine::MetricIdSet Engine::resolve_metric_ids(
+    runtime::MetricSink& sink) const {
+  namespace mn = metric_names;
+  MetricIdSet ids;
+  ids.op.reserve(topo_.num_operators());
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    const std::string& name = topo_.op(i).name;
+    ids.op.push_back({sink.resolve(mn::true_rate(name)),
+                      sink.resolve(mn::observed_rate(name)),
+                      sink.resolve(mn::input_rate(name)),
+                      sink.resolve(mn::output_rate(name)),
+                      sink.resolve(mn::queue_size(name))});
+  }
+  ids.throughput = sink.resolve(mn::kThroughput);
+  ids.latency_mean = sink.resolve(mn::kLatencyMean);
+  ids.event_latency_mean = sink.resolve(mn::kEventLatencyMean);
+  ids.kafka_lag = sink.resolve(mn::kKafkaLag);
+  ids.input_rate = sink.resolve(mn::kInputRate);
+  ids.busy_cores = sink.resolve(mn::kBusyCores);
+  ids.parallelism_total = sink.resolve(mn::kParallelismTotal);
+  return ids;
+}
+
+void Engine::set_external_metrics(runtime::MetricSink* sink) {
+  external_metrics_ = sink;
+  external_ids_ = sink != nullptr ? resolve_metric_ids(*sink) : MetricIdSet{};
 }
 
 void Engine::inject_slowdown(std::size_t machine, double speed_factor,
@@ -401,36 +430,47 @@ double Engine::noisy(double value) {
 }
 
 void Engine::write_metrics() {
-  namespace mn = metric_names;
   const double t = now_;
-  const auto put = [&](const std::string& name, double value) {
-    metrics_.record(name, t, value);
+  // All ids were resolved at construction/attach time: each write below is
+  // an id-indexed append — no string construction, no map lookup.
+  const auto put = [&](auto select, double value) {
+    metrics_.record(select(metric_ids_), t, value);
     if (external_metrics_ != nullptr) {
-      external_metrics_->record(name, t, value);
+      external_metrics_->record(select(external_ids_), t, value);
     }
   };
   for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
     const OperatorRates r = rates_from(i, state_[i].interval);
-    const std::string& name = topo_.op(i).name;
-    put(mn::true_rate(name), noisy(r.true_rate_per_instance));
-    put(mn::observed_rate(name), noisy(r.observed_rate_per_instance));
-    put(mn::input_rate(name), noisy(r.total_input_rate));
-    put(mn::output_rate(name), noisy(r.total_output_rate));
-    put(mn::queue_size(name), r.queue_length);
+    const auto op = [i](const MetricIdSet& s) -> const MetricIdSet::PerOp& {
+      return s.op[i];
+    };
+    put([&](const MetricIdSet& s) { return op(s).true_rate; },
+        noisy(r.true_rate_per_instance));
+    put([&](const MetricIdSet& s) { return op(s).observed_rate; },
+        noisy(r.observed_rate_per_instance));
+    put([&](const MetricIdSet& s) { return op(s).input_rate; },
+        noisy(r.total_input_rate));
+    put([&](const MetricIdSet& s) { return op(s).output_rate; },
+        noisy(r.total_output_rate));
+    put([&](const MetricIdSet& s) { return op(s).queue_size; },
+        r.queue_length);
     state_[i].interval = {};
   }
   const double interval = t - interval_start_;
   const double tput = interval > kEps ? interval_consumed_ / interval : 0.0;
-  put(mn::kThroughput, noisy(tput));
-  put(mn::kLatencyMean, noisy(interval_proc_latency_.mean()));
-  put(mn::kEventLatencyMean, noisy(interval_event_latency_.mean()));
-  put(mn::kKafkaLag, kafka_->lag());
-  put(mn::kInputRate, kafka_->rate_at(t));
-  put(mn::kBusyCores,
+  put([](const MetricIdSet& s) { return s.throughput; }, noisy(tput));
+  put([](const MetricIdSet& s) { return s.latency_mean; },
+      noisy(interval_proc_latency_.mean()));
+  put([](const MetricIdSet& s) { return s.event_latency_mean; },
+      noisy(interval_event_latency_.mean()));
+  put([](const MetricIdSet& s) { return s.kafka_lag; }, kafka_->lag());
+  put([](const MetricIdSet& s) { return s.input_rate; }, kafka_->rate_at(t));
+  put([](const MetricIdSet& s) { return s.busy_cores; },
       interval > kEps ? interval_busy_core_seconds_ / interval : 0.0);
   int total_parallelism = 0;
   for (int k : parallelism_) total_parallelism += k;
-  put(mn::kParallelismTotal, total_parallelism);
+  put([](const MetricIdSet& s) { return s.parallelism_total; },
+      total_parallelism);
   interval_busy_core_seconds_ = 0.0;
   interval_consumed_ = 0.0;
   interval_start_ = t;

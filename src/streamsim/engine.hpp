@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/job_metrics.hpp"
 #include "streamsim/cluster.hpp"
 #include "streamsim/external_service.hpp"
 #include "streamsim/interference.hpp"
@@ -82,17 +83,8 @@ struct OperatorCounters {
   double records_out = 0.0;     ///< Records emitted downstream.
 };
 
-/// Live snapshot of one operator's rates.
-struct OperatorRates {
-  /// Average true processing rate of one instance (records/s), Eq. 2.
-  double true_rate_per_instance = 0.0;
-  /// Observed rate of one instance (records/s, includes idle/blocked time).
-  double observed_rate_per_instance = 0.0;
-  double total_input_rate = 0.0;   ///< lambda_i.
-  double total_output_rate = 0.0;  ///< o_i.
-  double queue_length = 0.0;
-  int parallelism = 0;
-};
+/// Live snapshot of one operator's rates (backend-neutral runtime type).
+using OperatorRates = runtime::OperatorRates;
 
 class Engine {
  public:
@@ -137,8 +129,9 @@ class Engine {
 
   /// Additional metric sink written alongside the internal one; used by
   /// ScalingSession to keep one continuous time series across restarts.
-  /// The pointer must outlive the engine; pass nullptr to detach.
-  void set_external_metrics(MetricsDb* db) noexcept { external_metrics_ = db; }
+  /// The sink must outlive the engine; pass nullptr to detach. Series ids
+  /// are resolved once here, so the per-tick write path stays string-free.
+  void set_external_metrics(runtime::MetricSink* sink);
 
   /// Releases the Kafka log so a successor engine (job restart) can keep
   /// the accumulated lag. The engine must not be ticked afterwards.
@@ -204,6 +197,19 @@ class Engine {
   [[nodiscard]] double noisy(double value);
   void write_metrics();
 
+  /// Every gauge the engine emits, pre-resolved against one sink at
+  /// attach time — the per-tick write path performs no string work.
+  struct MetricIdSet {
+    struct PerOp {
+      runtime::MetricId true_rate, observed_rate, input_rate, output_rate,
+          queue_size;
+    };
+    std::vector<PerOp> op;
+    runtime::MetricId throughput, latency_mean, event_latency_mean,
+        kafka_lag, input_rate, busy_cores, parallelism_total;
+  };
+  [[nodiscard]] MetricIdSet resolve_metric_ids(runtime::MetricSink& sink) const;
+
   struct SlowdownEvent {
     std::size_t machine = 0;
     double factor = 1.0;
@@ -227,7 +233,9 @@ class Engine {
   std::vector<OperatorState> state_;
 
   MetricsDb metrics_;
-  MetricsDb* external_metrics_ = nullptr;
+  MetricIdSet metric_ids_;
+  runtime::MetricSink* external_metrics_ = nullptr;
+  MetricIdSet external_ids_;
   LatencyStats proc_latency_;
   LatencyStats event_latency_;
 

@@ -1,6 +1,5 @@
 #include "streamsim/job_runner.hpp"
 
-#include <numeric>
 #include <stdexcept>
 
 namespace autra::sim {
@@ -10,10 +9,6 @@ double JobSpec::initial_rate() const {
     throw std::logic_error("JobSpec: no rate schedule");
   }
   return schedule->rate_at(0.0);
-}
-
-int JobMetrics::total_parallelism() const {
-  return std::accumulate(parallelism.begin(), parallelism.end(), 0);
 }
 
 std::unique_ptr<Engine> make_engine(const JobSpec& spec, const Parallelism& p,
@@ -135,5 +130,38 @@ JobMetrics ScalingSession::window_metrics() const {
 }
 
 void ScalingSession::reset_window() { engine_->reset_counters(); }
+
+SimTrialService::SimTrialService(JobSpec spec) : spec_(std::move(spec)) {
+  spec_.topology.validate();
+  if (!spec_.schedule) {
+    throw std::invalid_argument("SimTrialService: spec has no rate schedule");
+  }
+}
+
+runtime::Evaluator SimTrialService::evaluator_at(double rate,
+                                                 double warmup_sec,
+                                                 double measure_sec) const {
+  JobSpec trial_spec = spec_;
+  trial_spec.schedule = std::make_shared<ConstantRate>(rate);
+  auto runner =
+      std::make_shared<JobRunner>(std::move(trial_spec), warmup_sec,
+                                  measure_sec);
+  auto salt = std::make_shared<std::uint64_t>(0);
+  return [runner, salt](const Parallelism& p) {
+    return runner->measure(p, (*salt)++);
+  };
+}
+
+int SimTrialService::max_parallelism() const {
+  return Cluster(spec_.cluster).max_parallelism();
+}
+
+double SimTrialService::scheduled_rate_at(double t) const {
+  return spec_.schedule->rate_at(t);
+}
+
+std::shared_ptr<runtime::TrialService> make_trial_service(JobSpec spec) {
+  return std::make_shared<SimTrialService>(std::move(spec));
+}
 
 }  // namespace autra::sim

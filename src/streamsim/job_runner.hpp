@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/backend.hpp"
 #include "streamsim/engine.hpp"
 
 namespace autra::sim {
@@ -41,26 +42,8 @@ struct JobSpec {
   [[nodiscard]] double initial_rate() const;
 };
 
-/// QoS snapshot of one measurement window.
-struct JobMetrics {
-  Parallelism parallelism;
-  double input_rate = 0.0;      ///< External production rate during window.
-  double throughput = 0.0;      ///< Records/s consumed from Kafka.
-  double latency_ms = 0.0;      ///< Mean processing latency (Flink latency).
-  double latency_p50_ms = 0.0;
-  double latency_p95_ms = 0.0;
-  double latency_p99_ms = 0.0;
-  double event_latency_ms = 0.0;  ///< Mean event-time latency (incl. lag).
-  double kafka_lag = 0.0;         ///< Records pending at window end.
-  double lag_growth_per_sec = 0.0;
-  double busy_cores = 0.0;        ///< Average CPU cores in use.
-  double memory_mb = 0.0;         ///< Static memory footprint.
-  std::vector<OperatorRates> operators;
-
-  /// Sum of all operator parallelisms — the "resource units" compared in
-  /// the paper's Figs. 7 and 8.
-  [[nodiscard]] int total_parallelism() const;
-};
+/// QoS snapshot of one measurement window (backend-neutral runtime type).
+using JobMetrics = runtime::JobMetrics;
 
 /// Builds an engine for a spec (shared by JobRunner and ScalingSession).
 [[nodiscard]] std::unique_ptr<Engine> make_engine(const JobSpec& spec,
@@ -103,22 +86,12 @@ class JobRunner {
   mutable int evaluations_ = 0;
 };
 
-/// How a reconfiguration is applied.
-enum class RescaleMode {
-  /// Savepoint + full redeploy: the paper's Execute stage. Applies to any
-  /// configuration change.
-  kColdRestart,
-  /// In-place scale-out (Flink reactive-mode style): new instances join
-  /// without stopping the running ones, so the downtime shrinks to the
-  /// slot-allocation time. Only valid when no operator's parallelism
-  /// shrinks — state never needs to be re-partitioned away from a running
-  /// instance. Addresses the paper's future-work item of reducing the
-  /// latency overhead of reconfiguration.
-  kHotScaleOut,
-};
+/// How a reconfiguration is applied (backend-neutral runtime type).
+using RescaleMode = runtime::RescaleMode;
 
-/// A long-running job that can be rescaled in place.
-class ScalingSession {
+/// A long-running job that can be rescaled in place — the fluid
+/// simulator's implementation of the backend-agnostic runtime interface.
+class ScalingSession final : public runtime::StreamingBackend {
  public:
   /// `restart_downtime_sec` is the savepoint + redeploy window during which
   /// nothing is processed but Kafka keeps producing;
@@ -128,25 +101,27 @@ class ScalingSession {
                  double hot_downtime_sec = 1.0);
 
   /// Advances the session by `sec` simulated seconds.
-  void run_for(double sec);
+  void run_for(double sec) override;
 
   /// Applies `p`, preserving the Kafka log and the wall clock. No-op if
   /// `p` equals the current config. kHotScaleOut throws
   /// std::invalid_argument when any operator shrinks.
   void reconfigure(const Parallelism& p,
-                   RescaleMode mode = RescaleMode::kColdRestart);
+                   RescaleMode mode = RescaleMode::kColdRestart) override;
 
   /// Metrics accumulated since the last reset_window()/reconfigure().
-  [[nodiscard]] JobMetrics window_metrics() const;
-  void reset_window();
+  [[nodiscard]] JobMetrics window_metrics() const override;
+  void reset_window() override;
 
-  [[nodiscard]] double now() const noexcept { return engine_->now(); }
-  [[nodiscard]] const Parallelism& parallelism() const noexcept {
+  [[nodiscard]] double now() const noexcept override { return engine_->now(); }
+  [[nodiscard]] const Parallelism& parallelism() const noexcept override {
     return engine_->parallelism();
   }
   [[nodiscard]] Engine& engine() noexcept { return *engine_; }
-  [[nodiscard]] const MetricsDb& history() const noexcept { return history_; }
-  [[nodiscard]] int restarts() const noexcept { return restarts_; }
+  [[nodiscard]] const MetricsDb& history() const noexcept override {
+    return history_;
+  }
+  [[nodiscard]] int restarts() const noexcept override { return restarts_; }
 
  private:
   JobSpec spec_;
@@ -157,5 +132,28 @@ class ScalingSession {
   int restarts_ = 0;
   std::uint64_t reconfig_salt_ = 0;
 };
+
+/// The simulator's Plan-stage trial provider: every evaluator_at() call
+/// wraps a fresh-start JobRunner pinned at a constant rate, with a
+/// distinct noise salt per evaluation so repeated trials differ like real
+/// reruns.
+class SimTrialService final : public runtime::TrialService {
+ public:
+  explicit SimTrialService(JobSpec spec);
+
+  [[nodiscard]] runtime::Evaluator evaluator_at(
+      double rate, double warmup_sec, double measure_sec) const override;
+  [[nodiscard]] int max_parallelism() const override;
+  [[nodiscard]] double scheduled_rate_at(double t) const override;
+
+  [[nodiscard]] const JobSpec& spec() const noexcept { return spec_; }
+
+ private:
+  JobSpec spec_;
+};
+
+/// Convenience: the trial service for `spec`, as the policy layer takes it.
+[[nodiscard]] std::shared_ptr<runtime::TrialService> make_trial_service(
+    JobSpec spec);
 
 }  // namespace autra::sim

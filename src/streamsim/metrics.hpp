@@ -3,70 +3,18 @@
 // mirroring Flink's metric paths (e.g.
 // "taskmanager.job.task.trueProcessingRate.<op>"), and the Metric
 // Aggregator queries windows of them.
+//
+// The store itself is backend-neutral and lives in the runtime layer
+// (runtime::MetricStore, with interned MetricIds on the hot write path);
+// these aliases keep the simulator's historical sim:: spelling.
 #pragma once
 
-#include <iosfwd>
-#include <map>
-#include <optional>
-#include <span>
-#include <string>
-#include <vector>
+#include "runtime/metrics.hpp"
 
 namespace autra::sim {
 
-struct MetricPoint {
-  double time = 0.0;
-  double value = 0.0;
-};
-
-class MetricsDb {
- public:
-  /// Appends one point to series `name`. Time must be non-decreasing per
-  /// series; throws std::invalid_argument otherwise.
-  void record(const std::string& name, double time, double value);
-
-  /// All points of a series in [t0, t1]; empty when the series is unknown.
-  [[nodiscard]] std::vector<MetricPoint> query(const std::string& name,
-                                               double t0, double t1) const;
-
-  /// Mean of a series over [t0, t1]; nullopt when no points fall in range.
-  [[nodiscard]] std::optional<double> mean(const std::string& name, double t0,
-                                           double t1) const;
-
-  /// Latest point of a series; nullopt when the series is unknown/empty.
-  [[nodiscard]] std::optional<MetricPoint> last(const std::string& name) const;
-
-  [[nodiscard]] std::vector<std::string> series_names() const;
-  [[nodiscard]] bool has_series(const std::string& name) const;
-  void clear();
-
-  /// Writes the selected series as CSV (`time,<series...>`), one row per
-  /// distinct timestamp, empty cells where a series has no point at that
-  /// time — ready for gnuplot/pandas. Unknown series produce empty
-  /// columns. Selecting no series exports every series in the store.
-  void write_csv(std::ostream& out,
-                 std::span<const std::string> series = {}) const;
-
- private:
-  std::map<std::string, std::vector<MetricPoint>> series_;
-};
-
-/// Flink-like metric path helpers.
-namespace metric_names {
-
-[[nodiscard]] std::string true_rate(const std::string& op);
-[[nodiscard]] std::string observed_rate(const std::string& op);
-[[nodiscard]] std::string input_rate(const std::string& op);
-[[nodiscard]] std::string output_rate(const std::string& op);
-[[nodiscard]] std::string queue_size(const std::string& op);
-inline const std::string kThroughput = "job.throughput";
-inline const std::string kLatencyMean = "job.latency.mean";
-inline const std::string kEventLatencyMean = "job.eventLatency.mean";
-inline const std::string kKafkaLag = "kafka.consumerLag";
-inline const std::string kInputRate = "kafka.produceRate";
-inline const std::string kBusyCores = "job.busyCores";
-inline const std::string kParallelismTotal = "job.totalParallelism";
-
-}  // namespace metric_names
+using MetricPoint = runtime::MetricPoint;
+using MetricsDb = runtime::MetricStore;
+namespace metric_names = runtime::metric_names;
 
 }  // namespace autra::sim

@@ -69,7 +69,12 @@ TEST(Controller, Validation) {
       3, std::make_shared<ConstantRate>(100.0), 10.0));
   ControllerParams p = small_controller_params(100.0, 100.0);
   p.policy_running_time_sec = 10.0;  // below the policy interval
-  EXPECT_THROW(AuTraScaleController(spec, p), std::invalid_argument);
+  EXPECT_THROW(
+      AuTraScaleController(spec.topology, sim::make_trial_service(spec), p),
+      std::invalid_argument);
+  EXPECT_THROW(AuTraScaleController(spec.topology, nullptr,
+                                    small_controller_params(100.0, 100.0)),
+               std::invalid_argument);
 }
 
 TEST(Controller, ScalesUpUnderProvisionedJob) {
@@ -78,8 +83,8 @@ TEST(Controller, ScalesUpUnderProvisionedJob) {
   auto spec = quiet(autra::workloads::synthetic_chain(
       3, std::make_shared<ConstantRate>(220000.0), 10.0));
   sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
-  AuTraScaleController controller(
-      spec, small_controller_params(400.0, 220000.0));
+  AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
+                                   small_controller_params(400.0, 220000.0));
   const auto decisions = controller.run(session, 400.0);
 
   ASSERT_FALSE(decisions.empty());
@@ -99,8 +104,8 @@ TEST(Controller, ScalesDownOverProvisionedJob) {
   auto spec = quiet(autra::workloads::synthetic_chain(
       3, std::make_shared<ConstantRate>(30000.0), 10.0));
   sim::ScalingSession session(spec, {30, 30, 30}, 10.0);
-  AuTraScaleController controller(
-      spec, small_controller_params(200.0, 30000.0));
+  AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
+                                   small_controller_params(200.0, 30000.0));
   const auto decisions = controller.run(session, 400.0);
 
   ASSERT_FALSE(decisions.empty());
@@ -128,7 +133,8 @@ TEST(Controller, RateChangeUsesTransferWhenModelExists) {
   sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
   ControllerParams params = small_controller_params(400.0, 0.0);
   params.steady.target_throughput = 0.0;  // track the input rate
-  AuTraScaleController controller(spec, params);
+  AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
+                                   params);
   const auto decisions = controller.run(session, 700.0);
 
   ASSERT_GE(decisions.size(), 2u);
@@ -149,8 +155,8 @@ TEST(Controller, StableJobNeverActs) {
   // One instance handles 100k/s; 30k with one instance is util 0.3 and the
   // base configuration is (1,1,1): nothing to improve.
   sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
-  AuTraScaleController controller(
-      spec, small_controller_params(400.0, 30000.0));
+  AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
+                                   small_controller_params(400.0, 30000.0));
   const auto decisions = controller.run(session, 300.0);
   EXPECT_TRUE(decisions.empty());
   EXPECT_EQ(session.restarts(), 0);

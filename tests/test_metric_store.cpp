@@ -1,0 +1,140 @@
+// Unit tests for the interned-id metrics pipeline: the registry, the
+// columnar MetricStore, its window-query boundary behaviour, and the CSV
+// export corner cases.
+#include "runtime/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace autra::runtime {
+namespace {
+
+TEST(MetricRegistry, InternIsIdempotent) {
+  MetricRegistry reg;
+  const MetricId a = reg.intern("x");
+  const MetricId b = reg.intern("y");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.intern("x"), a);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.name(a), "x");
+  EXPECT_EQ(reg.name(b), "y");
+}
+
+TEST(MetricRegistry, FindDoesNotIntern) {
+  MetricRegistry reg;
+  EXPECT_FALSE(reg.find("missing").valid());
+  EXPECT_EQ(reg.size(), 0u);
+  reg.intern("present");
+  EXPECT_TRUE(reg.find("present").valid());
+}
+
+TEST(MetricRegistry, NameOfUnknownIdThrows) {
+  MetricRegistry reg;
+  EXPECT_THROW(reg.name(MetricId()), std::out_of_range);
+  EXPECT_THROW(reg.name(MetricId(7)), std::out_of_range);
+}
+
+TEST(MetricStore, QueryIncludesBoundaryPoints) {
+  MetricStore db;
+  db.record("s", 1.0, 10.0);
+  db.record("s", 2.0, 20.0);
+  db.record("s", 3.0, 30.0);
+  // Points exactly at t0 and t1 belong to the window.
+  const auto points = db.query("s", 1.0, 3.0);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points.front().time, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().time, 3.0);
+  EXPECT_DOUBLE_EQ(db.mean("s", 1.0, 3.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ(db.mean("s", 2.0, 2.0).value(), 20.0);
+  EXPECT_FALSE(db.mean("s", 3.5, 9.0).has_value());
+}
+
+TEST(MetricStore, BackwardsTimeThrowsEqualTimeAllowed) {
+  MetricStore db;
+  db.record("s", 5.0, 1.0);
+  db.record("s", 5.0, 2.0);  // Equal timestamps are fine.
+  EXPECT_THROW(db.record("s", 4.999, 3.0), std::invalid_argument);
+  // Other series are unaffected by s's clock.
+  db.record("other", 0.0, 1.0);
+}
+
+TEST(MetricStore, RecordWithForeignIdThrows) {
+  MetricStore db;
+  EXPECT_THROW(db.record(MetricId(), 0.0, 1.0), std::out_of_range);
+  EXPECT_THROW(db.record(MetricId(12), 0.0, 1.0), std::out_of_range);
+}
+
+TEST(MetricStore, IdBasedReadsMatchStringReads) {
+  MetricStore db;
+  const MetricId id = db.resolve("s");
+  db.record(id, 0.0, 1.0);
+  db.record(id, 1.0, -2.0);  // Negative values keep cumsum honest.
+  db.record(id, 2.0, 4.0);
+  EXPECT_EQ(db.find("s"), id);
+  EXPECT_DOUBLE_EQ(db.sum(id, 0.0, 2.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(db.mean(id, 0.0, 2.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(db.mean(id, 1.0, 2.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(db.mean("s", 1.0, 2.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(db.last(id)->value, 4.0);
+  const auto [first, last] = db.range(id, 1.0, 2.0);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(last, 3u);
+  const MetricStore::SeriesView v = db.series(id);
+  ASSERT_EQ(v.times.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.values[1], -2.0);
+}
+
+TEST(MetricStore, InvalidIdReadsAreEmpty) {
+  const MetricStore db;
+  EXPECT_FALSE(db.sum(MetricId(), 0.0, 1.0).has_value());
+  EXPECT_FALSE(db.mean(MetricId(), 0.0, 1.0).has_value());
+  EXPECT_FALSE(db.last(MetricId()).has_value());
+  EXPECT_TRUE(db.series(MetricId()).times.empty());
+  EXPECT_EQ(db.range(MetricId(), 0.0, 1.0), (std::pair<std::size_t, std::size_t>{0, 0}));
+}
+
+TEST(MetricStore, SeriesNamesSortedAndClearInvalidates) {
+  MetricStore db;
+  db.record("b", 0.0, 1.0);
+  db.record("a", 0.0, 1.0);
+  db.resolve("never-written");
+  EXPECT_EQ(db.series_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(db.has_series("a"));
+  EXPECT_FALSE(db.has_series("never-written"));
+  db.clear();
+  EXPECT_TRUE(db.series_names().empty());
+  EXPECT_EQ(db.registry().size(), 0u);
+  EXPECT_FALSE(db.find("a").valid());
+}
+
+TEST(MetricStore, WriteCsvWithUnknownSeries) {
+  MetricStore db;
+  db.record("known", 0.0, 1.5);
+  db.record("known", 1.0, 2.5);
+  std::ostringstream out;
+  const std::vector<std::string> cols = {"known", "unknown"};
+  db.write_csv(out, cols);
+  EXPECT_EQ(out.str(),
+            "time,known,unknown\n"
+            "0,1.5,\n"
+            "1,2.5,\n");
+}
+
+TEST(MetricStore, WriteCsvUnionOfTimestamps) {
+  MetricStore db;
+  db.record("a", 0.0, 1.0);
+  db.record("a", 2.0, 3.0);
+  db.record("b", 1.0, 2.0);
+  std::ostringstream out;
+  db.write_csv(out);  // No selection: every series, sorted.
+  EXPECT_EQ(out.str(),
+            "time,a,b\n"
+            "0,1,\n"
+            "1,,2\n"
+            "2,3,\n");
+}
+
+}  // namespace
+}  // namespace autra::runtime

@@ -8,11 +8,11 @@
 namespace autra::core {
 namespace {
 
-SamplePoint real_sample(sim::Parallelism config, double score) {
+SamplePoint real_sample(runtime::Parallelism config, double score) {
   SamplePoint s;
   s.config = std::move(config);
   s.score = score;
-  s.metrics = sim::JobMetrics{};
+  s.metrics = runtime::JobMetrics{};
   return s;
 }
 
@@ -45,7 +45,7 @@ TEST(ModelIo, RoundTripPreservesModels) {
   const BenefitModel* m20 = restored.closest(20000.0);
   ASSERT_NE(m20, nullptr);
   EXPECT_DOUBLE_EQ(m20->rate, 20000.0);
-  EXPECT_EQ(m20->base, (sim::Parallelism{1, 3}));
+  EXPECT_EQ(m20->base, (runtime::Parallelism{1, 3}));
   EXPECT_EQ(m20->samples.size(), 3u);
   EXPECT_TRUE(m20->gp.is_fitted());
 

@@ -57,7 +57,7 @@ TEST(Scoring, ZeroLatencyTreatedAsCompliant) {
 }
 
 TEST(Scoring, MetricsOverload) {
-  sim::JobMetrics m;
+  runtime::JobMetrics m;
   m.parallelism = {1, 2, 3};
   m.latency_ms = 200.0;
   EXPECT_DOUBLE_EQ(benefit_score(m, params()), 0.75);
@@ -92,7 +92,7 @@ TEST(Bootstrap, Validation) {
 }
 
 TEST(Bootstrap, ContainsBaseAndFamilies) {
-  const sim::Parallelism base{1, 2, 3};
+  const runtime::Parallelism base{1, 2, 3};
   const auto samples = bootstrap_samples(base, 12, 4);
 
   // The base configuration itself.
@@ -101,7 +101,7 @@ TEST(Bootstrap, ContainsBaseAndFamilies) {
   // Family 1: uniform levels from k'_max=3 to P_max=12 in 3 intervals:
   // 3, 6, 9, 12.
   for (int level : {3, 6, 9, 12}) {
-    const sim::Parallelism uniform(3, level);
+    const runtime::Parallelism uniform(3, level);
     EXPECT_NE(std::find(samples.begin(), samples.end(), uniform),
               samples.end())
         << "missing uniform level " << level;
@@ -109,7 +109,7 @@ TEST(Bootstrap, ContainsBaseAndFamilies) {
 
   // Family 2: one operator at P_max, others at base.
   for (std::size_t j = 0; j < base.size(); ++j) {
-    sim::Parallelism s = base;
+    runtime::Parallelism s = base;
     s[j] = 12;
     EXPECT_NE(std::find(samples.begin(), samples.end(), s), samples.end())
         << "missing single-op sample " << j;
@@ -121,7 +121,7 @@ TEST(Bootstrap, CountIsBasePlusMPlusNMinusDuplicates) {
   // single-op {(8,2),(2,8)}; the base duplicates the first uniform level,
   // leaving 5 unique samples.
   const auto samples = bootstrap_samples({2, 2}, 8, 3);
-  const std::set<sim::Parallelism> unique(samples.begin(), samples.end());
+  const std::set<runtime::Parallelism> unique(samples.begin(), samples.end());
   EXPECT_EQ(samples.size(), unique.size());  // de-duplicated
   EXPECT_EQ(samples.size(), 5u);
 }
@@ -131,11 +131,11 @@ TEST(Bootstrap, DuplicatesCollapseWhenBaseUniform) {
   const auto samples = bootstrap_samples({3, 3}, 3, 2);
   // Everything collapses to the single point (3,3).
   EXPECT_EQ(samples.size(), 1u);
-  EXPECT_EQ(samples.front(), (sim::Parallelism{3, 3}));
+  EXPECT_EQ(samples.front(), (runtime::Parallelism{3, 3}));
 }
 
 TEST(Bootstrap, AllSamplesWithinSearchSpace) {
-  const sim::Parallelism base{1, 4, 2, 6};
+  const runtime::Parallelism base{1, 4, 2, 6};
   const auto samples = bootstrap_samples(base, 20, 6);
   for (const auto& s : samples) {
     ASSERT_EQ(s.size(), base.size());

@@ -44,7 +44,8 @@ TEST(Soak, MultiStepRateScheduleKeepsQos) {
                                              {600.0, 450000.0},
                                              {900.0, 250000.0}}));
   sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
-  AuTraScaleController controller(spec, controller_params());
+  AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
+                                   controller_params());
   const auto decisions = controller.run(session, 1200.0);
 
   // At least one decision per upward step; the library accumulates models.
@@ -66,7 +67,8 @@ TEST(Soak, RestartedControllerReusesPersistedLibrary) {
   // nearby new rate with Algorithm 2 (transfer), not from scratch.
   auto spec1 = chain_spec(std::make_shared<sim::ConstantRate>(220000.0));
   sim::ScalingSession session1(spec1, {1, 1, 1}, 10.0);
-  AuTraScaleController first(spec1, controller_params());
+  AuTraScaleController first(spec1.topology, sim::make_trial_service(spec1),
+                             controller_params());
   const auto d1 = first.run(session1, 300.0);
   ASSERT_FALSE(d1.empty());
   ASSERT_GE(first.library().size(), 1u);
@@ -76,7 +78,8 @@ TEST(Soak, RestartedControllerReusesPersistedLibrary) {
 
   auto spec2 = chain_spec(std::make_shared<sim::ConstantRate>(300000.0));
   sim::ScalingSession session2(spec2, {1, 1, 1}, 10.0);
-  AuTraScaleController second(spec2, controller_params());
+  AuTraScaleController second(spec2.topology, sim::make_trial_service(spec2),
+                              controller_params());
   second.set_library(core::load_library(storage));
   const auto d2 = second.run(session2, 300.0);
 
