@@ -16,7 +16,9 @@ int main() {
   std::printf("%-10s %6s %6s %-18s %8s %12s %8s\n", "kernel", "boot", "bo",
               "best config", "score", "latency[ms]", "conv");
 
-  for (const char* kernel : {"matern52", "matern32", "rbf"}) {
+  for (const gp::KernelKind kernel :
+       {gp::KernelKind::kMatern52, gp::KernelKind::kMatern32,
+        gp::KernelKind::kRbf}) {
     sim::JobSpec spec = workloads::word_count(
         std::make_shared<sim::ConstantRate>(350e3));
     sim::JobRunner runner(std::move(spec), 60.0, 60.0);
@@ -37,7 +39,8 @@ int main() {
     const core::SteadyRateResult r =
         core::run_steady_rate(evaluate, base.best, params);
 
-    std::printf("%-10s %6d %6d %-18s %8.3f %12.1f %8s\n", kernel,
+    std::printf("%-10s %6d %6d %-18s %8.3f %12.1f %8s\n",
+                gp::to_string(kernel),
                 r.bootstrap_evaluations, r.bo_iterations,
                 bench::cfg(r.best).c_str(), r.best_score,
                 r.best_metrics.latency_ms, r.converged ? "yes" : "no");

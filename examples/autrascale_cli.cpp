@@ -10,10 +10,13 @@
 //                dhalion                        (default autrascale)
 //   --latency-ms target latency                 (default 100)
 //   --throughput target records/s, 0 = the rate (default 0)
+//   --kernel     matern52 | matern32 | rbf      (default matern52)
+//   --threads    Plan-stage worker threads, 0 = auto, 1 = serial (default 0)
 //   --seed       RNG seed                       (default 42)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "baselines/dhalion.hpp"
@@ -35,6 +38,8 @@ struct Options {
   double rate = 350000.0;
   double latency_ms = 100.0;
   double throughput = 0.0;
+  gp::KernelKind kernel = gp::KernelKind::kMatern52;
+  int threads = 0;
   std::uint64_t seed = 42;
 };
 
@@ -43,7 +48,9 @@ struct Options {
                "usage: %s [--workload wordcount|yahoo|q1|q5|q8|q11] [--rate R]\n"
                "          [--policy autrascale|ds2|drs-true|drs-observed|"
                "threshold|dhalion]\n"
-               "          [--latency-ms L] [--throughput T] [--seed S]\n",
+               "          [--latency-ms L] [--throughput T]\n"
+               "          [--kernel matern52|matern32|rbf] [--threads N]"
+               " [--seed S]\n",
                argv0);
   std::exit(2);
 }
@@ -66,6 +73,17 @@ Options parse(int argc, char** argv) {
       opt.latency_ms = std::atof(value());
     } else if (flag == "--throughput") {
       opt.throughput = std::atof(value());
+    } else if (flag == "--kernel") {
+      // Bad kernel names fail here, at the I/O boundary, not deep inside a
+      // GP fit.
+      try {
+        opt.kernel = gp::parse_kernel_kind(value());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        usage(argv[0]);
+      }
+    } else if (flag == "--threads") {
+      opt.threads = std::atoi(value());
     } else if (flag == "--seed") {
       opt.seed = std::strtoull(value(), nullptr, 10);
     } else {
@@ -117,6 +135,8 @@ int main(int argc, char** argv) {
     sp.target_latency_ms = opt.latency_ms;
     sp.target_throughput = target_thr;
     sp.max_parallelism = p_max;
+    sp.gp_kernel = opt.kernel;
+    sp.threads = opt.threads;
     sp.seed = opt.seed;
     const auto r = core::run_steady_rate(evaluate, base.best, sp);
     final_metrics = r.best_metrics;

@@ -3,6 +3,7 @@
 //   #include "autrascale.hpp"
 //
 // Layers (each usable on its own):
+//   exec      — shared thread pool + deterministic parallel primitives
 //   linalg    — dense matrices + Cholesky (the GP's numerical core)
 //   gp        — kernels, GP regression, Expected Improvement
 //   bo        — discrete search space + generic Bayesian-optimisation loop
@@ -14,6 +15,8 @@
 //               controller
 //   baselines — DS2, DRS, threshold, Dhalion
 #pragma once
+
+#include "exec/exec.hpp"
 
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"

@@ -1,10 +1,25 @@
 #include "bayesopt/bayes_opt.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
+#include "exec/exec.hpp"
+
 namespace autra::bo {
+
+const char* to_string(SuggestionSource source) noexcept {
+  switch (source) {
+    case SuggestionSource::kAcquisition:
+      return "acquisition";
+    case SuggestionSource::kBestObservedFallback:
+      return "best_observed_fallback";
+    case SuggestionSource::kRandomBootstrap:
+      return "random_bootstrap";
+  }
+  return "unknown";
+}
 
 BayesOpt::BayesOpt(SearchSpace space, BayesOptConfig config)
     : space_(std::move(space)),
@@ -43,7 +58,7 @@ void BayesOpt::refit_if_dirty() {
   dirty_ = false;
 }
 
-Config BayesOpt::suggest() {
+Suggestion BayesOpt::suggest() {
   if (observations_.empty()) {
     throw std::logic_error("BayesOpt::suggest: observe at least one sample");
   }
@@ -82,31 +97,44 @@ Config BayesOpt::suggest() {
     for (const Config& c : cands) {
       if (!seen.contains(c)) fresh.push_back(c);
     }
-    if (fresh.empty()) return observations_.front().config;
+    if (fresh.empty()) {
+      return {observations_.front().config, 0.0,
+              SuggestionSource::kBestObservedFallback};
+    }
     std::uniform_int_distribution<std::size_t> dist(0, fresh.size() - 1);
-    return fresh[dist(rng_)];
+    return {fresh[dist(rng_)], 0.0, SuggestionSource::kRandomBootstrap};
   }
 
   refit_if_dirty();
   const double incumbent = best()->score;
 
+  // Score the whole candidate batch in parallel (each EI is an independent
+  // GP posterior read), then pick the winner with a serial scan in candidate
+  // order so the suggestion is identical at any thread count. Seen configs
+  // score nullopt and never participate in the selection.
+  const exec::ExecContext ctx(config_.gp.threads);
+  const std::vector<std::optional<double>> eis = exec::parallel_map(
+      ctx, cands.size(), [&](std::size_t i) -> std::optional<double> {
+        if (seen.contains(cands[i])) return std::nullopt;
+        const gp::Prediction p = surrogate_.predict(to_features(cands[i]));
+        return gp::expected_improvement(p, incumbent, config_.xi);
+      });
+
   double best_ei = 0.0;
-  std::optional<Config> best_cand;
-  for (const Config& c : cands) {
-    if (seen.contains(c)) continue;
-    const gp::Prediction p = surrogate_.predict(to_features(c));
-    const double ei = gp::expected_improvement(p, incumbent, config_.xi);
-    if (!best_cand || ei > best_ei) {
-      best_ei = ei;
-      best_cand = c;
+  std::optional<std::size_t> best_idx;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (!eis[i]) continue;
+    if (!best_idx || *eis[i] > best_ei) {
+      best_ei = *eis[i];
+      best_idx = i;
     }
   }
-  if (!best_cand || best_ei <= 0.0) {
+  if (!best_idx || best_ei <= 0.0) {
     // Model fully exploited (or space exhausted): return the incumbent so
     // the caller's repeated-config termination condition can fire.
-    return best()->config;
+    return {best()->config, 0.0, SuggestionSource::kBestObservedFallback};
   }
-  return *best_cand;
+  return {cands[*best_idx], best_ei, SuggestionSource::kAcquisition};
 }
 
 std::optional<Observation> BayesOpt::best() const {

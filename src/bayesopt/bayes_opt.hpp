@@ -30,6 +30,26 @@ struct Observation {
   double score = 0.0;
 };
 
+/// How suggest() arrived at its proposal. Callers that terminate on a
+/// repeated suggestion can branch on this instead of re-deriving the
+/// optimiser's internal state from the returned config.
+enum class SuggestionSource {
+  kAcquisition,            ///< Unobserved candidate maximising EI.
+  kBestObservedFallback,   ///< Model fully exploited; incumbent returned.
+  kRandomBootstrap,        ///< < 2 observations; random exploration.
+};
+
+[[nodiscard]] const char* to_string(SuggestionSource source) noexcept;
+
+/// The result of one acquisition step.
+struct Suggestion {
+  Config config;
+  /// EI of `config` under the current surrogate. 0 for the fallback and
+  /// bootstrap sources (no surrogate was consulted, or nothing improves).
+  double expected_improvement = 0.0;
+  SuggestionSource source = SuggestionSource::kAcquisition;
+};
+
 class BayesOpt {
  public:
   BayesOpt(SearchSpace space, BayesOptConfig config = {});
@@ -40,11 +60,20 @@ class BayesOpt {
   void observe(const Config& config, double score);
 
   /// Fits the surrogate on all observations and returns the unobserved
-  /// candidate with maximal expected improvement. Falls back to the best
-  /// *observed* point when every candidate has EI == 0 (fully exploited
-  /// model), and to a random unobserved point when there are fewer than two
-  /// observations. Throws std::logic_error with zero observations.
-  [[nodiscard]] Config suggest();
+  /// candidate with maximal expected improvement (source kAcquisition).
+  /// Falls back to the best *observed* point when every candidate has
+  /// EI == 0 (kBestObservedFallback), and to a random unobserved point when
+  /// there are fewer than two observations (kRandomBootstrap). Throws
+  /// std::logic_error with zero observations. EI scoring across the
+  /// candidate batch is parallelised per config_.gp.threads; the returned
+  /// suggestion is bit-identical at any thread count.
+  [[nodiscard]] Suggestion suggest();
+
+  /// Deprecated string-era shim: returns suggest().config.
+  [[deprecated("use suggest() and read Suggestion::config")]]
+  [[nodiscard]] Config suggest_config() {
+    return suggest().config;
+  }
 
   /// Best observation so far; nullopt before any observe().
   [[nodiscard]] std::optional<Observation> best() const;

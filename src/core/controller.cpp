@@ -185,6 +185,8 @@ ControlDecision AuTraScaleController::plan_and_execute(
     BenefitModel model;
     model.rate = rate;
     model.base = base_;
+    model.kernel = sp.gp_kernel;
+    model.threads = sp.threads;
     model.samples = std::move(r.real_samples);
     model.fit();
     library_.add(std::move(model));
@@ -194,7 +196,8 @@ ControlDecision AuTraScaleController::plan_and_execute(
     decision.evaluations += r.bootstrap_evaluations + r.bo_iterations;
     decision.applied = r.best;
     if (!library_.has_model_for(rate)) {
-      library_.add(make_benefit_model(rate, base_, r));
+      library_.add(make_benefit_model(rate, base_, r, sp.gp_kernel,
+                                      sp.threads));
     }
   }
 

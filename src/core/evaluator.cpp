@@ -1,15 +1,30 @@
 #include "core/evaluator.hpp"
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "streamsim/job_runner.hpp"
 
 namespace autra::core {
 
 Evaluator make_runner_evaluator(const sim::JobRunner& runner) {
-  auto salt = std::make_shared<std::uint64_t>(0);
-  return [&runner, salt](const runtime::Parallelism& p) {
-    return runner.measure(p, (*salt)++);
+  // Per-config deterministic salts (plus a rerun counter so repeating a
+  // config draws fresh noise): results depend only on *what* is measured
+  // and how many times, never on the order concurrent evaluations land in.
+  struct Reruns {
+    std::mutex mu;
+    std::map<runtime::Parallelism, std::uint64_t> counts;
+  };
+  auto reruns = std::make_shared<Reruns>();
+  return [&runner, reruns](const runtime::Parallelism& p) {
+    std::uint64_t rerun = 0;
+    {
+      const std::lock_guard<std::mutex> lock(reruns->mu);
+      rerun = reruns->counts[p]++;
+    }
+    return runner.measure(p, runtime::trial_seed_salt(p) + rerun);
   };
 }
 

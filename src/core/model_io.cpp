@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 namespace autra::core {
 
@@ -10,7 +11,7 @@ void save_library(const ModelLibrary& library, std::ostream& out) {
   for (const BenefitModel& model : library.models()) {
     out << "model " << model.rate << " " << model.base.size();
     for (int k : model.base) out << " " << k;
-    out << "\n";
+    out << " " << gp::to_string(model.kernel) << "\n";
     for (const SamplePoint& s : model.samples) {
       if (s.estimated()) continue;  // Only real measurements persist.
       out << "sample";
@@ -54,6 +55,15 @@ ModelLibrary load_library(std::istream& in) {
       current.base.resize(n);
       for (int& k : current.base) {
         if (!(ss >> k) || k < 1) fail(line_no, "bad base configuration");
+      }
+      // Optional trailing kernel name (absent in files written before the
+      // kernel was persisted; those default to Matern 5/2).
+      if (std::string kernel_name; ss >> kernel_name) {
+        try {
+          current.kernel = gp::parse_kernel_kind(kernel_name);
+        } catch (const std::invalid_argument& e) {
+          fail(line_no, e.what());
+        }
       }
       open = true;
     } else if (tag == "sample") {

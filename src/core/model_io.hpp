@@ -8,9 +8,11 @@
 // internals).
 //
 // Format (one record per line, '#' comments ignored):
-//   model <rate> <num_base> <base...>
+//   model <rate> <num_base> <base...> [<kernel>]
 //   sample <config...> <score>
 //   end
+// The kernel name is optional on load (older files omit it) and defaults
+// to matern52; unknown names fail at parse time.
 #pragma once
 
 #include <iosfwd>

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/bootstrap.hpp"
+#include "exec/exec.hpp"
 
 namespace autra::core {
 
@@ -19,6 +22,7 @@ bo::SearchSpace make_space(const runtime::Parallelism& base,
 bo::BayesOptConfig make_bo_config(const SteadyRateParams& params) {
   bo::BayesOptConfig cfg;
   cfg.gp.kernel = params.gp_kernel;
+  cfg.gp.threads = params.threads;
   cfg.xi = params.xi;
   cfg.seed = params.seed;
   return cfg;
@@ -129,10 +133,28 @@ SteadyRateResult run_steady_rate(const Evaluator& evaluate,
   };
 
   if (!skip_bootstrap) {
-    for (const runtime::Parallelism& config :
-         bootstrap_samples(base, params.max_parallelism, params.bootstrap_m)) {
-      if (budget <= 0) break;
-      measure(config);
+    // Bootstrap samples are independent of each other, so the trial fan-out
+    // runs in parallel; results are recorded serially in sample order, which
+    // keeps the surrogate's training set (and every downstream decision)
+    // identical at any thread count. The evaluator must satisfy the
+    // const-thread-safety contract of runtime::TrialService::evaluator_at.
+    std::vector<runtime::Parallelism> configs =
+        bootstrap_samples(base, params.max_parallelism, params.bootstrap_m);
+    if (std::cmp_greater(configs.size(), budget)) {
+      configs.resize(static_cast<std::size_t>(std::max(budget, 0)));
+    }
+    const exec::ExecContext ctx(params.threads);
+    std::vector<runtime::JobMetrics> metrics =
+        exec::parallel_map(ctx, configs.size(), [&](std::size_t i) {
+          return evaluate(configs[i]);
+        });
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      SamplePoint s;
+      s.config = configs[i];
+      s.score = benefit_score(metrics[i], score_params);
+      s.metrics = std::move(metrics[i]);
+      --budget;
+      record(std::move(s));
       ++result.bootstrap_evaluations;
     }
   }
@@ -147,18 +169,23 @@ SteadyRateResult run_steady_rate(const Evaluator& evaluate,
   }
 
   while (satisfied == nullptr && budget > 0) {
-    const bo::Config next = opt.suggest();
-    const runtime::Parallelism config(next.begin(), next.end());
+    const bo::Suggestion next = opt.suggest();
+    const runtime::Parallelism config(next.config.begin(), next.config.end());
 
-    // The acquisition returning an already-measured configuration means the
+    // Acquisition and random-bootstrap suggestions are unobserved by
+    // construction; only the best-observed fallback can repeat a config. A
+    // fallback onto an already *really measured* configuration means the
     // model is fully exploited; measuring it again would not change the
-    // decision, so stop and fall through to best-effort selection.
-    const bool repeat = std::any_of(
-        result.history.begin(), result.history.end(),
-        [&](const SamplePoint& s) {
-          return !s.estimated() && s.config == config;
-        });
-    if (repeat) break;
+    // decision, so stop and fall through to best-effort selection. (A
+    // fallback onto an estimated seed sample is still worth one real run.)
+    if (next.source == bo::SuggestionSource::kBestObservedFallback) {
+      const bool repeat = std::any_of(
+          result.history.begin(), result.history.end(),
+          [&](const SamplePoint& s) {
+            return !s.estimated() && s.config == config;
+          });
+      if (repeat) break;
+    }
 
     const SamplePoint& s = measure(config);
     ++result.bo_iterations;
@@ -196,8 +223,8 @@ runtime::Parallelism recommend_next(std::span<const SamplePoint> samples,
   for (const SamplePoint& s : samples) {
     opt.observe(bo::Config(s.config.begin(), s.config.end()), s.score);
   }
-  const bo::Config next = opt.suggest();
-  return {next.begin(), next.end()};
+  const bo::Suggestion next = opt.suggest();
+  return {next.config.begin(), next.config.end()};
 }
 
 }  // namespace autra::core

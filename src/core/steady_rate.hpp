@@ -37,8 +37,14 @@ struct SteadyRateParams {
   double score_threshold = 0.9;
   /// EI exploration parameter xi (Eq. 6).
   double xi = 0.01;
-  /// Surrogate kernel: "matern52" (the paper's choice), "matern32", "rbf".
-  std::string gp_kernel = "matern52";
+  /// Surrogate covariance kernel (the paper uses Matern 5/2). Code that
+  /// starts from a name parses it with gp::parse_kernel_kind.
+  gp::KernelKind gp_kernel = gp::KernelKind::kMatern52;
+  /// Worker threads for the Plan stage (bootstrap fan-out, GP grid search,
+  /// EI batch scoring). <= 0 uses the process default (AUTRA_THREADS or
+  /// hardware_concurrency); 1 forces the serial path. Decisions are
+  /// bit-identical at any value.
+  int threads = 0;
   /// Number of uniform bootstrap samples M (family-2 adds N more).
   int bootstrap_m = 5;
   int max_parallelism = 1;

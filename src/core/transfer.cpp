@@ -37,6 +37,10 @@ void BenefitModel::fit() {
   const linalg::Matrix x = features_of(samples);
   linalg::Vector y(samples.size());
   for (std::size_t i = 0; i < samples.size(); ++i) y[i] = samples[i].score;
+  gp::GpConfig cfg = gp.config();
+  cfg.kernel = kernel;
+  cfg.threads = threads;
+  gp = gp::GpRegressor(cfg);
   gp.fit(x, y);
 }
 
@@ -45,10 +49,13 @@ double BenefitModel::predict_mean(const runtime::Parallelism& config) const {
 }
 
 BenefitModel make_benefit_model(double rate, const runtime::Parallelism& base,
-                                const SteadyRateResult& result) {
+                                const SteadyRateResult& result,
+                                gp::KernelKind kernel, int threads) {
   BenefitModel model;
   model.rate = rate;
   model.base = base;
+  model.kernel = kernel;
+  model.threads = threads;
   for (const SamplePoint& s : result.history) {
     if (!s.estimated()) model.samples.push_back(s);
   }
@@ -135,6 +142,8 @@ TransferResult run_transfer(const Evaluator& evaluate,
       s.score -= prior.predict_mean(s.config);
     }
     BenefitModel residual;
+    residual.kernel = sp.gp_kernel;
+    residual.threads = sp.threads;
     residual.samples = std::move(residual_samples);
     residual.fit();
 

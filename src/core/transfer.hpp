@@ -31,17 +31,23 @@ struct BenefitModel {
   double rate = 0.0;  ///< Records/s the model was trained at.
   runtime::Parallelism base;  ///< Base configuration k' at that rate.
   std::vector<SamplePoint> samples;  ///< Real samples it was trained on.
+  /// Surrogate covariance kernel used by fit().
+  gp::KernelKind kernel = gp::KernelKind::kMatern52;
+  /// Worker threads for fit()'s hyper-parameter search (see GpConfig).
+  int threads = 0;
   gp::GpRegressor gp;  ///< Fitted on (config, score).
 
-  /// Fits `gp` from `samples`; throws std::invalid_argument when empty.
+  /// Rebuilds `gp` with `kernel` and fits it from `samples`; throws
+  /// std::invalid_argument when empty.
   void fit();
   [[nodiscard]] double predict_mean(const runtime::Parallelism& config) const;
 };
 
 /// Builds a benefit model from an Algorithm 1 result.
-[[nodiscard]] BenefitModel make_benefit_model(double rate,
-                                              const runtime::Parallelism& base,
-                                              const SteadyRateResult& result);
+[[nodiscard]] BenefitModel make_benefit_model(
+    double rate, const runtime::Parallelism& base,
+    const SteadyRateResult& result,
+    gp::KernelKind kernel = gp::KernelKind::kMatern52, int threads = 0);
 
 /// The Plan stage's model library: benefit models keyed by rate.
 class ModelLibrary {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
+
+#include "exec/exec.hpp"
 
 namespace autra::gp {
 
@@ -101,11 +104,18 @@ void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
 
   // Multi-start grid search over (signal variance, length scale) maximising
   // the log marginal likelihood. With standardised targets the optimal
-  // signal variance is near 1, so a modest grid around it suffices.
+  // signal variance is near 1, so a modest grid around it suffices. Each
+  // grid point is an independent kernel build + Cholesky + log-ML, so the
+  // grid is evaluated in parallel; the argmax scan runs serially in grid
+  // order, which keeps the selected hyper-parameters bit-identical at any
+  // thread count.
   const int g = std::max(2, config_.grid_points);
-  double best_ml = -std::numeric_limits<double>::infinity();
-  double best_sv = 1.0;
-  double best_ls = 1.0;
+  struct GridPoint {
+    double sv = 1.0;
+    double ls = 1.0;
+  };
+  std::vector<GridPoint> grid;
+  grid.reserve(static_cast<std::size_t>(g) * static_cast<std::size_t>(g));
   for (int a = 0; a < g; ++a) {
     // Signal variance grid: log-spaced in [0.1, 10].
     const double sv =
@@ -118,23 +128,34 @@ void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
           (std::log(config_.max_length_scale) -
            std::log(config_.min_length_scale)) *
               static_cast<double>(b) / static_cast<double>(g - 1));
-      kernel_->set_signal_variance(sv);
-      kernel_->set_length_scale(ls);
-      linalg::Matrix k = kernel_->gram(x_);
-      k.add_diagonal(config_.noise_variance);
-      auto chol = linalg::Cholesky::factor(k);
-      if (!chol) continue;
-      const linalg::Vector alpha = chol->solve(y_);
-      const double ml = compute_log_ml(*chol, y_, alpha);
-      if (ml > best_ml) {
-        best_ml = ml;
-        best_sv = sv;
-        best_ls = ls;
-      }
+      grid.push_back({sv, ls});
     }
   }
-  kernel_->set_signal_variance(best_sv);
-  kernel_->set_length_scale(best_ls);
+
+  const exec::ExecContext ctx(config_.threads);
+  const std::vector<double> log_mls = exec::parallel_map(
+      ctx, grid.size(), [&](std::size_t i) {
+        const auto kernel = kernel_->clone();
+        kernel->set_signal_variance(grid[i].sv);
+        kernel->set_length_scale(grid[i].ls);
+        linalg::Matrix k = kernel->gram(x_);
+        k.add_diagonal(config_.noise_variance);
+        const auto chol = linalg::Cholesky::factor(k);
+        if (!chol) return -std::numeric_limits<double>::infinity();
+        const linalg::Vector alpha = chol->solve(y_);
+        return compute_log_ml(*chol, y_, alpha);
+      });
+
+  double best_ml = -std::numeric_limits<double>::infinity();
+  GridPoint best;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (log_mls[i] > best_ml) {
+      best_ml = log_mls[i];
+      best = grid[i];
+    }
+  }
+  kernel_->set_signal_variance(best.sv);
+  kernel_->set_length_scale(best.ls);
   refit_factorisation();
 }
 

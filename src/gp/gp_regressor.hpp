@@ -29,7 +29,7 @@ struct Prediction {
 
 /// Configuration of the regressor.
 struct GpConfig {
-  std::string kernel = "matern52";
+  KernelKind kernel = KernelKind::kMatern52;
   /// Observation noise variance added to the kernel diagonal (in normalised
   /// target units).
   double noise_variance = 1e-4;
@@ -42,6 +42,12 @@ struct GpConfig {
   double max_length_scale = 4.0;
   /// Number of grid points per hyper-parameter dimension.
   int grid_points = 12;
+  /// Worker threads for the multi-start grid search (each grid point is an
+  /// independent kernel build + Cholesky + log-ML) and for batch EI
+  /// scoring when the regressor backs a BayesOpt loop. <= 0 uses the
+  /// process default (AUTRA_THREADS or hardware_concurrency); 1 forces the
+  /// guaranteed-serial path. Results are bit-identical at any value.
+  int threads = 0;
 };
 
 /// Exact GP regression with normalisation and marginal-likelihood

@@ -82,19 +82,37 @@ double Rbf::operator()(std::span<const double> a,
          std::exp(-d2 / (2.0 * length_scale_ * length_scale_));
 }
 
-std::unique_ptr<Kernel> make_kernel(const std::string& name,
-                                    double signal_variance,
+const char* to_string(KernelKind kind) noexcept {
+  switch (kind) {
+    case KernelKind::kMatern52:
+      return "matern52";
+    case KernelKind::kMatern32:
+      return "matern32";
+    case KernelKind::kRbf:
+      return "rbf";
+  }
+  return "unknown";
+}
+
+KernelKind parse_kernel_kind(std::string_view name) {
+  if (name == "matern52") return KernelKind::kMatern52;
+  if (name == "matern32") return KernelKind::kMatern32;
+  if (name == "rbf") return KernelKind::kRbf;
+  throw std::invalid_argument("parse_kernel_kind: unknown kernel '" +
+                              std::string(name) + "'");
+}
+
+std::unique_ptr<Kernel> make_kernel(KernelKind kind, double signal_variance,
                                     double length_scale) {
-  if (name == "matern52") {
-    return std::make_unique<Matern52>(signal_variance, length_scale);
+  switch (kind) {
+    case KernelKind::kMatern52:
+      return std::make_unique<Matern52>(signal_variance, length_scale);
+    case KernelKind::kMatern32:
+      return std::make_unique<Matern32>(signal_variance, length_scale);
+    case KernelKind::kRbf:
+      return std::make_unique<Rbf>(signal_variance, length_scale);
   }
-  if (name == "matern32") {
-    return std::make_unique<Matern32>(signal_variance, length_scale);
-  }
-  if (name == "rbf") {
-    return std::make_unique<Rbf>(signal_variance, length_scale);
-  }
-  throw std::invalid_argument("make_kernel: unknown kernel '" + name + "'");
+  throw std::invalid_argument("make_kernel: invalid kernel kind");
 }
 
 }  // namespace autra::gp

@@ -9,11 +9,29 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 
 namespace autra::gp {
+
+/// The covariance families the regressor supports. Typed configuration
+/// lives on this enum; kernel *names* exist only at the I/O boundaries
+/// (CLI flags, model files, bench labels) via to_string/parse_kernel_kind.
+enum class KernelKind {
+  kMatern52,  ///< The paper's choice (Sec. III-E).
+  kMatern32,
+  kRbf,
+};
+
+/// Canonical name of a kernel kind ("matern52" | "matern32" | "rbf").
+[[nodiscard]] const char* to_string(KernelKind kind) noexcept;
+
+/// Parses a kernel name at an I/O boundary; throws std::invalid_argument
+/// on unknown names (so bad configuration fails at parse time, not inside
+/// a fit() deep in the Plan stage).
+[[nodiscard]] KernelKind parse_kernel_kind(std::string_view name);
 
 /// A stationary covariance kernel k(x, x').
 ///
@@ -43,7 +61,8 @@ class Kernel {
   [[nodiscard]] std::vector<double> log_params() const;
   void set_log_params(std::span<const double> p);
 
-  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual KernelKind kind() const noexcept = 0;
+  [[nodiscard]] std::string name() const { return to_string(kind()); }
   [[nodiscard]] virtual std::unique_ptr<Kernel> clone() const = 0;
 
   /// Gram matrix K where K(i,j) = k(X_i, X_j); X is row-per-sample.
@@ -67,7 +86,9 @@ class Matern52 final : public Kernel {
       : Kernel(signal_variance, length_scale) {}
   [[nodiscard]] double operator()(std::span<const double> a,
                                   std::span<const double> b) const override;
-  [[nodiscard]] std::string name() const override { return "matern52"; }
+  [[nodiscard]] KernelKind kind() const noexcept override {
+    return KernelKind::kMatern52;
+  }
   [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
     return std::make_unique<Matern52>(*this);
   }
@@ -80,7 +101,9 @@ class Matern32 final : public Kernel {
       : Kernel(signal_variance, length_scale) {}
   [[nodiscard]] double operator()(std::span<const double> a,
                                   std::span<const double> b) const override;
-  [[nodiscard]] std::string name() const override { return "matern32"; }
+  [[nodiscard]] KernelKind kind() const noexcept override {
+    return KernelKind::kMatern32;
+  }
   [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
     return std::make_unique<Matern32>(*this);
   }
@@ -93,15 +116,17 @@ class Rbf final : public Kernel {
       : Kernel(signal_variance, length_scale) {}
   [[nodiscard]] double operator()(std::span<const double> a,
                                   std::span<const double> b) const override;
-  [[nodiscard]] std::string name() const override { return "rbf"; }
+  [[nodiscard]] KernelKind kind() const noexcept override {
+    return KernelKind::kRbf;
+  }
   [[nodiscard]] std::unique_ptr<Kernel> clone() const override {
     return std::make_unique<Rbf>(*this);
   }
 };
 
-/// Factory by name ("matern52" | "matern32" | "rbf"); throws
-/// std::invalid_argument on unknown names.
-[[nodiscard]] std::unique_ptr<Kernel> make_kernel(const std::string& name,
+/// Factory by kind. Code that starts from a *name* (a CLI flag, a model
+/// file) parses it first with parse_kernel_kind.
+[[nodiscard]] std::unique_ptr<Kernel> make_kernel(KernelKind kind,
                                                   double signal_variance = 1.0,
                                                   double length_scale = 1.0);
 

@@ -67,6 +67,10 @@ class StreamingBackend {
 /// recommend-run-judge loop. Policies never talk to a backend directly,
 /// so the same algorithm code drives a simulator, a real cluster, or a
 /// test double.
+///
+/// The Plan stage fans trial evaluations out across worker threads (see
+/// src/exec/), so an Evaluator obtained from a TrialService must be safe
+/// to invoke concurrently from multiple threads.
 using Evaluator = std::function<JobMetrics(const Parallelism&)>;
 
 /// Plan-stage evaluation provider: fresh-start trials of the job at a
@@ -79,6 +83,14 @@ class TrialService {
   /// `warmup_sec`, measures for `measure_sec`. Repeated calls of the
   /// returned evaluator must decorrelate measurement noise like real
   /// reruns do.
+  ///
+  /// Const-thread-safety contract: the returned evaluator is invoked
+  /// concurrently by the Plan stage's trial fan-out, so implementations
+  /// must (a) make concurrent invocations data-race free, and (b) make the
+  /// metrics returned for a configuration independent of the *order* in
+  /// which concurrent evaluations are issued (e.g. derive noise seeds from
+  /// the configuration itself, not from a shared call counter). Together
+  /// these guarantee Plan decisions are bit-identical at any thread count.
   [[nodiscard]] virtual Evaluator evaluator_at(double rate, double warmup_sec,
                                                double measure_sec) const = 0;
 

@@ -4,6 +4,15 @@
 
 namespace autra::runtime {
 
+std::uint64_t trial_seed_salt(const Parallelism& p) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (int k : p) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k));
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return h;
+}
+
 int JobMetrics::total_parallelism() const {
   return std::accumulate(parallelism.begin(), parallelism.end(), 0);
 }

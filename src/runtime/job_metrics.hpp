@@ -5,6 +5,7 @@
 // replay, eventually a real engine) reports in these terms.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace autra::runtime {
@@ -12,6 +13,14 @@ namespace autra::runtime {
 /// Parallelism configuration of a job: one entry per operator, in topology
 /// operator-index order.
 using Parallelism = std::vector<int>;
+
+/// Deterministic per-configuration seed salt for trial evaluators (FNV-1a
+/// over the parallelism vector). Evaluators derive measurement-noise seeds
+/// from the *configuration being measured* (plus a per-config rerun
+/// counter), not from a shared call counter, so the noise a configuration
+/// sees does not depend on the order evaluations are issued in — a
+/// requirement for bit-identical Plan decisions at any thread count.
+[[nodiscard]] std::uint64_t trial_seed_salt(const Parallelism& p) noexcept;
 
 /// Live snapshot of one operator's rates.
 struct OperatorRates {

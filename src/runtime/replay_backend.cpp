@@ -65,17 +65,19 @@ JobMetrics ReplayBackend::window_metrics() const {
   namespace mn = metric_names;
   const double t0 = window_start_;
   const double t1 = now_;
+  const auto mean_of = [&](const std::string& name) {
+    return history_.mean(history_.find(name), t0, t1).value_or(0.0);
+  };
   JobMetrics m;
   m.parallelism = parallelism_;
-  m.input_rate = history_.mean(mn::kInputRate, t0, t1).value_or(0.0);
-  m.throughput = history_.mean(mn::kThroughput, t0, t1).value_or(0.0);
-  m.latency_ms = history_.mean(mn::kLatencyMean, t0, t1).value_or(0.0) * 1e3;
+  m.input_rate = mean_of(mn::kInputRate);
+  m.throughput = mean_of(mn::kThroughput);
+  m.latency_ms = mean_of(mn::kLatencyMean) * 1e3;
   m.latency_p50_ms = m.latency_ms;
   m.latency_p95_ms = m.latency_ms;
   m.latency_p99_ms = m.latency_ms;
-  m.event_latency_ms =
-      history_.mean(mn::kEventLatencyMean, t0, t1).value_or(0.0) * 1e3;
-  m.busy_cores = history_.mean(mn::kBusyCores, t0, t1).value_or(0.0);
+  m.event_latency_ms = mean_of(mn::kEventLatencyMean) * 1e3;
+  m.busy_cores = mean_of(mn::kBusyCores);
 
   const MetricId lag_id = history_.find(mn::kKafkaLag);
   if (const auto lag = history_.last(lag_id)) m.kafka_lag = lag->value;
@@ -93,14 +95,10 @@ JobMetrics ReplayBackend::window_metrics() const {
     OperatorRates r;
     r.parallelism = parallelism_[i];
     const std::string& op = operators_[i];
-    r.true_rate_per_instance =
-        history_.mean(mn::true_rate(op), t0, t1).value_or(0.0);
-    r.observed_rate_per_instance =
-        history_.mean(mn::observed_rate(op), t0, t1).value_or(0.0);
-    r.total_input_rate =
-        history_.mean(mn::input_rate(op), t0, t1).value_or(0.0);
-    r.total_output_rate =
-        history_.mean(mn::output_rate(op), t0, t1).value_or(0.0);
+    r.true_rate_per_instance = mean_of(mn::true_rate(op));
+    r.observed_rate_per_instance = mean_of(mn::observed_rate(op));
+    r.total_input_rate = mean_of(mn::input_rate(op));
+    r.total_output_rate = mean_of(mn::output_rate(op));
     if (const auto q = history_.last(history_.find(mn::queue_size(op)))) {
       r.queue_length = q->value;
     }

@@ -1,5 +1,8 @@
 #include "streamsim/job_runner.hpp"
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace autra::sim {
@@ -146,9 +149,22 @@ runtime::Evaluator SimTrialService::evaluator_at(double rate,
   auto runner =
       std::make_shared<JobRunner>(std::move(trial_spec), warmup_sec,
                                   measure_sec);
-  auto salt = std::make_shared<std::uint64_t>(0);
-  return [runner, salt](const Parallelism& p) {
-    return runner->measure(p, (*salt)++);
+  // Noise seeds derive from the configuration itself (plus a mutex-guarded
+  // rerun counter), never from a shared call counter: concurrent or
+  // reordered evaluations see the same noise a serial run would, which the
+  // TrialService contract requires for thread-count-independent decisions.
+  struct Reruns {
+    std::mutex mu;
+    std::map<Parallelism, std::uint64_t> counts;
+  };
+  auto reruns = std::make_shared<Reruns>();
+  return [runner, reruns](const Parallelism& p) {
+    std::uint64_t rerun = 0;
+    {
+      const std::lock_guard<std::mutex> lock(reruns->mu);
+      rerun = reruns->counts[p]++;
+    }
+    return runner->measure(p, runtime::trial_seed_salt(p) + rerun);
   };
 }
 

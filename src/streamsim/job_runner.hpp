@@ -12,6 +12,7 @@
 // Flink's savepoint-stop-restart cycle in the paper's Execute stage.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -63,7 +64,9 @@ class JobRunner {
 
   /// Runs the job from a cold start with parallelism `p` and returns the
   /// post-warm-up window metrics. `seed_salt` perturbs measurement noise so
-  /// repeated evaluations differ like real reruns do.
+  /// repeated evaluations differ like real reruns do. Safe to call
+  /// concurrently: each call builds its own engine and shares only the
+  /// immutable spec.
   [[nodiscard]] JobMetrics measure(const Parallelism& p,
                                    std::uint64_t seed_salt = 0) const;
 
@@ -77,13 +80,15 @@ class JobRunner {
 
   /// Total evaluations performed so far (each is one job restart in the
   /// paper's terms — the cost the transfer-learning method saves).
-  [[nodiscard]] int evaluations() const noexcept { return evaluations_; }
+  [[nodiscard]] int evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   JobSpec spec_;
   double warmup_sec_;
   double measure_sec_;
-  mutable int evaluations_ = 0;
+  mutable std::atomic<int> evaluations_{0};
 };
 
 /// How a reconfiguration is applied (backend-neutral runtime type).
@@ -134,9 +139,11 @@ class ScalingSession final : public runtime::StreamingBackend {
 };
 
 /// The simulator's Plan-stage trial provider: every evaluator_at() call
-/// wraps a fresh-start JobRunner pinned at a constant rate, with a
-/// distinct noise salt per evaluation so repeated trials differ like real
-/// reruns.
+/// wraps a fresh-start JobRunner pinned at a constant rate. Noise salts
+/// are derived per configuration (plus a rerun counter), so repeated
+/// trials differ like real reruns while concurrent evaluations stay
+/// order-independent — the returned evaluator satisfies the
+/// const-thread-safety contract of runtime::TrialService.
 class SimTrialService final : public runtime::TrialService {
  public:
   explicit SimTrialService(JobSpec spec);

@@ -165,7 +165,7 @@ TEST(BayesOpt, SuggestFineTunesNearIncumbentInHugeSpace) {
   opt.observe({2, 2, 2, 2}, f({2, 2, 2, 2}));
   opt.observe({62, 62, 62, 62}, f({62, 62, 62, 62}));
   for (int i = 0; i < 20; ++i) {
-    const Config next = opt.suggest();
+    const Config next = opt.suggest().config;
     opt.observe(next, f(next));
     if (opt.best()->score == 0.0) break;
   }
@@ -206,16 +206,30 @@ TEST(BayesOpt, SuggestAvoidsObservedPoints) {
   opt.observe({1}, 0.1);
   opt.observe({2}, 0.2);
   opt.observe({3}, 0.3);
-  const Config next = opt.suggest();
-  EXPECT_EQ(next, (Config{4}));
+  const Suggestion next = opt.suggest();
+  EXPECT_EQ(next.config, (Config{4}));
+  // The only path that proposes an unobserved config with >= 2 samples is
+  // the acquisition, so the suggestion must carry a positive EI.
+  EXPECT_EQ(next.source, SuggestionSource::kAcquisition);
+  EXPECT_GT(next.expected_improvement, 0.0);
 }
 
 TEST(BayesOpt, SuggestReturnsIncumbentWhenExhausted) {
   BayesOpt opt(SearchSpace({1}, {2}));
   opt.observe({1}, 0.1);
   opt.observe({2}, 0.9);
-  const Config next = opt.suggest();
-  EXPECT_EQ(next, (Config{2}));  // Space exhausted -> incumbent.
+  const Suggestion next = opt.suggest();
+  EXPECT_EQ(next.config, (Config{2}));  // Space exhausted -> incumbent.
+  EXPECT_EQ(next.source, SuggestionSource::kBestObservedFallback);
+  EXPECT_DOUBLE_EQ(next.expected_improvement, 0.0);
+}
+
+TEST(BayesOpt, SuggestionSourceNames) {
+  EXPECT_STREQ(to_string(SuggestionSource::kAcquisition), "acquisition");
+  EXPECT_STREQ(to_string(SuggestionSource::kBestObservedFallback),
+               "best_observed_fallback");
+  EXPECT_STREQ(to_string(SuggestionSource::kRandomBootstrap),
+               "random_bootstrap");
 }
 
 TEST(BayesOpt, OptimizesConcaveFunction) {
@@ -229,7 +243,7 @@ TEST(BayesOpt, OptimizesConcaveFunction) {
   opt.observe({12, 12}, f({12, 12}));
   opt.observe({1, 12}, f({1, 12}));
   for (int i = 0; i < 30; ++i) {
-    const Config next = opt.suggest();
+    const Config next = opt.suggest().config;
     opt.observe(next, f(next));
     if (opt.best()->score == 0.0) break;
   }
@@ -246,9 +260,11 @@ TEST(BayesOpt, PredictBeforeObservationsThrows) {
 TEST(BayesOpt, SingleObservationSuggestsRandomFresh) {
   BayesOpt opt(SearchSpace({1}, {9}));
   opt.observe({5}, 0.5);
-  const Config next = opt.suggest();
-  EXPECT_NE(next, (Config{5}));
-  EXPECT_TRUE(opt.space().contains(next));
+  const Suggestion next = opt.suggest();
+  EXPECT_NE(next.config, (Config{5}));
+  EXPECT_TRUE(opt.space().contains(next.config));
+  EXPECT_EQ(next.source, SuggestionSource::kRandomBootstrap);
+  EXPECT_DOUBLE_EQ(next.expected_improvement, 0.0);
 }
 
 TEST(BayesOpt, TinyCandidateBudgetStillWorks) {
@@ -256,7 +272,7 @@ TEST(BayesOpt, TinyCandidateBudgetStillWorks) {
   opt.observe({1, 1, 1, 1}, 0.1);
   opt.observe({50, 50, 50, 50}, 0.9);
   for (int i = 0; i < 5; ++i) {
-    const Config next = opt.suggest();
+    const Config next = opt.suggest().config;
     ASSERT_TRUE(opt.space().contains(next));
     opt.observe(next, 0.5);
   }
@@ -288,7 +304,7 @@ TEST_P(BayesOptSeeds, FindsNearOptimum) {
   opt.observe({1, 1, 1}, f({1, 1, 1}));
   opt.observe({15, 15, 15}, f({15, 15, 15}));
   for (int i = 0; i < 25; ++i) {
-    const Config next = opt.suggest();
+    const Config next = opt.suggest().config;
     opt.observe(next, f(next));
   }
   EXPECT_GT(opt.best()->score, -27.0)

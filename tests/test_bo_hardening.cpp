@@ -85,7 +85,7 @@ TEST_P(BoSurfaces, ReachesNearOptimumWithinBudget) {
   opt.observe({1, 1, 1}, s.f({1, 1, 1}));
   opt.observe({20, 20, 20}, s.f({20, 20, 20}));
   for (int i = 0; i < 24; ++i) {
-    const Config next = opt.suggest();
+    const Config next = opt.suggest().config;
     opt.observe(next, s.f(next));
   }
   const double best = opt.best()->score;

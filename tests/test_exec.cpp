@@ -1,0 +1,151 @@
+// Unit tests for the exec layer: thread-count resolution, the parallel
+// primitives' index coverage and ordering guarantees, exception
+// propagation, and the nested-region guard.
+#include "exec/exec.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace autra::exec {
+namespace {
+
+/// Restores AUTRA_THREADS on scope exit so tests don't leak environment.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* value) {
+    if (const char* old = std::getenv("AUTRA_THREADS")) saved_ = old;
+    if (value) {
+      ::setenv("AUTRA_THREADS", value, 1);
+    } else {
+      ::unsetenv("AUTRA_THREADS");
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.empty()) {
+      ::unsetenv("AUTRA_THREADS");
+    } else {
+      ::setenv("AUTRA_THREADS", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(ExecContext, EnvOverridesDefaultThreads) {
+  const ScopedEnv env("3");
+  EXPECT_EQ(default_threads(), 3u);
+  EXPECT_EQ(ExecContext(0).threads(), 3u);
+  // An explicit count still wins over the environment.
+  EXPECT_EQ(ExecContext(7).threads(), 7u);
+}
+
+TEST(ExecContext, MalformedEnvFallsBackToHardware) {
+  const unsigned hw = [] {
+    const ScopedEnv cleared(nullptr);
+    return default_threads();
+  }();
+  for (const char* bad : {"0", "-2", "abc", "4x", ""}) {
+    const ScopedEnv env(bad);
+    EXPECT_EQ(default_threads(), hw) << "AUTRA_THREADS='" << bad << "'";
+  }
+}
+
+TEST(ExecContext, SerialIsOneThread) {
+  EXPECT_EQ(ExecContext::serial().threads(), 1u);
+  EXPECT_EQ(ExecContext(1).threads(), 1u);
+  EXPECT_GE(ExecContext(0).threads(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 257;  // Deliberately not a multiple of anything.
+  for (const int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> counts(kN);
+    parallel_for(ExecContext(threads), kN,
+                 [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(counts[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  bool called = false;
+  parallel_for(ExecContext(8), 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, MoreThreadsThanWorkIsHarmless) {
+  std::atomic<int> total{0};
+  parallel_for(ExecContext(16), 3, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelMap, ResultsAreIndexAddressed) {
+  constexpr std::size_t kN = 100;
+  for (const int threads : {1, 2, 8}) {
+    const std::vector<std::size_t> out = parallel_map(
+        ExecContext(threads), kN, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], i * i) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelReduce, BitIdenticalToSerialFold) {
+  constexpr std::size_t kN = 1000;
+  const auto map = [](std::size_t i) {
+    // Values spanning many magnitudes so summation order matters.
+    return 1.0 / static_cast<double>(i + 1);
+  };
+  const auto fold = [](double acc, double v) { return acc + v; };
+  const double serial =
+      parallel_reduce(ExecContext::serial(), kN, 0.0, map, fold);
+  for (const int threads : {2, 4, 8}) {
+    const double parallel =
+        parallel_reduce(ExecContext(threads), kN, 0.0, map, fold);
+    // Bitwise equality, not EXPECT_NEAR: the reduction folds in index
+    // order regardless of which thread computed each value.
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, WorkerExceptionRethrownAtCallSite) {
+  const auto run = [] {
+    parallel_for(ExecContext(4), 100, [](std::size_t i) {
+      if (i == 37) throw std::runtime_error("boom at 37");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // The pool survives a failed batch and accepts new work.
+  std::atomic<int> total{0};
+  parallel_for(ExecContext(4), 10, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ParallelFor, NestedParallelRegionRejected) {
+  const auto nested = [] {
+    parallel_for(ExecContext(2), 4, [](std::size_t) {
+      parallel_for(ExecContext(2), 4, [](std::size_t) {});
+    });
+  };
+  EXPECT_THROW(nested(), std::logic_error);
+}
+
+TEST(ParallelFor, SerialContextNestsFreely) {
+  std::atomic<int> total{0};
+  parallel_for(ExecContext(4), 8, [&](std::size_t) {
+    parallel_for(ExecContext::serial(), 8,
+                 [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+}  // namespace
+}  // namespace autra::exec

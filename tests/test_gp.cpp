@@ -37,13 +37,14 @@ TEST(Kernel, DiagonalIsSignalVariance) {
 }
 
 TEST(Kernel, SymmetricAndDecaying) {
-  for (const char* name : {"matern52", "matern32", "rbf"}) {
-    const auto k = make_kernel(name);
+  for (const KernelKind kind :
+       {KernelKind::kMatern52, KernelKind::kMatern32, KernelKind::kRbf}) {
+    const auto k = make_kernel(kind);
     const std::vector<double> a{0.0}, b{1.0}, c{3.0};
-    EXPECT_NEAR((*k)(a, b), (*k)(b, a), 1e-15) << name;
-    EXPECT_GT((*k)(a, b), (*k)(a, c)) << name;
-    EXPECT_GT((*k)(a, a), (*k)(a, b)) << name;
-    EXPECT_GT((*k)(a, c), 0.0) << name;
+    EXPECT_NEAR((*k)(a, b), (*k)(b, a), 1e-15) << to_string(kind);
+    EXPECT_GT((*k)(a, b), (*k)(a, c)) << to_string(kind);
+    EXPECT_GT((*k)(a, a), (*k)(a, b)) << to_string(kind);
+    EXPECT_GT((*k)(a, c), 0.0) << to_string(kind);
   }
 }
 
@@ -80,8 +81,19 @@ TEST(Kernel, LogParamsRoundTrip) {
                std::invalid_argument);
 }
 
-TEST(Kernel, FactoryUnknownThrows) {
-  EXPECT_THROW(make_kernel("laplace"), std::invalid_argument);
+TEST(Kernel, ParseUnknownNameThrows) {
+  EXPECT_THROW(parse_kernel_kind("laplace"), std::invalid_argument);
+  EXPECT_THROW(parse_kernel_kind(""), std::invalid_argument);
+  EXPECT_THROW(parse_kernel_kind("Matern52"), std::invalid_argument);
+}
+
+TEST(Kernel, KindNameRoundTrip) {
+  for (const KernelKind kind :
+       {KernelKind::kMatern52, KernelKind::kMatern32, KernelKind::kRbf}) {
+    EXPECT_EQ(parse_kernel_kind(to_string(kind)), kind);
+    EXPECT_EQ(make_kernel(kind)->kind(), kind);
+    EXPECT_EQ(make_kernel(kind)->name(), to_string(kind));
+  }
 }
 
 TEST(Kernel, CloneIsIndependent) {
@@ -99,17 +111,19 @@ TEST(Kernel, GramIsPositiveDefiniteWithJitter) {
   for (std::size_t i = 0; i < x.rows(); ++i) {
     for (std::size_t j = 0; j < x.cols(); ++j) x(i, j) = dist(rng);
   }
-  for (const char* name : {"matern52", "matern32", "rbf"}) {
-    const auto k = make_kernel(name);
+  for (const KernelKind kind :
+       {KernelKind::kMatern52, KernelKind::kMatern32, KernelKind::kRbf}) {
+    const auto k = make_kernel(kind);
     Matrix g = k->gram(x);
     // Symmetric.
     for (std::size_t i = 0; i < g.rows(); ++i) {
       for (std::size_t j = 0; j < i; ++j) {
-        EXPECT_NEAR(g(i, j), g(j, i), 1e-14) << name;
+        EXPECT_NEAR(g(i, j), g(j, i), 1e-14) << to_string(kind);
       }
     }
     g.add_diagonal(1e-8);
-    EXPECT_NO_THROW(linalg::Cholesky::factor_with_jitter(g)) << name;
+    EXPECT_NO_THROW(linalg::Cholesky::factor_with_jitter(g))
+        << to_string(kind);
   }
 }
 
@@ -263,13 +277,8 @@ TEST(GpRegressor, BatchPredictMatchesPointwise) {
 
 // Property: the regressor stays numerically healthy across kernels and
 // dimensions on random data.
-struct GpCase {
-  const char* kernel;
-  int dims;
-};
-
 class GpRegressorProperty
-    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+    : public ::testing::TestWithParam<std::tuple<KernelKind, int>> {};
 
 TEST_P(GpRegressorProperty, FinitePredictionsOnRandomData) {
   const auto [kernel, dims] = GetParam();
@@ -303,7 +312,9 @@ TEST_P(GpRegressorProperty, FinitePredictionsOnRandomData) {
 
 INSTANTIATE_TEST_SUITE_P(
     KernelsAndDims, GpRegressorProperty,
-    ::testing::Combine(::testing::Values("matern52", "matern32", "rbf"),
+    ::testing::Combine(::testing::Values(KernelKind::kMatern52,
+                                         KernelKind::kMatern32,
+                                         KernelKind::kRbf),
                        ::testing::Values(1, 2, 4, 6)));
 
 TEST(ExpectedImprovement, ZeroWhenNoVariance) {

@@ -161,9 +161,11 @@ TEST(ScalingSession, HistorySpansRestarts) {
   session.run_for(5.0);
   session.reconfigure({2, 2, 2});
   session.run_for(5.0);
-  const auto pts =
-      session.history().query(metric_names::kThroughput, 0.0, 10.0);
-  EXPECT_GE(pts.size(), 8u);  // Continuous series across the restart.
+  const runtime::MetricId thr =
+      session.history().find(metric_names::kThroughput);
+  ASSERT_TRUE(thr.valid());
+  const auto [first, last] = session.history().range(thr, 0.0, 10.0);
+  EXPECT_GE(last - first, 8u);  // Continuous series across the restart.
 }
 
 TEST(ScalingSession, WindowMetricsResettable) {

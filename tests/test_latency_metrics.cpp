@@ -70,45 +70,53 @@ TEST(LatencyStats, MergeCombinesMass) {
 
 TEST(MetricsDb, RecordAndQueryWindow) {
   MetricsDb db;
-  db.record("x", 0.0, 1.0);
-  db.record("x", 1.0, 2.0);
-  db.record("x", 2.0, 3.0);
-  const auto pts = db.query("x", 0.5, 2.0);
-  ASSERT_EQ(pts.size(), 2u);
-  EXPECT_DOUBLE_EQ(pts[0].value, 2.0);
-  EXPECT_DOUBLE_EQ(pts[1].value, 3.0);
+  const runtime::MetricId x = db.resolve("x");
+  db.record(x, 0.0, 1.0);
+  db.record(x, 1.0, 2.0);
+  db.record(x, 2.0, 3.0);
+  const auto [first, last] = db.range(x, 0.5, 2.0);
+  ASSERT_EQ(last - first, 2u);
+  const MetricsDb::SeriesView v = db.series(x);
+  EXPECT_DOUBLE_EQ(v.values[first], 2.0);
+  EXPECT_DOUBLE_EQ(v.values[last - 1], 3.0);
 }
 
 TEST(MetricsDb, UnknownSeriesEmpty) {
   const MetricsDb db;
-  EXPECT_TRUE(db.query("nope", 0.0, 1.0).empty());
-  EXPECT_FALSE(db.mean("nope", 0.0, 1.0).has_value());
-  EXPECT_FALSE(db.last("nope").has_value());
+  const runtime::MetricId nope = db.find("nope");
+  EXPECT_FALSE(nope.valid());
+  EXPECT_TRUE(db.series(nope).times.empty());
+  EXPECT_FALSE(db.mean(nope, 0.0, 1.0).has_value());
+  EXPECT_FALSE(db.last(nope).has_value());
   EXPECT_FALSE(db.has_series("nope"));
 }
 
 TEST(MetricsDb, TimeMustNotGoBackwards) {
   MetricsDb db;
-  db.record("x", 5.0, 1.0);
-  EXPECT_THROW(db.record("x", 4.0, 1.0), std::invalid_argument);
-  EXPECT_NO_THROW(db.record("x", 5.0, 2.0));  // equal time is fine
-  EXPECT_NO_THROW(db.record("y", 0.0, 1.0));  // other series independent
+  const runtime::MetricId x = db.resolve("x");
+  const runtime::MetricId y = db.resolve("y");
+  db.record(x, 5.0, 1.0);
+  EXPECT_THROW(db.record(x, 4.0, 1.0), std::invalid_argument);
+  EXPECT_NO_THROW(db.record(x, 5.0, 2.0));  // equal time is fine
+  EXPECT_NO_THROW(db.record(y, 0.0, 1.0));  // other series independent
 }
 
 TEST(MetricsDb, MeanOverWindow) {
   MetricsDb db;
-  db.record("x", 0.0, 10.0);
-  db.record("x", 1.0, 20.0);
-  db.record("x", 2.0, 90.0);
-  EXPECT_DOUBLE_EQ(db.mean("x", 0.0, 1.0).value(), 15.0);
-  EXPECT_FALSE(db.mean("x", 10.0, 20.0).has_value());
+  const runtime::MetricId x = db.resolve("x");
+  db.record(x, 0.0, 10.0);
+  db.record(x, 1.0, 20.0);
+  db.record(x, 2.0, 90.0);
+  EXPECT_DOUBLE_EQ(db.mean(x, 0.0, 1.0).value(), 15.0);
+  EXPECT_FALSE(db.mean(x, 10.0, 20.0).has_value());
 }
 
 TEST(MetricsDb, Last) {
   MetricsDb db;
-  db.record("x", 0.0, 1.0);
-  db.record("x", 9.0, 42.0);
-  const auto p = db.last("x");
+  const runtime::MetricId x = db.resolve("x");
+  db.record(x, 0.0, 1.0);
+  db.record(x, 9.0, 42.0);
+  const auto p = db.last(x);
   ASSERT_TRUE(p);
   EXPECT_DOUBLE_EQ(p->time, 9.0);
   EXPECT_DOUBLE_EQ(p->value, 42.0);
@@ -116,8 +124,8 @@ TEST(MetricsDb, Last) {
 
 TEST(MetricsDb, SeriesNamesAndClear) {
   MetricsDb db;
-  db.record("b", 0.0, 1.0);
-  db.record("a", 0.0, 1.0);
+  db.record(db.resolve("b"), 0.0, 1.0);
+  db.record(db.resolve("a"), 0.0, 1.0);
   EXPECT_EQ(db.series_names(), (std::vector<std::string>{"a", "b"}));
   db.clear();
   EXPECT_TRUE(db.series_names().empty());
@@ -125,9 +133,10 @@ TEST(MetricsDb, SeriesNamesAndClear) {
 
 TEST(MetricsDb, CsvExportSelectedSeries) {
   MetricsDb db;
-  db.record("a", 0.0, 1.0);
-  db.record("a", 1.0, 2.0);
-  db.record("b", 1.0, 20.0);
+  const runtime::MetricId a = db.resolve("a");
+  db.record(a, 0.0, 1.0);
+  db.record(a, 1.0, 2.0);
+  db.record(db.resolve("b"), 1.0, 20.0);
   std::ostringstream out;
   const std::vector<std::string> cols{"a", "b"};
   db.write_csv(out, cols);
@@ -139,7 +148,7 @@ TEST(MetricsDb, CsvExportSelectedSeries) {
 
 TEST(MetricsDb, CsvExportAllSeriesByDefault) {
   MetricsDb db;
-  db.record("x", 0.0, 5.0);
+  db.record(db.resolve("x"), 0.0, 5.0);
   std::ostringstream out;
   db.write_csv(out);
   EXPECT_EQ(out.str(), "time,x\n0,5\n");
@@ -147,7 +156,7 @@ TEST(MetricsDb, CsvExportAllSeriesByDefault) {
 
 TEST(MetricsDb, CsvExportUnknownSeriesGivesEmptyColumn) {
   MetricsDb db;
-  db.record("x", 0.0, 5.0);
+  db.record(db.resolve("x"), 0.0, 5.0);
   std::ostringstream out;
   const std::vector<std::string> cols{"x", "ghost"};
   db.write_csv(out, cols);

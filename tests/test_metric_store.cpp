@@ -11,6 +11,11 @@
 namespace autra::runtime {
 namespace {
 
+// This file deliberately exercises the deprecated string-keyed wrappers —
+// they must keep matching the id API until the last callers migrate.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(MetricRegistry, InternIsIdempotent) {
   MetricRegistry reg;
   const MetricId a = reg.intern("x");
@@ -135,6 +140,8 @@ TEST(MetricStore, WriteCsvUnionOfTimestamps) {
             "1,,2\n"
             "2,3,\n");
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace autra::runtime
