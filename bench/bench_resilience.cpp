@@ -1,0 +1,76 @@
+// Resilience comparison: AuTraScale's hardened MAPE loop vs the reactive
+// baselines (threshold, DS2, Dhalion) and a static configuration, each
+// driven through the same three canned fault schedules on WordCount:
+//
+//   machine-crash    — one machine lost for 20% of the horizon; tests
+//                      crash detection, forced restart and lag catch-up;
+//   metric-chaos     — gauges dropped and delayed; tests whether a
+//                      controller can tell "the job is sick" from "the
+//                      metrics are sick";
+//   degraded-cluster — randomised slow nodes, a Redis outage, an ingest
+//                      stall and transient rescale failures all at once.
+//
+// All QoS numbers come from the session's fault-free ground-truth history;
+// only the controllers see the corrupted Monitor path. Run with --smoke
+// for the CI-sized variant (shorter horizon, machine-crash only).
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "fault/fault_schedule.hpp"
+#include "fault/resilience.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace autra;
+
+void print(const fault::ResilienceReport& r) {
+  std::printf("%-11s %9.0f %9.0f %10.0f %9.0f %9.0f %5d %4d %5d %5d\n",
+              r.policy.c_str(), r.mean_throughput, r.violation_sec,
+              r.max_lag / 1e3, r.end_lag / 1e3, r.recovery_sec, r.restarts,
+              r.failure_restarts, r.failed_rescales, r.decisions);
+}
+
+void run_schedule(const char* name, double horizon,
+                  const std::vector<std::string>& policies) {
+  bench::header(name);
+  std::printf("%-11s %9s %9s %10s %9s %9s %5s %4s %5s %5s\n", "policy",
+              "thr [/s]", "viol [s]", "maxlag[k]", "endlag[k]", "recov[s]",
+              "rst", "fail", "nack", "dec");
+  for (const std::string& policy : policies) {
+    const fault::FaultSchedule schedule =
+        fault::FaultSchedule::canned(name, /*seed=*/1, horizon);
+    fault::ResilienceOptions opt;
+    opt.horizon_sec = horizon;
+    sim::JobSpec spec = workloads::word_count(
+        std::make_shared<sim::ConstantRate>(250e3));
+    print(fault::run_resilience(policy, spec, schedule, opt));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double horizon = smoke ? 900.0 : 1800.0;
+  const std::vector<std::string> policies =
+      smoke ? std::vector<std::string>{"autrascale", "threshold"}
+            : fault::resilience_policies();
+
+  run_schedule("machine-crash", horizon, policies);
+  if (!smoke) {
+    run_schedule("metric-chaos", horizon, policies);
+    run_schedule("degraded-cluster", horizon, policies);
+  }
+
+  std::printf(
+      "\nShape check: under machine-crash every live policy shows exactly "
+      "one failure restart and recovers (recov >= 0); AuTraScale "
+      "additionally refuses to plan on recovery-contaminated windows. "
+      "Under metric-chaos the baselines are unaffected (they sample the "
+      "engine directly) while AuTraScale skips the corrupted windows "
+      "instead of acting on them. Under degraded-cluster the transient "
+      "rescale failures cost the baselines whole intervals; AuTraScale "
+      "retries with backoff.\n");
+  return 0;
+}

@@ -13,6 +13,13 @@
 //   --kernel     matern52 | matern32 | rbf      (default matern52)
 //   --threads    Plan-stage worker threads, 0 = auto, 1 = serial (default 0)
 //   --seed       RNG seed                       (default 42)
+//
+// Fault injection (runs the live resilience harness instead of the
+// offline recommend-run-judge loop):
+//
+//   --faults     machine-crash | metric-chaos | degraded-cluster
+//   --fault-seed seed for the schedule's randomised placements (default 1)
+//   --horizon    simulated seconds for the faulted run   (default 1800)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +33,8 @@
 #include "core/steady_rate.hpp"
 #include "core/throughput_opt.hpp"
 #include "example_util.hpp"
+#include "fault/fault_schedule.hpp"
+#include "fault/resilience.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -41,6 +50,9 @@ struct Options {
   gp::KernelKind kernel = gp::KernelKind::kMatern52;
   int threads = 0;
   std::uint64_t seed = 42;
+  std::string faults;  ///< Canned schedule name; empty = no fault run.
+  std::uint64_t fault_seed = 1;
+  double horizon_sec = 1800.0;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -50,7 +62,10 @@ struct Options {
                "threshold|dhalion]\n"
                "          [--latency-ms L] [--throughput T]\n"
                "          [--kernel matern52|matern32|rbf] [--threads N]"
-               " [--seed S]\n",
+               " [--seed S]\n"
+               "          [--faults machine-crash|metric-chaos|"
+               "degraded-cluster]\n"
+               "          [--fault-seed S] [--horizon SEC]\n",
                argv0);
   std::exit(2);
 }
@@ -86,11 +101,19 @@ Options parse(int argc, char** argv) {
       opt.threads = std::atoi(value());
     } else if (flag == "--seed") {
       opt.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--faults") {
+      opt.faults = value();
+    } else if (flag == "--fault-seed") {
+      opt.fault_seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--horizon") {
+      opt.horizon_sec = std::atof(value());
     } else {
       usage(argv[0]);
     }
   }
-  if (opt.rate <= 0.0 || opt.latency_ms <= 0.0) usage(argv[0]);
+  if (opt.rate <= 0.0 || opt.latency_ms <= 0.0 || opt.horizon_sec <= 0.0) {
+    usage(argv[0]);
+  }
   return opt;
 }
 
@@ -106,10 +129,52 @@ sim::JobSpec make_spec(const Options& opt) {
   std::exit(2);
 }
 
+/// --faults mode: a live session with the schedule injected, driven by the
+/// selected policy; QoS is judged on fault-free ground truth.
+int run_faulted(const Options& opt) {
+  fault::FaultSchedule schedule;
+  try {
+    schedule = fault::FaultSchedule::canned(opt.faults, opt.fault_seed,
+                                            opt.horizon_sec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  fault::ResilienceOptions ropt;
+  ropt.horizon_sec = opt.horizon_sec;
+  ropt.target_latency_ms = opt.latency_ms;
+  ropt.seed = opt.seed;
+  fault::ResilienceReport r;
+  try {
+    r = fault::run_resilience(opt.policy, make_spec(opt), schedule, ropt);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("workload=%s rate=%.0f policy=%s faults=%s fault-seed=%llu "
+              "horizon=%.0fs\n",
+              opt.workload.c_str(), opt.rate, opt.policy.c_str(),
+              opt.faults.c_str(),
+              static_cast<unsigned long long>(opt.fault_seed),
+              opt.horizon_sec);
+  std::printf(
+      "throughput=%.0f/s (input %.0f/s)  violation=%.0fs  recovery=%.0fs\n"
+      "lag max=%.0f end=%.0f  restarts=%d (failure %d)  decisions=%d\n"
+      "failed-rescales=%d retries=%d unhealthy-windows=%d\n",
+      r.mean_throughput, r.mean_input_rate, r.violation_sec, r.recovery_sec,
+      r.max_lag, r.end_lag, r.restarts, r.failure_restarts, r.decisions,
+      r.failed_rescales, r.rescale_retries, r.unhealthy_windows);
+  // Pass criteria for a faulted run: the job recovered and drained.
+  const bool ok = r.recovery_sec >= 0.0;
+  std::printf("recovered=%s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (!opt.faults.empty()) return run_faulted(opt);
   const double target_thr = opt.throughput > 0.0 ? opt.throughput : opt.rate;
 
   sim::JobRunner runner(make_spec(opt), 60.0, 60.0);

@@ -69,12 +69,6 @@ class BayesOpt {
   /// suggestion is bit-identical at any thread count.
   [[nodiscard]] Suggestion suggest();
 
-  /// Deprecated string-era shim: returns suggest().config.
-  [[deprecated("use suggest() and read Suggestion::config")]]
-  [[nodiscard]] Config suggest_config() {
-    return suggest().config;
-  }
-
   /// Best observation so far; nullopt before any observe().
   [[nodiscard]] std::optional<Observation> best() const;
 

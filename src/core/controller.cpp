@@ -7,8 +7,39 @@
 
 namespace autra::core {
 
-MetricAggregator::MetricAggregator(const sim::Topology& topology)
-    : topology_(topology) {}
+MetricAggregator::MetricAggregator(const sim::Topology& topology,
+                                   double metric_interval_sec,
+                                   double max_missing_fraction)
+    : topology_(topology),
+      metric_interval_sec_(metric_interval_sec),
+      max_missing_fraction_(max_missing_fraction) {
+  if (max_missing_fraction_ < 0.0 || max_missing_fraction_ > 1.0) {
+    throw std::invalid_argument(
+        "MetricAggregator: max_missing_fraction must be in [0, 1]");
+  }
+}
+
+void MetricAggregator::grade(const runtime::MetricStore& db,
+                             runtime::MetricId id, double t0, double t1,
+                             WindowHealth& health) const {
+  if (!id.valid()) {
+    ++health.missing_series;
+    return;
+  }
+  const auto [first, last] = db.range(id, t0, t1);
+  const std::size_t n = last - first;
+  if (n == 0) {
+    ++health.missing_series;
+    return;
+  }
+  if (metric_interval_sec_ > 0.0) {
+    const double expected = (t1 - t0) / metric_interval_sec_;
+    if (static_cast<double>(n) <
+        expected * (1.0 - max_missing_fraction_) - 0.5) {
+      ++health.sparse_series;
+    }
+  }
+}
 
 void MetricAggregator::bind(const runtime::MetricStore& db) const {
   namespace mn = runtime::metric_names;
@@ -36,8 +67,20 @@ void MetricAggregator::bind(const runtime::MetricStore& db) const {
 }
 
 AggregatedMetrics MetricAggregator::aggregate(const runtime::MetricStore& db,
-                                              double t0, double t1) const {
+                                              double t0, double t1,
+                                              WindowHealth* health) const {
   bind(db);
+  if (health != nullptr) {
+    // Grade every series a decision depends on. latency_mean is excluded:
+    // its gauges legitimately thin out when few records complete.
+    grade(db, ids_.input_rate, t0, t1, *health);
+    grade(db, ids_.throughput, t0, t1, *health);
+    grade(db, ids_.kafka_lag, t0, t1, *health);
+    for (std::size_t i = 0; i < topology_.num_operators(); ++i) {
+      grade(db, ids_.true_rate[i], t0, t1, *health);
+      grade(db, ids_.input_rate_per_op[i], t0, t1, *health);
+    }
+  }
   AggregatedMetrics out;
   out.window_start = t0;
   out.window_end = t1;
@@ -92,7 +135,8 @@ AuTraScaleController::AuTraScaleController(
     : topology_(std::move(topology)),
       trials_(std::move(trials)),
       params_(std::move(params)),
-      aggregator_(topology_) {
+      aggregator_(topology_, params_.resilience.metric_interval_sec,
+                  params_.resilience.max_missing_fraction) {
   if (trials_ == nullptr) {
     throw std::invalid_argument("AuTraScaleController: null trial service");
   }
@@ -201,7 +245,28 @@ ControlDecision AuTraScaleController::plan_and_execute(
     }
   }
 
-  session.reconfigure(decision.applied);
+  // Execute with retry: a transient failure (runtime::RescaleFailed) is
+  // waited out with capped exponential backoff — the job keeps running on
+  // its old configuration meanwhile. Permanent errors propagate.
+  double backoff = params_.resilience.rescale_backoff_initial_sec;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      session.reconfigure(decision.applied);
+      break;
+    } catch (const runtime::RescaleFailed&) {
+      ++stats_.rescale_retries;
+      ++decision.rescale_retries;
+      if (attempt >= params_.resilience.max_rescale_retries) {
+        ++stats_.rescale_aborts;
+        decision.execute_failed = true;
+        decision.applied = session.parallelism();
+        break;
+      }
+      session.run_for(backoff);
+      backoff = std::min(backoff * 2.0,
+                         params_.resilience.rescale_backoff_max_sec);
+    }
+  }
   return decision;
 }
 
@@ -209,6 +274,7 @@ std::vector<ControlDecision> AuTraScaleController::run(
     runtime::StreamingBackend& session, double until_sec) {
   std::vector<ControlDecision> decisions;
   double stable_since = session.now();
+  int known_restarts = session.restarts();
 
   while (session.now() < until_sec) {
     session.reset_window();
@@ -216,12 +282,35 @@ std::vector<ControlDecision> AuTraScaleController::run(
     session.run_for(
         std::min(params_.policy_interval_sec, until_sec - session.now()));
     const double t1 = session.now();
+    ++stats_.windows;
+
+    // A restart the controller did not command (crash recovery inside the
+    // backend) contaminates this window and restarts the stabilisation
+    // clock, with optional extra cooldown while the recovered job drains
+    // the lag it accumulated during downtime.
+    bool contaminated = false;
+    if (session.restarts() != known_restarts) {
+      known_restarts = session.restarts();
+      ++stats_.failure_restarts;
+      ++stats_.unhealthy_windows;
+      contaminated = true;
+      stable_since = t1 + params_.resilience.failure_cooldown_sec;
+    }
     if (t1 - stable_since < params_.policy_running_time_sec) {
       continue;  // Job still stabilising after the last restart.
     }
 
-    const AggregatedMetrics m =
-        aggregator_.aggregate(session.history(), t0, t1);
+    // Window health is graded only when a gauge cadence is configured —
+    // the guard costs nothing on a healthy deployment.
+    WindowHealth health;
+    health.contaminated = contaminated;
+    const bool guard = params_.resilience.metric_interval_sec > 0.0;
+    const AggregatedMetrics m = aggregator_.aggregate(
+        session.history(), t0, t1, guard ? &health : nullptr);
+    if (!health.healthy()) {
+      ++stats_.unhealthy_windows;
+      continue;  // Never decide on a window the Monitor path corrupted.
+    }
     const ScalingTrigger trigger = analyze(m, session.parallelism());
     if (trigger == ScalingTrigger::kNone) continue;
 
@@ -230,6 +319,7 @@ std::vector<ControlDecision> AuTraScaleController::run(
                             : trials_->scheduled_rate_at(session.now());
     decisions.push_back(plan_and_execute(session, trigger, rate));
     stable_since = session.now();
+    known_restarts = session.restarts();
   }
   return decisions;
 }

@@ -49,16 +49,41 @@ struct AggregatedMetrics {
   std::vector<double> input_rate_per_op;
 };
 
+/// Health verdict for one aggregation window — the Analyze stage's defence
+/// against a faulted Monitor path. A window is unhealthy when core series
+/// are missing or sparse (metric dropout/delay upstream) or when it
+/// overlaps a restart the controller did not command (the job was
+/// recovering, so its gauges describe a transient, not the steady state).
+struct WindowHealth {
+  int missing_series = 0;  ///< Core series absent or empty over the window.
+  int sparse_series = 0;   ///< Core series below the expected point density.
+  bool contaminated = false;  ///< Window overlaps an uncommanded restart.
+
+  [[nodiscard]] bool healthy() const noexcept {
+    return missing_series == 0 && sparse_series == 0 && !contaminated;
+  }
+};
+
 /// Reads a window of the metric store into an AggregatedMetrics summary.
 ///
 /// Series ids are resolved once per store and cached; each aggregate()
 /// call then reads incrementally maintained window sums (two binary
 /// searches per series), never copying point vectors.
+///
+/// When `metric_interval_sec` is positive, the aggregator also grades
+/// window health: each core series is expected to deliver one point per
+/// interval, and a series delivering less than `1 - max_missing_fraction`
+/// of that is flagged sparse. With the default (0), density checks are
+/// off and only missing series are reported.
 class MetricAggregator {
  public:
-  explicit MetricAggregator(const sim::Topology& topology);
+  explicit MetricAggregator(const sim::Topology& topology,
+                            double metric_interval_sec = 0.0,
+                            double max_missing_fraction = 0.5);
   [[nodiscard]] AggregatedMetrics aggregate(const runtime::MetricStore& db,
-                                            double t0, double t1) const;
+                                            double t0, double t1,
+                                            WindowHealth* health = nullptr)
+      const;
 
  private:
   struct ResolvedIds {
@@ -68,8 +93,12 @@ class MetricAggregator {
     std::vector<runtime::MetricId> input_rate_per_op;
   };
   void bind(const runtime::MetricStore& db) const;
+  void grade(const runtime::MetricStore& db, runtime::MetricId id, double t0,
+             double t1, WindowHealth& health) const;
 
   const sim::Topology& topology_;
+  double metric_interval_sec_;
+  double max_missing_fraction_;
   mutable ResolvedIds ids_;
 };
 
@@ -84,10 +113,44 @@ enum class ScalingTrigger {
 
 [[nodiscard]] const char* to_string(ScalingTrigger trigger) noexcept;
 
+/// Fault-tolerance knobs for the control loop. The defaults keep every
+/// resilience feature inert on a healthy cluster: no density grading, and
+/// the retry loop only runs when reconfigure() actually throws
+/// runtime::RescaleFailed.
+struct ResilienceParams {
+  /// Expected gauge cadence for window-health density checks; <= 0 turns
+  /// density grading off (missing series are still reported).
+  double metric_interval_sec = 0.0;
+  /// Fraction of a window's expected points a series may miss before the
+  /// window is declared unhealthy.
+  double max_missing_fraction = 0.5;
+  /// Transient Execute failures (runtime::RescaleFailed) are retried this
+  /// many times with capped exponential backoff before the decision is
+  /// abandoned for the interval.
+  int max_rescale_retries = 4;
+  double rescale_backoff_initial_sec = 5.0;
+  double rescale_backoff_max_sec = 60.0;
+  /// Extra stabilisation added on top of the policy running time after a
+  /// restart the controller did not command (a crash recovery): the
+  /// freshly restarted job is draining lag and its windows would read as
+  /// violations the Plan stage cannot fix.
+  double failure_cooldown_sec = 0.0;
+};
+
+/// Counters describing how the loop coped with a faulty environment.
+struct LoopStats {
+  int windows = 0;            ///< Aggregation windows considered.
+  int unhealthy_windows = 0;  ///< Windows skipped on health grounds.
+  int failure_restarts = 0;   ///< Uncommanded restarts observed.
+  int rescale_retries = 0;    ///< RescaleFailed caught and retried.
+  int rescale_aborts = 0;     ///< Decisions abandoned after max retries.
+};
+
 struct ControllerParams {
   SteadyRateParams steady;
   TransferParams transfer;
   ThroughputOptParams throughput;
+  ResilienceParams resilience;
   /// Seconds between control-loop invocations.
   double policy_interval_sec = 60.0;
   /// Seconds after a restart during which decisions are suppressed; the
@@ -104,6 +167,8 @@ struct ControlDecision {
   std::string algorithm;  ///< "none", "algorithm1", "algorithm2".
   runtime::Parallelism applied;
   int evaluations = 0;
+  int rescale_retries = 0;     ///< Transient Execute failures survived.
+  bool execute_failed = false; ///< Gave up applying after max retries.
 };
 
 /// The full AuTraScale controller driving a live StreamingBackend.
@@ -132,6 +197,9 @@ class AuTraScaleController {
   /// with Algorithm 2 instead of re-paying the bootstrap at every rate.
   void set_library(ModelLibrary library) { library_ = std::move(library); }
 
+  /// Resilience counters accumulated across run() calls.
+  [[nodiscard]] const LoopStats& stats() const noexcept { return stats_; }
+
  private:
   [[nodiscard]] ScalingTrigger analyze(
       const AggregatedMetrics& m, const runtime::Parallelism& current) const;
@@ -142,6 +210,7 @@ class AuTraScaleController {
   std::shared_ptr<const runtime::TrialService> trials_;
   ControllerParams params_;
   MetricAggregator aggregator_;
+  LoopStats stats_;
   ModelLibrary library_;
   double model_rate_ = -1.0;   ///< Rate of the base config currently applied.
   runtime::Parallelism base_;  ///< k' for the current rate.

@@ -1,0 +1,48 @@
+// Optional capability interface for backends that own machines, services
+// and an ingest path — the delivery surface for engine-level fault events.
+//
+// FaultInjectingBackend handles metric-path (dropout/delay) and
+// Execute-path (transient rescale failure) faults itself; everything that
+// must happen *inside* the engine — a machine dying, a node degrading, an
+// external service going dark, Kafka ingest stalling — is delivered through
+// this interface via dynamic_cast. A backend that cannot host such faults
+// (e.g. runtime::ReplayBackend, which replays a fixed trace) simply does
+// not implement it, and the decorator rejects schedules that need it.
+//
+// Header-only on purpose: the fluid simulator implements this without
+// linking against the fault library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace autra::fault {
+
+class FaultHost {
+ public:
+  virtual ~FaultHost() = default;
+
+  /// Machine `machine` is lost during [from_sec, until_sec); the framework
+  /// notices `detection_delay_sec` after the crash and forces a restart
+  /// (full restart downtime, Kafka lag keeps accumulating meanwhile).
+  virtual void host_machine_down(std::size_t machine, double from_sec,
+                                 double until_sec,
+                                 double detection_delay_sec) = 0;
+
+  /// Machine `machine` runs at `speed_factor` (in (0,1)) during
+  /// [from_sec, until_sec).
+  virtual void host_slow_node(std::size_t machine, double speed_factor,
+                              double from_sec, double until_sec) = 0;
+
+  /// External service `service` grants no calls during [from_sec,
+  /// until_sec). Unknown service names are a no-op (an outage of a service
+  /// the job never calls is unobservable).
+  virtual void host_service_outage(const std::string& service,
+                                   double from_sec, double until_sec) = 0;
+
+  /// Sources consume nothing during [from_sec, until_sec) while producers
+  /// keep appending — consumer lag builds, then catches up.
+  virtual void host_ingest_stall(double from_sec, double until_sec) = 0;
+};
+
+}  // namespace autra::fault

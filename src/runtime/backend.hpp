@@ -15,11 +15,25 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 #include "runtime/job_metrics.hpp"
 #include "runtime/metrics.hpp"
 
 namespace autra::runtime {
+
+/// Thrown by StreamingBackend::reconfigure() when the Execute stage fails
+/// *transiently* — the savepoint timed out, slots could not be allocated,
+/// the redeploy was rejected. The job keeps running under its previous
+/// configuration; callers may retry (the controller does, with capped
+/// exponential backoff). Permanent errors (infeasible configuration, bad
+/// arguments) keep throwing std::invalid_argument as before.
+class RescaleFailed : public std::runtime_error {
+ public:
+  explicit RescaleFailed(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// How a reconfiguration is applied.
 enum class RescaleMode {

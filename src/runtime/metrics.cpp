@@ -102,33 +102,6 @@ std::optional<MetricPoint> MetricStore::last(MetricId id) const {
   return MetricPoint{s->times.back(), s->values.back()};
 }
 
-void MetricStore::record(const std::string& name, double time, double value) {
-  record(resolve(name), time, value);
-}
-
-std::vector<MetricPoint> MetricStore::query(const std::string& name, double t0,
-                                            double t1) const {
-  std::vector<MetricPoint> out;
-  const MetricId id = find(name);
-  const Series* s = series_ptr(id);
-  if (s == nullptr) return out;
-  const auto [first, last] = range(id, t0, t1);
-  out.reserve(last - first);
-  for (std::size_t i = first; i < last; ++i) {
-    out.push_back({s->times[i], s->values[i]});
-  }
-  return out;
-}
-
-std::optional<double> MetricStore::mean(const std::string& name, double t0,
-                                        double t1) const {
-  return mean(find(name), t0, t1);
-}
-
-std::optional<MetricPoint> MetricStore::last(const std::string& name) const {
-  return last(find(name));
-}
-
 std::vector<std::string> MetricStore::series_names() const {
   std::vector<std::string> names;
   for (std::size_t i = 0; i < series_.size(); ++i) {

@@ -119,23 +119,6 @@ class MetricStore final : public MetricSink {
                                            double t1) const;
   [[nodiscard]] std::optional<MetricPoint> last(MetricId id) const;
 
-  // --- string-keyed wrappers (deprecated) --------------------------------
-  // Every read/write path should resolve()/find() an id once and use the
-  // id-based API above; these wrappers re-do the name lookup per call.
-  /// Appends one point to series `name`, interning it on first sight.
-  [[deprecated("resolve() an id once and use record(MetricId, ...)")]]
-  void record(const std::string& name, double time, double value);
-
-  /// All points of a series in [t0, t1]; empty when the series is unknown.
-  [[deprecated("use find() + series()/range() for a copy-free view")]]
-  [[nodiscard]] std::vector<MetricPoint> query(const std::string& name,
-                                               double t0, double t1) const;
-  [[deprecated("use find() + mean(MetricId, ...)")]]
-  [[nodiscard]] std::optional<double> mean(const std::string& name, double t0,
-                                           double t1) const;
-  [[deprecated("use find() + last(MetricId)")]]
-  [[nodiscard]] std::optional<MetricPoint> last(const std::string& name) const;
-
   /// Names of all series with at least one point, sorted.
   [[nodiscard]] std::vector<std::string> series_names() const;
   [[nodiscard]] bool has_series(const std::string& name) const;

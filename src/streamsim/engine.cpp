@@ -93,15 +93,61 @@ void Engine::inject_slowdown(std::size_t machine, double speed_factor,
   slowdowns_.push_back({machine, speed_factor, from_sec, until_sec});
 }
 
-double Engine::machine_speed_at(std::size_t machine,
-                                double t) const noexcept {
-  double speed = cluster_.spec().machines[machine].speed;
+double Engine::slowdown_factor_at(std::size_t machine,
+                                  double t) const noexcept {
+  double factor = 1.0;
   for (const SlowdownEvent& e : slowdowns_) {
     if (e.machine == machine && t >= e.from && t < e.until) {
-      speed *= e.factor;
+      factor *= e.factor;
     }
   }
-  return speed;
+  return factor;
+}
+
+void Engine::inject_machine_down(std::size_t machine, double from_sec,
+                                 double until_sec) {
+  if (machine >= cluster_.num_machines() || until_sec <= from_sec) {
+    throw std::invalid_argument("Engine::inject_machine_down: bad arguments");
+  }
+  machine_downs_.push_back({machine, from_sec, until_sec});
+}
+
+void Engine::inject_ingest_stall(double from_sec, double until_sec) {
+  if (until_sec <= from_sec) {
+    throw std::invalid_argument("Engine::inject_ingest_stall: bad arguments");
+  }
+  ingest_stalls_.push_back({from_sec, until_sec});
+}
+
+void Engine::inject_service_outage(const std::string& service,
+                                   double from_sec, double until_sec) {
+  if (service.empty() || until_sec <= from_sec) {
+    throw std::invalid_argument(
+        "Engine::inject_service_outage: bad arguments");
+  }
+  service_outages_.push_back({service, from_sec, until_sec});
+}
+
+bool Engine::machine_down_at(std::size_t machine, double t) const noexcept {
+  for (const MachineDownEvent& e : machine_downs_) {
+    if (e.machine == machine && t >= e.from && t < e.until) return true;
+  }
+  return false;
+}
+
+bool Engine::ingest_stalled_at(double t) const noexcept {
+  for (const TimeWindow& w : ingest_stalls_) {
+    if (t >= w.from && t < w.until) return true;
+  }
+  return false;
+}
+
+bool Engine::service_out_at(const std::string& service,
+                            double t) const noexcept {
+  for (const ServiceOutageEvent& e : service_outages_) {
+    if (t >= e.from && t < e.until && e.service == service) return true;
+  }
+  return false;
 }
 
 void Engine::add_external_service(ExternalService service) {
@@ -211,10 +257,14 @@ void Engine::tick() {
     for (int j = 0; j < k; ++j) {
       const std::size_t m = cluster_.machine_of_instance(j);
       const MachineSpec& ms = cluster_.spec().machines[m];
+      const double slow = slowdown_factor_at(m, t);
       const double divisor =
-          interference_.contention_divisor(load[m], ms.cores);
-      const double rate = 1e6 / (spec.total_cost_us() * coord) *
-                          machine_speed_at(m, t) / divisor;
+          interference_.contention_divisor(load[m], ms.cores, slow);
+      const double rate =
+          machine_down_at(m, t)
+              ? 0.0
+              : 1e6 / (spec.total_cost_us() * coord) * (ms.speed * slow) /
+                    divisor;
       capacity += rate * dt;
       if (j == 0) hot_capacity = rate * dt;
     }
@@ -227,8 +277,12 @@ void Engine::tick() {
     }
 
     // --- How much work is available and emittable -----------------------
+    // An ingest stall blinds the sources: the broker keeps accepting
+    // producer records (lag grows) but consumers fetch nothing.
     double available =
-        spec.kind == OperatorKind::kSource ? kafka_->lag() : st.queue_mass;
+        spec.kind == OperatorKind::kSource
+            ? (ingest_stalled_at(t) ? 0.0 : kafka_->lag())
+            : st.queue_mass;
 
     double emit_limit = std::numeric_limits<double>::infinity();
     if (spec.selectivity > 0.0) {
@@ -251,9 +305,13 @@ void Engine::tick() {
                                "' references unknown service '" +
                                *spec.external_service + "'");
       }
-      const double want = processed * spec.external_calls_per_record;
-      const double granted = it->second.acquire(want);
-      processed = granted / spec.external_calls_per_record;
+      if (service_out_at(*spec.external_service, t)) {
+        processed = 0.0;  // every per-record call times out
+      } else {
+        const double want = processed * spec.external_calls_per_record;
+        const double granted = it->second.acquire(want);
+        processed = granted / spec.external_calls_per_record;
+      }
     }
 
     // --- Move cohorts ----------------------------------------------------

@@ -99,10 +99,30 @@ class Engine {
 
   /// Failure injection: machine `machine` runs at `speed_factor` (< 1)
   /// during [from_sec, until_sec) — a co-tenant burst, thermal throttling,
-  /// or a failing disk stalling the task manager. Throws
-  /// std::invalid_argument on bad arguments.
+  /// or a failing disk stalling the task manager. The degraded speed also
+  /// feeds the InterferenceModel (fewer effective cycles -> more
+  /// contention). Throws std::invalid_argument on bad arguments.
   void inject_slowdown(std::size_t machine, double speed_factor,
                        double from_sec, double until_sec);
+
+  /// Failure injection: machine `machine` is lost during [from_sec,
+  /// until_sec) — its operator instances process nothing. The engine keeps
+  /// the surviving instances running; forcing the framework-style restart
+  /// (detection delay + downtime) is ScalingSession's job. Throws
+  /// std::invalid_argument on bad arguments.
+  void inject_machine_down(std::size_t machine, double from_sec,
+                           double until_sec);
+
+  /// Failure injection: sources consume nothing from Kafka during
+  /// [from_sec, until_sec) while producers keep appending — consumer lag
+  /// builds, then catches up.
+  void inject_ingest_stall(double from_sec, double until_sec);
+
+  /// Failure injection: external service `service` grants no calls during
+  /// [from_sec, until_sec). Unknown names are accepted and unobservable
+  /// (an outage of a service the job never calls).
+  void inject_service_outage(const std::string& service, double from_sec,
+                             double until_sec);
 
   /// Advances the simulation by one tick.
   void tick();
@@ -217,8 +237,31 @@ class Engine {
     double until = 0.0;
   };
 
-  [[nodiscard]] double machine_speed_at(std::size_t machine,
-                                        double t) const noexcept;
+  struct MachineDownEvent {
+    std::size_t machine = 0;
+    double from = 0.0;
+    double until = 0.0;
+  };
+
+  struct TimeWindow {
+    double from = 0.0;
+    double until = 0.0;
+  };
+
+  struct ServiceOutageEvent {
+    std::string service;
+    double from = 0.0;
+    double until = 0.0;
+  };
+
+  /// Product of active slowdown-event factors (1.0 when none).
+  [[nodiscard]] double slowdown_factor_at(std::size_t machine,
+                                          double t) const noexcept;
+  [[nodiscard]] bool machine_down_at(std::size_t machine,
+                                     double t) const noexcept;
+  [[nodiscard]] bool ingest_stalled_at(double t) const noexcept;
+  [[nodiscard]] bool service_out_at(const std::string& service,
+                                    double t) const noexcept;
 
   Topology topo_;
   Cluster cluster_;
@@ -228,6 +271,9 @@ class Engine {
   InterferenceModel interference_;
   std::map<std::string, ExternalService> services_;
   std::vector<SlowdownEvent> slowdowns_;
+  std::vector<MachineDownEvent> machine_downs_;
+  std::vector<TimeWindow> ingest_stalls_;
+  std::vector<ServiceOutageEvent> service_outages_;
 
   std::vector<std::size_t> topo_order_;
   std::vector<OperatorState> state_;

@@ -21,6 +21,14 @@ double InterferenceModel::coordination_factor(int parallelism) const noexcept {
                    std::pow(k, params_.coordination_exponent) / 10.0;
 }
 
+double InterferenceModel::contention_divisor(
+    double busy_load, int cores, double speed_factor) const noexcept {
+  if (speed_factor > 0.0 && speed_factor != 1.0) {
+    busy_load /= speed_factor;
+  }
+  return contention_divisor(busy_load, cores);
+}
+
 double InterferenceModel::contention_divisor(double busy_load,
                                              int cores) const noexcept {
   if (!params_.enabled || busy_load <= 1.0) return 1.0;

@@ -53,6 +53,14 @@ class InterferenceModel {
   [[nodiscard]] double contention_divisor(double busy_load,
                                           int cores) const noexcept;
 
+  /// Degraded-machine variant: a slow node running at `speed_factor` of
+  /// nominal offers proportionally fewer effective cycles, so the same
+  /// busy load contends harder — fault-injected slow-node events feed the
+  /// contention model through this overload (speed_factor == 1 is exactly
+  /// the healthy path).
+  [[nodiscard]] double contention_divisor(double busy_load, int cores,
+                                          double speed_factor) const noexcept;
+
  private:
   InterferenceParams params_;
 };

@@ -1,5 +1,6 @@
 #include "streamsim/job_runner.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -92,7 +93,31 @@ ScalingSession::ScalingSession(JobSpec spec, Parallelism initial,
 }
 
 void ScalingSession::run_for(double sec) {
-  engine_->run_until(engine_->now() + sec);
+  const double target = engine_->now() + sec;
+  // Machine crashes force framework-style restarts: run up to the moment
+  // the crash is detected, then rebuild the engine at the current
+  // parallelism with the full restart downtime. The crash window usually
+  // extends past the restart, so the successor engine (faults re-applied)
+  // still sees the machine down until it recovers.
+  for (;;) {
+    MachineDownFault* pending = nullptr;
+    double restart_at = 0.0;
+    for (MachineDownFault& f : machine_down_faults_) {
+      const double at = f.from + f.detect;
+      if (f.restarted || at > target) continue;
+      if (pending == nullptr || at < restart_at) {
+        pending = &f;
+        restart_at = at;
+      }
+    }
+    if (pending == nullptr) break;
+    engine_->run_until(std::max(restart_at, engine_->now()));
+    pending->restarted = true;
+    ++failure_restarts_;
+    const Parallelism p = engine_->parallelism();
+    rebuild_engine(p, restart_downtime_sec_);
+  }
+  engine_->run_until(target);
 }
 
 void ScalingSession::reconfigure(const Parallelism& p, RescaleMode mode) {
@@ -106,9 +131,11 @@ void ScalingSession::reconfigure(const Parallelism& p, RescaleMode mode) {
       }
     }
   }
-  const double downtime = mode == RescaleMode::kHotScaleOut
-                              ? hot_downtime_sec_
-                              : restart_downtime_sec_;
+  rebuild_engine(p, mode == RescaleMode::kHotScaleOut ? hot_downtime_sec_
+                                                      : restart_downtime_sec_);
+}
+
+void ScalingSession::rebuild_engine(const Parallelism& p, double downtime) {
   const double t = engine_->now();
   std::unique_ptr<KafkaLog> kafka = engine_->release_kafka();
 
@@ -122,10 +149,56 @@ void ScalingSession::reconfigure(const Parallelism& p, RescaleMode mode) {
         ExternalService(svc.name, svc.max_calls_per_sec, svc.burst_sec,
                         svc.call_latency_ms));
   }
+  apply_faults_to(*next);
   next->set_external_metrics(&history_);
   next->suspend_until(t + downtime);
   engine_ = std::move(next);
   ++restarts_;
+}
+
+void ScalingSession::apply_faults_to(Engine& engine) const {
+  for (const MachineDownFault& f : machine_down_faults_) {
+    engine.inject_machine_down(f.machine, f.from, f.until);
+  }
+  for (const SlowNodeFault& f : slow_node_faults_) {
+    engine.inject_slowdown(f.machine, f.factor, f.from, f.until);
+  }
+  for (const ServiceOutageFault& f : service_outage_faults_) {
+    engine.inject_service_outage(f.service, f.from, f.until);
+  }
+  for (const StallFault& f : stall_faults_) {
+    engine.inject_ingest_stall(f.from, f.until);
+  }
+}
+
+void ScalingSession::host_machine_down(std::size_t machine, double from_sec,
+                                       double until_sec,
+                                       double detection_delay_sec) {
+  if (detection_delay_sec < 0.0) {
+    throw std::invalid_argument(
+        "ScalingSession: negative machine-down detection delay");
+  }
+  engine_->inject_machine_down(machine, from_sec, until_sec);  // validates
+  machine_down_faults_.push_back(
+      {machine, from_sec, until_sec, detection_delay_sec, false});
+}
+
+void ScalingSession::host_slow_node(std::size_t machine, double speed_factor,
+                                    double from_sec, double until_sec) {
+  engine_->inject_slowdown(machine, speed_factor, from_sec,
+                           until_sec);  // validates
+  slow_node_faults_.push_back({machine, speed_factor, from_sec, until_sec});
+}
+
+void ScalingSession::host_service_outage(const std::string& service,
+                                         double from_sec, double until_sec) {
+  engine_->inject_service_outage(service, from_sec, until_sec);  // validates
+  service_outage_faults_.push_back({service, from_sec, until_sec});
+}
+
+void ScalingSession::host_ingest_stall(double from_sec, double until_sec) {
+  engine_->inject_ingest_stall(from_sec, until_sec);  // validates
+  stall_faults_.push_back({from_sec, until_sec});
 }
 
 JobMetrics ScalingSession::window_metrics() const {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_host.hpp"
 #include "runtime/backend.hpp"
 #include "streamsim/engine.hpp"
 
@@ -96,7 +97,15 @@ using RescaleMode = runtime::RescaleMode;
 
 /// A long-running job that can be rescaled in place — the fluid
 /// simulator's implementation of the backend-agnostic runtime interface.
-class ScalingSession final : public runtime::StreamingBackend {
+///
+/// Also a fault::FaultHost: engine-level fault events registered through
+/// the host_* methods survive every engine rebuild (reconfigurations and
+/// failure restarts re-apply them to the successor engine), and a machine
+/// crash forces a framework-style restart `detection_delay_sec` after the
+/// crash instant — full restart downtime, Kafka lag accumulating
+/// throughout, exactly the cost model of the Execute stage.
+class ScalingSession final : public runtime::StreamingBackend,
+                             public fault::FaultHost {
  public:
   /// `restart_downtime_sec` is the savepoint + redeploy window during which
   /// nothing is processed but Kafka keeps producing;
@@ -128,14 +137,67 @@ class ScalingSession final : public runtime::StreamingBackend {
   }
   [[nodiscard]] int restarts() const noexcept override { return restarts_; }
 
+  /// Restarts forced by machine crashes (a subset of restarts()).
+  [[nodiscard]] int failure_restarts() const noexcept {
+    return failure_restarts_;
+  }
+
+  // fault::FaultHost — events are kept on the session so they survive
+  // engine rebuilds. All four may be called at any time; events entirely
+  // in the past are retained but unobservable.
+  void host_machine_down(std::size_t machine, double from_sec,
+                         double until_sec,
+                         double detection_delay_sec) override;
+  void host_slow_node(std::size_t machine, double speed_factor,
+                      double from_sec, double until_sec) override;
+  void host_service_outage(const std::string& service, double from_sec,
+                           double until_sec) override;
+  void host_ingest_stall(double from_sec, double until_sec) override;
+
  private:
+  struct MachineDownFault {
+    std::size_t machine = 0;
+    double from = 0.0;
+    double until = 0.0;
+    double detect = 0.0;      ///< Detection delay after `from`, seconds.
+    bool restarted = false;   ///< Forced restart already performed.
+  };
+  struct SlowNodeFault {
+    std::size_t machine = 0;
+    double factor = 1.0;
+    double from = 0.0;
+    double until = 0.0;
+  };
+  struct ServiceOutageFault {
+    std::string service;
+    double from = 0.0;
+    double until = 0.0;
+  };
+  struct StallFault {
+    double from = 0.0;
+    double until = 0.0;
+  };
+
+  /// Registers every stored fault event with a (possibly fresh) engine.
+  void apply_faults_to(Engine& engine) const;
+
+  /// Replaces the engine with a successor at the same wall clock: Kafka log
+  /// carried over, seed re-salted, faults re-applied, `downtime` seconds of
+  /// suspension. Shared by reconfigure() and forced failure restarts.
+  void rebuild_engine(const Parallelism& p, double downtime);
+
   JobSpec spec_;
   double restart_downtime_sec_;
   double hot_downtime_sec_;
   std::unique_ptr<Engine> engine_;
   MetricsDb history_;
   int restarts_ = 0;
+  int failure_restarts_ = 0;
   std::uint64_t reconfig_salt_ = 0;
+  std::vector<MachineDownFault> machine_down_faults_;
+  std::vector<SlowNodeFault> slow_node_faults_;
+  std::vector<ServiceOutageFault> service_outage_faults_;
+  std::vector<StallFault> stall_faults_;
 };
 
 /// The simulator's Plan-stage trial provider: every evaluator_at() call

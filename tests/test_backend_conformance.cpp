@@ -2,6 +2,8 @@
 // checked against both implementations — the fluid simulator's
 // ScalingSession and the trace-driven ReplayBackend — so the policy layer
 // can rely on it regardless of the backend behind the interface.
+#include "fault/fault_injecting_backend.hpp"
+#include "fault/fault_schedule.hpp"
 #include "runtime/replay_backend.hpp"
 #include "streamsim/job_runner.hpp"
 #include "workloads/workloads.hpp"
@@ -101,6 +103,26 @@ TEST(BackendConformance, ReplayBackend) {
   runtime::ReplayBackend replay(recorded_trace(30000.0, 120.0),
                                 chain_operators(spec), {1, 1, 1});
   check_conformance(replay);
+}
+
+// The decorator with an empty schedule must itself satisfy the contract —
+// and forward the inner history without copying it.
+TEST(BackendConformance, FaultInjectingBackendEmptySchedule) {
+  sim::ScalingSession session(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, fault::FaultSchedule{});
+  EXPECT_EQ(&faulted.history(), &session.history());
+  check_conformance(faulted);
+  EXPECT_EQ(faulted.failed_rescales(), 0);
+}
+
+// Metric faults do not break the contract either: timing, restart counts
+// and window semantics are unchanged even while gauges are being dropped.
+TEST(BackendConformance, FaultInjectingBackendMetricFaults) {
+  fault::FaultSchedule sched;
+  sched.metric_dropout(10.0, 20.0).metric_delay(50.0, 20.0, 5.0);
+  sim::ScalingSession session(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+  check_conformance(faulted);
 }
 
 TEST(ReplayBackend, ReplaysTraceFaithfully) {

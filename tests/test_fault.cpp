@@ -1,0 +1,425 @@
+// Fault-injection subsystem tests: the schedule taxonomy, the decorator's
+// metric/Execute fault paths, the engine-level fault delivery through
+// ScalingSession, and the control loop's resilience features (window
+// health, retry with backoff, crash cooldown).
+#include "fault/fault_injecting_backend.hpp"
+#include "fault/fault_schedule.hpp"
+#include "fault/resilience.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "runtime/replay_backend.hpp"
+#include "streamsim/job_runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace autra {
+namespace {
+
+sim::JobSpec chain_spec(double rate) {
+  sim::JobSpec spec = workloads::synthetic_chain(
+      3, std::make_shared<sim::ConstantRate>(rate), 10.0);
+  spec.engine.measurement_noise = 0.0;
+  return spec;
+}
+
+// --- FaultSchedule ---------------------------------------------------------
+
+TEST(FaultSchedule, ValidatesEvents) {
+  fault::FaultSchedule s;
+  EXPECT_THROW(s.machine_down(0, -1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(s.machine_down(0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(s.slow_node(0, 0.0, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(s.slow_node(0, 1.0, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(s.metric_delay(0.0, 10.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(s.rescale_failure(0.0, 10.0, -1), std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FaultSchedule, SortsAndClassifiesEvents) {
+  fault::FaultSchedule s;
+  s.metric_dropout(100.0, 10.0).machine_down(1, 50.0, 20.0, 5.0);
+  ASSERT_EQ(s.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.events()[0].at, 50.0);
+  EXPECT_TRUE(s.has_metric_faults());
+  EXPECT_TRUE(s.has_host_faults());
+  EXPECT_DOUBLE_EQ(s.last_fault_end(), 110.0);
+
+  fault::FaultSchedule exec_only;
+  exec_only.rescale_failure(0.0, 10.0, 1);
+  EXPECT_FALSE(exec_only.has_metric_faults());
+  EXPECT_FALSE(exec_only.has_host_faults());
+}
+
+TEST(FaultSchedule, CannedSchedulesAreDeterministic) {
+  for (const std::string& name : fault::FaultSchedule::canned_names()) {
+    const fault::FaultSchedule a = fault::FaultSchedule::canned(name, 7);
+    const fault::FaultSchedule b = fault::FaultSchedule::canned(name, 7);
+    ASSERT_EQ(a.events().size(), b.events().size()) << name;
+    EXPECT_FALSE(a.empty()) << name;
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.events()[i].at, b.events()[i].at) << name;
+      EXPECT_DOUBLE_EQ(a.events()[i].magnitude, b.events()[i].magnitude)
+          << name;
+      EXPECT_EQ(a.events()[i].machine, b.events()[i].machine) << name;
+    }
+  }
+  EXPECT_THROW(fault::FaultSchedule::canned("nope"), std::invalid_argument);
+}
+
+// --- Decorator: metric faults ---------------------------------------------
+
+TEST(FaultInjectingBackend, EmptyScheduleIsPassThrough) {
+  sim::ScalingSession plain(chain_spec(30000.0), {1, 1, 1});
+  sim::ScalingSession inner(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted(inner, fault::FaultSchedule{});
+
+  // history() forwards the inner store by reference: zero-cost when unused.
+  EXPECT_EQ(&faulted.history(), &inner.history());
+
+  plain.run_for(90.0);
+  faulted.run_for(90.0);
+  plain.reconfigure({2, 1, 1});
+  faulted.reconfigure({2, 1, 1});
+  plain.run_for(60.0);
+  faulted.run_for(60.0);
+
+  // Bit-identical to an undecorated run.
+  namespace mn = runtime::metric_names;
+  const runtime::MetricStore& a = plain.history();
+  const runtime::MetricStore& b = faulted.history();
+  ASSERT_EQ(a.series_names(), b.series_names());
+  const auto sa = a.series(a.find(mn::kThroughput));
+  const auto sb = b.series(b.find(mn::kThroughput));
+  ASSERT_EQ(sa.values.size(), sb.values.size());
+  for (std::size_t i = 0; i < sa.values.size(); ++i) {
+    EXPECT_EQ(sa.values[i], sb.values[i]);  // exact, not NEAR
+    EXPECT_EQ(sa.times[i], sb.times[i]);
+  }
+  EXPECT_EQ(faulted.failed_rescales(), 0);
+}
+
+TEST(FaultInjectingBackend, DropoutRemovesWindowPoints) {
+  fault::FaultSchedule sched;
+  sched.metric_dropout(60.0, 60.0);
+  sim::ScalingSession session(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+  faulted.run_for(180.0);
+
+  namespace mn = runtime::metric_names;
+  const runtime::MetricStore& db = faulted.history();
+  const runtime::MetricId id = db.find(mn::kThroughput);
+  ASSERT_TRUE(id.valid());
+  const auto [d0, d1] = db.range(id, 61.0, 119.0);
+  EXPECT_EQ(d1 - d0, 0u);  // the dropout window is a hole, forever
+  const auto [h0, h1] = db.range(id, 121.0, 180.0);
+  EXPECT_GT(h1 - h0, 30u);  // gauges resume after the window
+  // The inner session still has the full ground truth.
+  const auto [g0, g1] = session.history().range(
+      session.history().find(mn::kThroughput), 61.0, 119.0);
+  EXPECT_GT(g1 - g0, 30u);
+}
+
+TEST(FaultInjectingBackend, DelayedPointsArriveLateInOrder) {
+  fault::FaultSchedule sched;
+  sched.metric_delay(30.0, 30.0, 20.0);
+  sim::ScalingSession session(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  namespace mn = runtime::metric_names;
+  faulted.run_for(45.0);
+  const runtime::MetricStore& db = faulted.history();
+  const runtime::MetricId id = db.find(mn::kThroughput);
+  ASSERT_TRUE(id.valid());
+  // Points stamped in [30, 45] are held back (visible only 20 s later).
+  const auto visible = db.series(id);
+  ASSERT_FALSE(visible.times.empty());
+  EXPECT_LT(visible.times.back(), 30.0 + 1e-6);
+
+  faulted.run_for(60.0);  // now = 105 > 60 + 20: everything revealed
+  const auto after = db.series(id);
+  EXPECT_GT(after.times.back(), 100.0);
+  for (std::size_t i = 1; i < after.times.size(); ++i) {
+    EXPECT_LE(after.times[i - 1], after.times[i]);  // still monotone
+  }
+}
+
+TEST(FaultInjectingBackend, RejectsHostFaultsOnNonHostBackend) {
+  const sim::JobSpec spec = chain_spec(30000.0);
+  sim::ScalingSession recorder(spec, {1, 1, 1});
+  recorder.run_for(30.0);
+  std::vector<std::string> ops;
+  for (std::size_t i = 0; i < spec.topology.num_operators(); ++i) {
+    ops.push_back(spec.topology.op(i).name);
+  }
+  runtime::ReplayBackend replay(recorder.history(), ops, {1, 1, 1});
+  fault::FaultSchedule sched;
+  sched.machine_down(0, 10.0, 10.0);
+  EXPECT_THROW(fault::FaultInjectingBackend(replay, sched),
+               std::invalid_argument);
+  // Metric-only schedules are fine on any backend.
+  fault::FaultSchedule metric_only;
+  metric_only.metric_dropout(5.0, 5.0);
+  fault::FaultInjectingBackend ok(replay, metric_only);
+  ok.run_for(10.0);
+}
+
+// --- Decorator: Execute faults --------------------------------------------
+
+TEST(FaultInjectingBackend, TransientRescaleFailureConsumesBudget) {
+  fault::FaultSchedule sched;
+  sched.rescale_failure(0.0, 1000.0, 2);
+  sim::ScalingSession session(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+  faulted.run_for(10.0);
+
+  const runtime::Parallelism target{2, 1, 1};
+  EXPECT_THROW(faulted.reconfigure(target), runtime::RescaleFailed);
+  EXPECT_THROW(faulted.reconfigure(target), runtime::RescaleFailed);
+  EXPECT_EQ(faulted.failed_rescales(), 2);
+  EXPECT_EQ(session.restarts(), 0);  // nothing reached the engine
+
+  faulted.reconfigure(target);  // budget exhausted: goes through
+  EXPECT_EQ(faulted.parallelism(), target);
+  EXPECT_EQ(session.restarts(), 1);
+
+  // A no-op reconfigure can never fail, even inside a failure window.
+  fault::FaultSchedule always;
+  always.rescale_failure(0.0, 1000.0, 0);
+  sim::ScalingSession session2(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted2(session2, always);
+  faulted2.reconfigure({1, 1, 1});  // same config: no throw
+  EXPECT_THROW(faulted2.reconfigure(target), runtime::RescaleFailed);
+  EXPECT_THROW(faulted2.reconfigure(target), runtime::RescaleFailed);
+}
+
+// --- Engine-level faults through ScalingSession ---------------------------
+
+TEST(FaultHost, MachineCrashForcesRestartAndRecovers) {
+  // Round-robin slot placement puts instance 0 of every operator on
+  // machine 0, so crashing machine 0 stalls the whole p=1 chain.
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.machine_down(0, 120.0, 120.0, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  faulted.reset_window();
+  faulted.run_for(110.0);
+  const double before = faulted.window_metrics().throughput;
+  EXPECT_NEAR(before, 50000.0, 2500.0);
+  EXPECT_EQ(session.failure_restarts(), 0);
+
+  faulted.reset_window();
+  faulted.run_for(70.0);  // crash at 120, detection at 130, still down
+  const double during = faulted.window_metrics().throughput;
+  EXPECT_LT(during, 0.35 * before);
+  EXPECT_EQ(session.failure_restarts(), 1);  // detected and restarted
+  EXPECT_EQ(session.restarts(), 1);
+  const double lag_peak = faulted.window_metrics().kafka_lag;
+  EXPECT_GT(lag_peak, 1e6);  // ~60 s of rate piled up
+
+  faulted.reset_window();
+  faulted.run_for(520.0);  // machine back at 240; drain the backlog
+  const runtime::JobMetrics after = faulted.window_metrics();
+  EXPECT_GT(after.throughput, 0.9 * before);
+  EXPECT_LT(after.kafka_lag, 0.25 * lag_peak);
+}
+
+TEST(FaultHost, SlowNodeAndIngestStallAreTransient) {
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.slow_node(0, 0.3, 60.0, 60.0).ingest_stall(180.0, 30.0);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  faulted.reset_window();
+  faulted.run_for(55.0);
+  const double before = faulted.window_metrics().throughput;
+
+  faulted.reset_window();
+  faulted.run_for(65.0);  // the slow-node window
+  EXPECT_LT(faulted.window_metrics().throughput, 0.75 * before);
+  EXPECT_EQ(session.restarts(), 0);  // degradation, not a crash
+
+  faulted.reset_window();
+  faulted.run_for(62.0);  // inside the ingest stall [180, 210)
+  const runtime::JobMetrics stalled = faulted.window_metrics();
+  EXPECT_GT(stalled.kafka_lag, 1e5);  // producers kept appending
+
+  faulted.reset_window();
+  faulted.run_for(300.0);
+  const runtime::JobMetrics recovered = faulted.window_metrics();
+  EXPECT_GT(recovered.throughput, 0.9 * before);
+  EXPECT_LT(recovered.kafka_lag, stalled.kafka_lag);
+}
+
+TEST(FaultHost, FaultsSurviveReconfiguration) {
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.slow_node(0, 0.2, 100.0, 100.0);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  faulted.run_for(30.0);
+  faulted.reconfigure({2, 2, 2});  // engine rebuilt before the fault starts
+  faulted.run_for(30.0);
+
+  faulted.reset_window();
+  faulted.run_for(60.0);  // 60..120 straddles the fault start
+  const double early = faulted.window_metrics().throughput;
+
+  faulted.reset_window();
+  faulted.run_for(60.0);  // fully inside the slow-node window
+  const double during = faulted.window_metrics().throughput;
+  EXPECT_LT(during, early);  // the successor engine still sees the fault
+}
+
+TEST(FaultHost, ServiceOutageThrottlesYahoo) {
+  sim::JobSpec spec = workloads::yahoo_streaming(
+      std::make_shared<sim::ConstantRate>(20000.0));
+  spec.engine.measurement_noise = 0.0;
+  fault::FaultSchedule sched;
+  sched.service_outage(workloads::kYahooRedisService, 60.0, 60.0);
+  sim::ScalingSession session(
+      spec, sim::Parallelism(spec.topology.num_operators(), 1));
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  faulted.reset_window();
+  faulted.run_for(55.0);
+  const double before = faulted.window_metrics().throughput;
+  EXPECT_GT(before, 0.0);
+
+  faulted.reset_window();
+  faulted.run_for(65.0);
+  // The sink calls Redis per record; a dark Redis stops completions.
+  EXPECT_LT(faulted.window_metrics().throughput, 0.5 * before);
+
+  // An outage of a service the job never calls is unobservable.
+  fault::FaultSchedule phantom;
+  phantom.service_outage("no-such-service", 10.0, 10.0);
+  sim::ScalingSession session2(
+      spec, sim::Parallelism(spec.topology.num_operators(), 1));
+  fault::FaultInjectingBackend ok(session2, phantom);
+  ok.reset_window();
+  ok.run_for(55.0);
+  EXPECT_NEAR(ok.window_metrics().throughput, before, 0.05 * before + 1.0);
+}
+
+// --- Controller resilience -------------------------------------------------
+
+TEST(WindowHealth, DroppedMetricWindowsAreFlagged) {
+  const sim::JobSpec spec = chain_spec(30000.0);
+  fault::FaultSchedule sched;
+  sched.metric_dropout(60.0, 60.0);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+  faulted.run_for(180.0);
+
+  const core::MetricAggregator agg(spec.topology,
+                                   spec.engine.metric_interval_sec);
+  core::WindowHealth bad;
+  (void)agg.aggregate(faulted.history(), 60.0, 120.0, &bad);
+  EXPECT_FALSE(bad.healthy());
+  EXPECT_GT(bad.missing_series + bad.sparse_series, 0);
+
+  core::WindowHealth good;
+  (void)agg.aggregate(faulted.history(), 0.0, 60.0, &good);
+  EXPECT_TRUE(good.healthy());
+
+  core::WindowHealth after;
+  (void)agg.aggregate(faulted.history(), 120.0, 180.0, &after);
+  EXPECT_TRUE(after.healthy());
+}
+
+TEST(ControllerResilience, RetryWithBackoffConverges) {
+  // p=1 sustains ~100k/s; 150k/s forces a scale-up decision, and the
+  // schedule fails the first two Execute attempts.
+  sim::JobSpec spec = chain_spec(150000.0);
+  fault::FaultSchedule sched;
+  sched.rescale_failure(0.0, 3600.0, 2);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  core::ControllerParams params;
+  params.policy_interval_sec = 30.0;
+  params.policy_running_time_sec = 60.0;
+  params.steady.target_latency_ms = 1e5;  // throughput-only objective
+  params.steady.bootstrap_m = 3;
+  params.steady.max_evaluations = 6;
+  params.resilience.max_rescale_retries = 4;
+  params.resilience.rescale_backoff_initial_sec = 5.0;
+  core::AuTraScaleController controller(
+      spec.topology, sim::make_trial_service(spec), params);
+  const auto decisions = controller.run(faulted, 240.0);
+
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_EQ(faulted.failed_rescales(), 2);
+  EXPECT_EQ(controller.stats().rescale_retries, 2);
+  EXPECT_EQ(controller.stats().rescale_aborts, 0);
+  EXPECT_FALSE(decisions.front().execute_failed);
+  EXPECT_EQ(decisions.front().rescale_retries, 2);
+  EXPECT_EQ(faulted.parallelism(), decisions.front().applied);
+  int total = 0;
+  for (int k : faulted.parallelism()) total += k;
+  EXPECT_GT(total, 3);  // the decision was eventually applied
+}
+
+TEST(ControllerResilience, AbortsAfterMaxRetries) {
+  sim::JobSpec spec = chain_spec(150000.0);
+  fault::FaultSchedule sched;
+  sched.rescale_failure(0.0, 3600.0, 0);  // every attempt fails
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  core::ControllerParams params;
+  params.policy_interval_sec = 30.0;
+  params.policy_running_time_sec = 60.0;
+  params.steady.target_latency_ms = 1e5;
+  params.steady.bootstrap_m = 3;
+  params.steady.max_evaluations = 6;
+  params.resilience.max_rescale_retries = 2;
+  params.resilience.rescale_backoff_initial_sec = 5.0;
+  core::AuTraScaleController controller(
+      spec.topology, sim::make_trial_service(spec), params);
+  const auto decisions = controller.run(faulted, 180.0);
+
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_TRUE(decisions.front().execute_failed);
+  EXPECT_GE(controller.stats().rescale_aborts, 1);
+  EXPECT_EQ(faulted.parallelism(), runtime::Parallelism({1, 1, 1}));
+}
+
+TEST(ControllerResilience, MachineCrashHandledEndToEnd) {
+  // The acceptance scenario: machine-crash canned schedule, live
+  // controller. Detection, one forced restart, no decisions from
+  // contaminated windows, recovery before the horizon.
+  const double horizon = 900.0;
+  const fault::FaultSchedule schedule =
+      fault::FaultSchedule::canned("machine-crash", 1, horizon);
+  sim::JobSpec spec = workloads::word_count(
+      std::make_shared<sim::ConstantRate>(150e3));
+  fault::ResilienceOptions opt;
+  opt.horizon_sec = horizon;
+  opt.policy_interval_sec = 60.0;
+  const fault::ResilienceReport r =
+      fault::run_resilience("autrascale", spec, schedule, opt);
+
+  EXPECT_EQ(r.failure_restarts, 1);     // the crash was detected
+  EXPECT_GE(r.unhealthy_windows, 1);    // contaminated windows were skipped
+  EXPECT_GE(r.recovery_sec, 0.0);       // throughput came back
+  EXPECT_LE(r.recovery_sec, horizon - schedule.last_fault_end());
+}
+
+TEST(Resilience, RejectsUnknownPolicy) {
+  const sim::JobSpec spec = chain_spec(30000.0);
+  EXPECT_THROW(
+      fault::run_resilience("nope", spec, fault::FaultSchedule{}, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autra

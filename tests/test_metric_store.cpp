@@ -11,11 +11,6 @@
 namespace autra::runtime {
 namespace {
 
-// This file deliberately exercises the deprecated string-keyed wrappers —
-// they must keep matching the id API until the last callers migrate.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 TEST(MetricRegistry, InternIsIdempotent) {
   MetricRegistry reg;
   const MetricId a = reg.intern("x");
@@ -41,28 +36,31 @@ TEST(MetricRegistry, NameOfUnknownIdThrows) {
   EXPECT_THROW(reg.name(MetricId(7)), std::out_of_range);
 }
 
-TEST(MetricStore, QueryIncludesBoundaryPoints) {
+TEST(MetricStore, WindowIncludesBoundaryPoints) {
   MetricStore db;
-  db.record("s", 1.0, 10.0);
-  db.record("s", 2.0, 20.0);
-  db.record("s", 3.0, 30.0);
+  const MetricId id = db.resolve("s");
+  db.record(id, 1.0, 10.0);
+  db.record(id, 2.0, 20.0);
+  db.record(id, 3.0, 30.0);
   // Points exactly at t0 and t1 belong to the window.
-  const auto points = db.query("s", 1.0, 3.0);
-  ASSERT_EQ(points.size(), 3u);
-  EXPECT_DOUBLE_EQ(points.front().time, 1.0);
-  EXPECT_DOUBLE_EQ(points.back().time, 3.0);
-  EXPECT_DOUBLE_EQ(db.mean("s", 1.0, 3.0).value(), 20.0);
-  EXPECT_DOUBLE_EQ(db.mean("s", 2.0, 2.0).value(), 20.0);
-  EXPECT_FALSE(db.mean("s", 3.5, 9.0).has_value());
+  const auto [first, last] = db.range(id, 1.0, 3.0);
+  ASSERT_EQ(last - first, 3u);
+  const MetricStore::SeriesView v = db.series(id);
+  EXPECT_DOUBLE_EQ(v.times[first], 1.0);
+  EXPECT_DOUBLE_EQ(v.times[last - 1], 3.0);
+  EXPECT_DOUBLE_EQ(db.mean(id, 1.0, 3.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ(db.mean(id, 2.0, 2.0).value(), 20.0);
+  EXPECT_FALSE(db.mean(id, 3.5, 9.0).has_value());
 }
 
 TEST(MetricStore, BackwardsTimeThrowsEqualTimeAllowed) {
   MetricStore db;
-  db.record("s", 5.0, 1.0);
-  db.record("s", 5.0, 2.0);  // Equal timestamps are fine.
-  EXPECT_THROW(db.record("s", 4.999, 3.0), std::invalid_argument);
+  const MetricId id = db.resolve("s");
+  db.record(id, 5.0, 1.0);
+  db.record(id, 5.0, 2.0);  // Equal timestamps are fine.
+  EXPECT_THROW(db.record(id, 4.999, 3.0), std::invalid_argument);
   // Other series are unaffected by s's clock.
-  db.record("other", 0.0, 1.0);
+  db.record(db.resolve("other"), 0.0, 1.0);
 }
 
 TEST(MetricStore, RecordWithForeignIdThrows) {
@@ -71,7 +69,7 @@ TEST(MetricStore, RecordWithForeignIdThrows) {
   EXPECT_THROW(db.record(MetricId(12), 0.0, 1.0), std::out_of_range);
 }
 
-TEST(MetricStore, IdBasedReadsMatchStringReads) {
+TEST(MetricStore, IdBasedReads) {
   MetricStore db;
   const MetricId id = db.resolve("s");
   db.record(id, 0.0, 1.0);
@@ -81,7 +79,6 @@ TEST(MetricStore, IdBasedReadsMatchStringReads) {
   EXPECT_DOUBLE_EQ(db.sum(id, 0.0, 2.0).value(), 3.0);
   EXPECT_DOUBLE_EQ(db.mean(id, 0.0, 2.0).value(), 1.0);
   EXPECT_DOUBLE_EQ(db.mean(id, 1.0, 2.0).value(), 1.0);
-  EXPECT_DOUBLE_EQ(db.mean("s", 1.0, 2.0).value(), 1.0);
   EXPECT_DOUBLE_EQ(db.last(id)->value, 4.0);
   const auto [first, last] = db.range(id, 1.0, 2.0);
   EXPECT_EQ(first, 1u);
@@ -102,8 +99,8 @@ TEST(MetricStore, InvalidIdReadsAreEmpty) {
 
 TEST(MetricStore, SeriesNamesSortedAndClearInvalidates) {
   MetricStore db;
-  db.record("b", 0.0, 1.0);
-  db.record("a", 0.0, 1.0);
+  db.record(db.resolve("b"), 0.0, 1.0);
+  db.record(db.resolve("a"), 0.0, 1.0);
   db.resolve("never-written");
   EXPECT_EQ(db.series_names(), (std::vector<std::string>{"a", "b"}));
   EXPECT_TRUE(db.has_series("a"));
@@ -116,8 +113,9 @@ TEST(MetricStore, SeriesNamesSortedAndClearInvalidates) {
 
 TEST(MetricStore, WriteCsvWithUnknownSeries) {
   MetricStore db;
-  db.record("known", 0.0, 1.5);
-  db.record("known", 1.0, 2.5);
+  const MetricId id = db.resolve("known");
+  db.record(id, 0.0, 1.5);
+  db.record(id, 1.0, 2.5);
   std::ostringstream out;
   const std::vector<std::string> cols = {"known", "unknown"};
   db.write_csv(out, cols);
@@ -129,9 +127,10 @@ TEST(MetricStore, WriteCsvWithUnknownSeries) {
 
 TEST(MetricStore, WriteCsvUnionOfTimestamps) {
   MetricStore db;
-  db.record("a", 0.0, 1.0);
-  db.record("a", 2.0, 3.0);
-  db.record("b", 1.0, 2.0);
+  const MetricId a = db.resolve("a");
+  db.record(a, 0.0, 1.0);
+  db.record(a, 2.0, 3.0);
+  db.record(db.resolve("b"), 1.0, 2.0);
   std::ostringstream out;
   db.write_csv(out);  // No selection: every series, sorted.
   EXPECT_EQ(out.str(),
@@ -140,8 +139,6 @@ TEST(MetricStore, WriteCsvUnionOfTimestamps) {
             "1,,2\n"
             "2,3,\n");
 }
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace autra::runtime
