@@ -37,5 +37,37 @@ int main() {
   std::printf("\nShape check: throughput and true rates are tick-invariant; "
               "latency shifts by at most ~1 tick; wall time scales inversely "
               "with the tick.\n");
+
+  bench::header("schedule-size ablation — tick cost vs fault-event count");
+  std::printf("%10s %12s %14s\n", "events", "thr [k/s]", "sim wall [ms]");
+
+  for (const int events : {0, 100, 1000}) {
+    sim::JobSpec spec = workloads::word_count(
+        std::make_shared<sim::ConstantRate>(300e3));
+    spec.engine.measurement_noise = 0.0;
+    auto engine = sim::make_engine(spec, sim::Parallelism(4, 3), 0.0, 0);
+    // Near-unity slowdowns spread across the run: each tick activates and
+    // retires timeline entries without materially changing the dynamics.
+    // The sorted-window cursors keep the per-tick fault lookup O(active),
+    // so wall time must stay flat as the scheduled count grows.
+    const double span = 120.0;
+    for (int i = 0; i < events; ++i) {
+      const double from = span * static_cast<double>(i) / events;
+      engine->inject_slowdown(static_cast<std::size_t>(i % 3), 0.999, from,
+                              from + 0.5 * span / events);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    engine->run_until(span);
+    const auto wall = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::printf("%10d %12.1f %14.1f\n", events, engine->throughput() / 1e3,
+                wall);
+  }
+
+  std::printf("\nShape check: wall time is flat in the scheduled event "
+              "count (cursor lookups, not linear scans) and throughput is "
+              "unaffected by the near-unity slowdowns.\n");
   return 0;
 }

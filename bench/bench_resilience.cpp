@@ -13,9 +13,19 @@
 // All QoS numbers come from the session's fault-free ground-truth history;
 // only the controllers see the corrupted Monitor path. Run with --smoke
 // for the CI-sized variant (shorter horizon, machine-crash only).
+//
+// --chaos N switches from the three canned stories to N seeded
+// chaos-generated schedules per policy (seeds 1..N over the same
+// ChaosProfile, so every policy faces the identical schedule set) and
+// reports QoS-violation percentiles instead of single-run numbers.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "fault/chaos.hpp"
 #include "fault/fault_schedule.hpp"
 #include "fault/resilience.hpp"
 #include "workloads/workloads.hpp"
@@ -48,10 +58,101 @@ void run_schedule(const char* name, double horizon,
   }
 }
 
+/// Nearest-rank percentile of an already sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+void run_chaos(int schedules, bool smoke) {
+  const double horizon = smoke ? 600.0 : 1800.0;
+  const std::vector<std::string> policies =
+      smoke ? std::vector<std::string>{"autrascale", "threshold"}
+            : fault::resilience_policies();
+  const sim::JobSpec spec =
+      workloads::word_count(std::make_shared<sim::ConstantRate>(250e3));
+  // Full-taxonomy mix: crash groups, partitions, metric corruption and
+  // rescale failures all drawn from the default weights.
+  const fault::ChaosGenerator gen(
+      fault::ChaosProfile::for_job(spec, horizon, smoke ? 1.0 : 1.5));
+
+  char title[128];
+  std::snprintf(title, sizeof(title),
+                "chaos sweep — %d seeded schedules x %zu policies, "
+                "horizon %.0fs",
+                schedules, policies.size(), horizon);
+  bench::header(title);
+  std::printf("%-11s %9s %9s %9s %9s %9s %7s %5s\n", "policy", "viol-p50",
+              "viol-p90", "viol-p99", "thr [/s]", "maxlag[k]", "recov%",
+              "frst");
+
+  for (const std::string& policy : policies) {
+    std::vector<double> violations;
+    double thr_sum = 0.0;
+    double maxlag_sum = 0.0;
+    int recovered = 0;
+    int failure_restarts = 0;
+    for (int seed = 1; seed <= schedules; ++seed) {
+      const fault::FaultSchedule schedule =
+          gen.generate(static_cast<std::uint64_t>(seed));
+      fault::ResilienceOptions opt;
+      opt.horizon_sec = horizon;
+      opt.seed = static_cast<std::uint64_t>(seed);
+      const fault::ResilienceReport r =
+          fault::run_resilience(policy, spec, schedule, opt);
+      violations.push_back(r.violation_sec);
+      thr_sum += r.mean_throughput;
+      maxlag_sum += r.max_lag;
+      if (r.recovery_sec >= 0.0) ++recovered;
+      failure_restarts += r.failure_restarts;
+    }
+    std::sort(violations.begin(), violations.end());
+    const double n = static_cast<double>(schedules);
+    std::printf("%-11s %9.0f %9.0f %9.0f %9.0f %9.0f %6.0f%% %5d\n",
+                policy.c_str(), percentile(violations, 0.50),
+                percentile(violations, 0.90), percentile(violations, 0.99),
+                thr_sum / n, maxlag_sum / n / 1e3,
+                100.0 * recovered / n, failure_restarts);
+  }
+
+  std::printf(
+      "\nShape check: every policy faces the identical schedule set, so "
+      "the violation percentiles are directly comparable. Every live "
+      "policy's percentiles sit far below static's (which never recovers) "
+      "and AuTraScale recovers on every schedule — it skips corrupted "
+      "Monitor windows and retries failed rescales instead of stalling. "
+      "Its tail sits near the best reactive baseline's rather than below "
+      "it: the conservative plan-per-window loop trades violation seconds "
+      "for fewer, better-sized rescales (see EXPERIMENTS.md).\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  int chaos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos = std::atoi(argv[++i]);
+      if (chaos <= 0) {
+        std::fprintf(stderr, "--chaos needs a positive schedule count\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--chaos N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  if (chaos > 0) {
+    run_chaos(chaos, smoke);
+    return 0;
+  }
+
   const double horizon = smoke ? 900.0 : 1800.0;
   const std::vector<std::string> policies =
       smoke ? std::vector<std::string>{"autrascale", "threshold"}

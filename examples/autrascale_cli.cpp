@@ -17,9 +17,15 @@
 // Fault injection (runs the live resilience harness instead of the
 // offline recommend-run-judge loop):
 //
-//   --faults     machine-crash | metric-chaos | degraded-cluster
+//   --faults     machine-crash | metric-chaos | degraded-cluster | chaos
 //   --fault-seed seed for the schedule's randomised placements (default 1)
 //   --horizon    simulated seconds for the faulted run   (default 1800)
+//   --intensity  chaos mode only: expected events per 300 s (default 1.0)
+//
+// `--faults chaos` samples a full-taxonomy schedule (crashes, rack
+// crash groups, partitions, metric corruption, rescale failures) from
+// fault::ChaosGenerator instead of replaying a canned story; the same
+// --fault-seed reproduces the same schedule bit for bit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +39,7 @@
 #include "core/steady_rate.hpp"
 #include "core/throughput_opt.hpp"
 #include "example_util.hpp"
+#include "fault/chaos.hpp"
 #include "fault/fault_schedule.hpp"
 #include "fault/resilience.hpp"
 #include "workloads/workloads.hpp"
@@ -50,9 +57,10 @@ struct Options {
   gp::KernelKind kernel = gp::KernelKind::kMatern52;
   int threads = 0;
   std::uint64_t seed = 42;
-  std::string faults;  ///< Canned schedule name; empty = no fault run.
+  std::string faults;  ///< Schedule name or "chaos"; empty = no fault run.
   std::uint64_t fault_seed = 1;
   double horizon_sec = 1800.0;
+  double intensity = 1.0;  ///< Chaos mode: expected events per 300 s.
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -64,8 +72,8 @@ struct Options {
                "          [--kernel matern52|matern32|rbf] [--threads N]"
                " [--seed S]\n"
                "          [--faults machine-crash|metric-chaos|"
-               "degraded-cluster]\n"
-               "          [--fault-seed S] [--horizon SEC]\n",
+               "degraded-cluster|chaos]\n"
+               "          [--fault-seed S] [--horizon SEC] [--intensity I]\n",
                argv0);
   std::exit(2);
 }
@@ -107,11 +115,14 @@ Options parse(int argc, char** argv) {
       opt.fault_seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--horizon") {
       opt.horizon_sec = std::atof(value());
+    } else if (flag == "--intensity") {
+      opt.intensity = std::atof(value());
     } else {
       usage(argv[0]);
     }
   }
-  if (opt.rate <= 0.0 || opt.latency_ms <= 0.0 || opt.horizon_sec <= 0.0) {
+  if (opt.rate <= 0.0 || opt.latency_ms <= 0.0 || opt.horizon_sec <= 0.0 ||
+      opt.intensity < 0.0) {
     usage(argv[0]);
   }
   return opt;
@@ -134,8 +145,14 @@ sim::JobSpec make_spec(const Options& opt) {
 int run_faulted(const Options& opt) {
   fault::FaultSchedule schedule;
   try {
-    schedule = fault::FaultSchedule::canned(opt.faults, opt.fault_seed,
-                                            opt.horizon_sec);
+    if (opt.faults == "chaos") {
+      const fault::ChaosGenerator gen(fault::ChaosProfile::for_job(
+          make_spec(opt), opt.horizon_sec, opt.intensity));
+      schedule = gen.generate(opt.fault_seed);
+    } else {
+      schedule = fault::FaultSchedule::canned(opt.faults, opt.fault_seed,
+                                              opt.horizon_sec);
+    }
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -144,6 +144,8 @@ struct LoopStats {
   int failure_restarts = 0;   ///< Uncommanded restarts observed.
   int rescale_retries = 0;    ///< RescaleFailed caught and retried.
   int rescale_aborts = 0;     ///< Decisions abandoned after max retries.
+
+  friend bool operator==(const LoopStats&, const LoopStats&) = default;
 };
 
 struct ControllerParams {
@@ -169,6 +171,9 @@ struct ControlDecision {
   int evaluations = 0;
   int rescale_retries = 0;     ///< Transient Execute failures survived.
   bool execute_failed = false; ///< Gave up applying after max retries.
+
+  friend bool operator==(const ControlDecision&,
+                         const ControlDecision&) = default;
 };
 
 /// The full AuTraScale controller driving a live StreamingBackend.

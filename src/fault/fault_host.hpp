@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace autra::fault {
 
@@ -43,6 +44,21 @@ class FaultHost {
   /// Sources consume nothing during [from_sec, until_sec) while producers
   /// keep appending — consumer lag builds, then catches up.
   virtual void host_ingest_stall(double from_sec, double until_sec) = 0;
+
+  /// Correlated crash: every machine in `machines` is lost during
+  /// [from_sec, until_sec) — a shared rack switch or power feed failing.
+  /// The framework detects the group loss once (shared detection delay)
+  /// and forces a single restart for the whole group.
+  virtual void host_rack_down(const std::vector<std::size_t>& machines,
+                              double from_sec, double until_sec,
+                              double detection_delay_sec) = 0;
+
+  /// Network partition: the machines in `island` cannot exchange records
+  /// with the rest of the cluster during [from_sec, until_sec). Operator
+  /// edges whose endpoints span the cut stop transferring; queues back up
+  /// and backpressure propagates upstream.
+  virtual void host_network_partition(const std::vector<std::size_t>& island,
+                                      double from_sec, double until_sec) = 0;
 };
 
 }  // namespace autra::fault

@@ -51,6 +51,13 @@ void FaultInjectingBackend::deliver_host_faults() {
       case FaultKind::kIngestStall:
         host->host_ingest_stall(e.at, e.end());
         break;
+      case FaultKind::kRackDown:
+        host->host_rack_down(e.machines, e.at, e.end(),
+                             e.detection_delay_sec);
+        break;
+      case FaultKind::kNetworkPartition:
+        host->host_network_partition(e.machines, e.at, e.end());
+        break;
       case FaultKind::kMetricDropout:
       case FaultKind::kMetricDelay:
       case FaultKind::kRescaleFailure:

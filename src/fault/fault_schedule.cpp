@@ -23,16 +23,89 @@ const char* to_string(FaultKind kind) noexcept {
       return "metric-delay";
     case FaultKind::kRescaleFailure:
       return "rescale-failure";
+    case FaultKind::kRackDown:
+      return "rack-down";
+    case FaultKind::kNetworkPartition:
+      return "network-partition";
   }
   return "unknown";
 }
 
-FaultSchedule& FaultSchedule::push(FaultEvent event) {
-  if (event.at < 0.0 || event.duration <= 0.0) {
-    throw std::invalid_argument(
-        std::string("FaultSchedule: event '") + to_string(event.kind) +
-        "' needs at >= 0 and duration > 0");
+namespace {
+
+// Validation shared between the builder methods and the vector constructor
+// so a hand-assembled event passes exactly the same checks a built one does.
+void validate_event(const FaultEvent& e) {
+  if (e.at < 0.0 || e.duration <= 0.0) {
+    throw std::invalid_argument(std::string("FaultSchedule: event '") +
+                                to_string(e.kind) +
+                                "' needs at >= 0 and duration > 0");
   }
+  switch (e.kind) {
+    case FaultKind::kMachineDown:
+      if (e.detection_delay_sec < 0.0) {
+        throw std::invalid_argument(
+            "FaultSchedule::machine_down: negative detection delay");
+      }
+      break;
+    case FaultKind::kSlowNode:
+      if (e.magnitude <= 0.0 || e.magnitude >= 1.0) {
+        throw std::invalid_argument(
+            "FaultSchedule::slow_node: speed factor must be in (0, 1)");
+      }
+      break;
+    case FaultKind::kServiceOutage:
+      if (e.service.empty()) {
+        throw std::invalid_argument(
+            "FaultSchedule::service_outage: empty service name");
+      }
+      break;
+    case FaultKind::kMetricDelay:
+      if (e.magnitude <= 0.0) {
+        throw std::invalid_argument(
+            "FaultSchedule::metric_delay: delay must be > 0");
+      }
+      break;
+    case FaultKind::kRescaleFailure:
+      if (e.magnitude < 0.0) {
+        throw std::invalid_argument(
+            "FaultSchedule::rescale_failure: negative failure count");
+      }
+      break;
+    case FaultKind::kRackDown:
+      if (e.machines.empty()) {
+        throw std::invalid_argument(
+            "FaultSchedule::rack_down: empty machine group");
+      }
+      if (e.detection_delay_sec < 0.0) {
+        throw std::invalid_argument(
+            "FaultSchedule::rack_down: negative detection delay");
+      }
+      break;
+    case FaultKind::kNetworkPartition:
+      if (e.machines.empty()) {
+        throw std::invalid_argument(
+            "FaultSchedule::network_partition: empty island");
+      }
+      break;
+    case FaultKind::kIngestStall:
+    case FaultKind::kMetricDropout:
+      break;
+  }
+}
+
+}  // namespace
+
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events) {
+  for (const FaultEvent& e : events) validate_event(e);
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_ = std::move(events);
+}
+
+FaultSchedule& FaultSchedule::push(FaultEvent event) {
+  validate_event(event);
   // Keep events_ sorted by start time (insertion is cold; reads are hot).
   const auto pos = std::upper_bound(
       events_.begin(), events_.end(), event.at,
@@ -44,10 +117,6 @@ FaultSchedule& FaultSchedule::push(FaultEvent event) {
 FaultSchedule& FaultSchedule::machine_down(std::size_t machine, double at,
                                            double duration,
                                            double detection_delay_sec) {
-  if (detection_delay_sec < 0.0) {
-    throw std::invalid_argument(
-        "FaultSchedule::machine_down: negative detection delay");
-  }
   return push({.kind = FaultKind::kMachineDown,
                .at = at,
                .duration = duration,
@@ -58,10 +127,6 @@ FaultSchedule& FaultSchedule::machine_down(std::size_t machine, double at,
 FaultSchedule& FaultSchedule::slow_node(std::size_t machine,
                                         double speed_factor, double at,
                                         double duration) {
-  if (speed_factor <= 0.0 || speed_factor >= 1.0) {
-    throw std::invalid_argument(
-        "FaultSchedule::slow_node: speed factor must be in (0, 1)");
-  }
   return push({.kind = FaultKind::kSlowNode,
                .at = at,
                .duration = duration,
@@ -71,10 +136,6 @@ FaultSchedule& FaultSchedule::slow_node(std::size_t machine,
 
 FaultSchedule& FaultSchedule::service_outage(std::string service, double at,
                                              double duration) {
-  if (service.empty()) {
-    throw std::invalid_argument(
-        "FaultSchedule::service_outage: empty service name");
-  }
   return push({.kind = FaultKind::kServiceOutage,
                .at = at,
                .duration = duration,
@@ -93,10 +154,6 @@ FaultSchedule& FaultSchedule::metric_dropout(double at, double duration) {
 
 FaultSchedule& FaultSchedule::metric_delay(double at, double duration,
                                            double delay_sec) {
-  if (delay_sec <= 0.0) {
-    throw std::invalid_argument(
-        "FaultSchedule::metric_delay: delay must be > 0");
-  }
   return push({.kind = FaultKind::kMetricDelay,
                .at = at,
                .duration = duration,
@@ -105,14 +162,28 @@ FaultSchedule& FaultSchedule::metric_delay(double at, double duration,
 
 FaultSchedule& FaultSchedule::rescale_failure(double at, double duration,
                                               int failures) {
-  if (failures < 0) {
-    throw std::invalid_argument(
-        "FaultSchedule::rescale_failure: negative failure count");
-  }
   return push({.kind = FaultKind::kRescaleFailure,
                .at = at,
                .duration = duration,
                .magnitude = static_cast<double>(failures)});
+}
+
+FaultSchedule& FaultSchedule::rack_down(std::vector<std::size_t> machines,
+                                        double at, double duration,
+                                        double detection_delay_sec) {
+  return push({.kind = FaultKind::kRackDown,
+               .at = at,
+               .duration = duration,
+               .detection_delay_sec = detection_delay_sec,
+               .machines = std::move(machines)});
+}
+
+FaultSchedule& FaultSchedule::network_partition(
+    std::vector<std::size_t> island, double at, double duration) {
+  return push({.kind = FaultKind::kNetworkPartition,
+               .at = at,
+               .duration = duration,
+               .machines = std::move(island)});
 }
 
 bool FaultSchedule::has_metric_faults() const noexcept {
@@ -127,7 +198,9 @@ bool FaultSchedule::has_host_faults() const noexcept {
     return e.kind == FaultKind::kMachineDown ||
            e.kind == FaultKind::kSlowNode ||
            e.kind == FaultKind::kServiceOutage ||
-           e.kind == FaultKind::kIngestStall;
+           e.kind == FaultKind::kIngestStall ||
+           e.kind == FaultKind::kRackDown ||
+           e.kind == FaultKind::kNetworkPartition;
   });
 }
 
@@ -135,7 +208,8 @@ double FaultSchedule::last_fault_end() const noexcept {
   double end = 0.0;
   for (const FaultEvent& e : events_) {
     end = std::max(end, e.end());
-    if (e.kind == FaultKind::kMachineDown) {
+    if (e.kind == FaultKind::kMachineDown ||
+        e.kind == FaultKind::kRackDown) {
       end = std::max(end, e.at + e.detection_delay_sec);
     }
   }

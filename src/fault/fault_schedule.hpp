@@ -29,6 +29,8 @@ enum class FaultKind {
   kMetricDropout,   ///< Gauges in the window are lost, never delivered.
   kMetricDelay,     ///< Gauges arrive late (stalled metrics pipeline).
   kRescaleFailure,  ///< reconfigure() fails transiently (savepoint timeout).
+  kRackDown,        ///< Correlated crash: a rack's machines die together.
+  kNetworkPartition,  ///< Machines split; cross-cut operator edges stall.
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
@@ -44,13 +46,18 @@ struct FaultEvent {
   /// kRescaleFailure: number of attempts that fail (0 = every attempt in
   /// the window).
   double magnitude = 0.0;
-  /// kMachineDown: seconds from the crash until the framework notices and
-  /// forces a restart.
+  /// kMachineDown / kRackDown: seconds from the crash until the framework
+  /// notices and forces a restart (one restart per event, even for a rack).
   double detection_delay_sec = 0.0;
   /// kServiceOutage: which service.
   std::string service;
+  /// kRackDown: the machines crashing together; kNetworkPartition: the
+  /// island cut off from the rest of the cluster.
+  std::vector<std::size_t> machines;
 
   [[nodiscard]] double end() const noexcept { return at + duration; }
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
 /// An ordered, validated collection of fault events. Immutable once handed
@@ -58,6 +65,13 @@ struct FaultEvent {
 class FaultSchedule {
  public:
   FaultSchedule() = default;
+
+  /// Builds a schedule from a hand-assembled (possibly unsorted) event
+  /// vector: every event is validated exactly as the builder methods
+  /// validate it, then the set is stable-sorted by start time — so an
+  /// unsorted hand-built schedule behaves identically to its sorted form.
+  /// Throws std::invalid_argument on any invalid event.
+  explicit FaultSchedule(std::vector<FaultEvent> events);
 
   FaultSchedule& machine_down(std::size_t machine, double at, double duration,
                               double detection_delay_sec = 10.0);
@@ -70,6 +84,15 @@ class FaultSchedule {
   FaultSchedule& metric_delay(double at, double duration, double delay_sec);
   FaultSchedule& rescale_failure(double at, double duration,
                                  int failures = 0);
+  /// Correlated crash group: every machine in `machines` is lost during
+  /// the window and the framework forces ONE restart for the whole group
+  /// after the shared detection delay.
+  FaultSchedule& rack_down(std::vector<std::size_t> machines, double at,
+                           double duration, double detection_delay_sec = 10.0);
+  /// Network partition: `island` is cut off from the rest of the cluster;
+  /// operator edges spanning the cut stop transferring.
+  FaultSchedule& network_partition(std::vector<std::size_t> island, double at,
+                                   double duration);
 
   /// Events sorted by start time.
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {

@@ -8,9 +8,11 @@ namespace autra::sim {
 ClusterSpec paper_cluster() {
   ClusterSpec spec;
   for (int i = 0; i < 3; ++i) {
+    // Two machines share the first rack, the third stands alone — the
+    // correlated-failure domain chaos-mode rack faults exercise.
     spec.machines.push_back(
         {.name = "r730xd-" + std::to_string(i), .cores = 20,
-         .memory_gb = 256.0, .speed = 1.0});
+         .memory_gb = 256.0, .speed = 1.0, .rack = i < 2 ? 0 : 1});
   }
   return spec;
 }
@@ -43,6 +45,34 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
     }
     m = (m + 1) % spec_.machines.size();
   }
+  // Rack groups: dense indices in order of first appearance; rack == -1
+  // machines are singletons.
+  std::vector<int> seen_rack_ids;
+  machine_rack_.resize(spec_.machines.size());
+  for (std::size_t i = 0; i < spec_.machines.size(); ++i) {
+    const int id = spec_.machines[i].rack;
+    std::size_t dense = racks_.size();
+    if (id >= 0) {
+      const auto it =
+          std::find(seen_rack_ids.begin(), seen_rack_ids.end(), id);
+      if (it != seen_rack_ids.end()) {
+        dense = static_cast<std::size_t>(it - seen_rack_ids.begin());
+      }
+    }
+    if (dense == racks_.size()) {
+      seen_rack_ids.push_back(id >= 0 ? id : -1 - static_cast<int>(i));
+      racks_.emplace_back();
+    }
+    racks_[dense].push_back(i);
+    machine_rack_[i] = dense;
+  }
+}
+
+std::size_t Cluster::rack_of(std::size_t m) const {
+  if (m >= machine_rack_.size()) {
+    throw std::out_of_range("Cluster::rack_of: bad machine index");
+  }
+  return machine_rack_[m];
 }
 
 int Cluster::slots_per_machine(std::size_t m) const {

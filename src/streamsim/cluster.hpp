@@ -28,6 +28,11 @@ struct MachineSpec {
   /// interfere with each other"). Enters the contention model as standing
   /// load.
   double background_load = 0.0;
+  /// Failure-correlation domain: machines sharing a rack id share a
+  /// top-of-rack switch and power feed, so chaos-mode rack faults crash
+  /// and recover them together. -1 (default) means "its own rack" — no
+  /// correlated failure domain unless the spec opts in.
+  int rack = -1;
 };
 
 struct ClusterSpec {
@@ -77,10 +82,23 @@ class Cluster {
     return machine_of_slot(instance);
   }
 
+  /// Rack groups, dense-indexed in order of first appearance: machines
+  /// whose MachineSpec::rack matches share a group; machines with rack ==
+  /// -1 each form a singleton. racks().size() == num_machines() therefore
+  /// means "no correlated failure domains configured".
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& racks()
+      const noexcept {
+    return racks_;
+  }
+  /// Dense rack index of machine `m`. Throws std::out_of_range.
+  [[nodiscard]] std::size_t rack_of(std::size_t m) const;
+
  private:
   ClusterSpec spec_;
   int total_slots_ = 0;
   std::vector<std::size_t> slot_to_machine_;
+  std::vector<std::vector<std::size_t>> racks_;
+  std::vector<std::size_t> machine_rack_;
 };
 
 }  // namespace autra::sim

@@ -19,6 +19,7 @@ Engine::Engine(Topology topology, Cluster cluster, Parallelism parallelism,
       kafka_(std::move(kafka)),
       params_(params),
       interference_(params.interference),
+      faults_(cluster_.num_machines()),
       proc_latency_(4096, params.seed),
       event_latency_(4096, params.seed + 1),
       interval_proc_latency_(1024, params.seed + 2),
@@ -90,18 +91,7 @@ void Engine::inject_slowdown(std::size_t machine, double speed_factor,
       until_sec <= from_sec) {
     throw std::invalid_argument("Engine::inject_slowdown: bad arguments");
   }
-  slowdowns_.push_back({machine, speed_factor, from_sec, until_sec});
-}
-
-double Engine::slowdown_factor_at(std::size_t machine,
-                                  double t) const noexcept {
-  double factor = 1.0;
-  for (const SlowdownEvent& e : slowdowns_) {
-    if (e.machine == machine && t >= e.from && t < e.until) {
-      factor *= e.factor;
-    }
-  }
-  return factor;
+  faults_.add_slowdown(machine, speed_factor, from_sec, until_sec);
 }
 
 void Engine::inject_machine_down(std::size_t machine, double from_sec,
@@ -109,14 +99,14 @@ void Engine::inject_machine_down(std::size_t machine, double from_sec,
   if (machine >= cluster_.num_machines() || until_sec <= from_sec) {
     throw std::invalid_argument("Engine::inject_machine_down: bad arguments");
   }
-  machine_downs_.push_back({machine, from_sec, until_sec});
+  faults_.add_machine_down(machine, from_sec, until_sec);
 }
 
 void Engine::inject_ingest_stall(double from_sec, double until_sec) {
   if (until_sec <= from_sec) {
     throw std::invalid_argument("Engine::inject_ingest_stall: bad arguments");
   }
-  ingest_stalls_.push_back({from_sec, until_sec});
+  faults_.add_ingest_stall(from_sec, until_sec);
 }
 
 void Engine::inject_service_outage(const std::string& service,
@@ -125,27 +115,53 @@ void Engine::inject_service_outage(const std::string& service,
     throw std::invalid_argument(
         "Engine::inject_service_outage: bad arguments");
   }
-  service_outages_.push_back({service, from_sec, until_sec});
+  faults_.add_service_outage(service, from_sec, until_sec);
 }
 
-bool Engine::machine_down_at(std::size_t machine, double t) const noexcept {
-  for (const MachineDownEvent& e : machine_downs_) {
-    if (e.machine == machine && t >= e.from && t < e.until) return true;
+void Engine::inject_network_partition(const std::vector<std::size_t>& island,
+                                      double from_sec, double until_sec) {
+  if (island.empty() || until_sec <= from_sec) {
+    throw std::invalid_argument(
+        "Engine::inject_network_partition: bad arguments");
   }
-  return false;
-}
-
-bool Engine::ingest_stalled_at(double t) const noexcept {
-  for (const TimeWindow& w : ingest_stalls_) {
-    if (t >= w.from && t < w.until) return true;
+  std::vector<char> on_island(cluster_.num_machines(), 0);
+  for (std::size_t m : island) {
+    if (m >= cluster_.num_machines() || on_island[m]) {
+      throw std::invalid_argument(
+          "Engine::inject_network_partition: bad or duplicate machine");
+    }
+    on_island[m] = 1;
   }
-  return false;
+
+  // Which sides of the cut host instances of each operator: bit 0 =
+  // mainland, bit 1 = island. An edge functions only when every instance
+  // of both endpoints sits on one side — keyed shuffles are all-to-all, so
+  // one unreachable channel blocks the exchange.
+  std::vector<int> span(topo_.num_operators(), 0);
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    for (int j = 0; j < parallelism_[i]; ++j) {
+      span[i] |= on_island[cluster_.machine_of_instance(j)] ? 2 : 1;
+    }
+  }
+  PartitionSpec ps;
+  ps.edge_cut.resize(topo_.num_operators());
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
+    const std::vector<std::size_t>& down = topo_.downstream(i);
+    ps.edge_cut[i].resize(down.size());
+    for (std::size_t di = 0; di < down.size(); ++di) {
+      ps.edge_cut[i][di] = (span[i] | span[down[di]]) == 3;
+    }
+  }
+  const std::size_t index = faults_.add_partition(from_sec, until_sec);
+  partitions_.push_back(std::move(ps));
+  if (index + 1 != partitions_.size()) {
+    throw std::logic_error("Engine: partition index out of sync");
+  }
 }
 
-bool Engine::service_out_at(const std::string& service,
-                            double t) const noexcept {
-  for (const ServiceOutageEvent& e : service_outages_) {
-    if (t >= e.from && t < e.until && e.service == service) return true;
+bool Engine::edge_cut_now(std::size_t op, std::size_t di) const noexcept {
+  for (std::size_t p : faults_.active_partitions()) {
+    if (partitions_[p].edge_cut[op][di]) return true;
   }
   return false;
 }
@@ -223,6 +239,9 @@ void Engine::tick() {
   const double dt = params_.tick_sec;
   const double t = now_;
 
+  // One cursor advance services every fault query this tick makes.
+  faults_.advance_to(t);
+
   kafka_->produce(t, dt);
   for (auto& [_, svc] : services_) svc.tick(dt);
 
@@ -257,11 +276,11 @@ void Engine::tick() {
     for (int j = 0; j < k; ++j) {
       const std::size_t m = cluster_.machine_of_instance(j);
       const MachineSpec& ms = cluster_.spec().machines[m];
-      const double slow = slowdown_factor_at(m, t);
+      const double slow = faults_.slowdown_factor(m);
       const double divisor =
           interference_.contention_divisor(load[m], ms.cores, slow);
       const double rate =
-          machine_down_at(m, t)
+          faults_.machine_down(m)
               ? 0.0
               : 1e6 / (spec.total_cost_us() * coord) * (ms.speed * slow) /
                     divisor;
@@ -281,14 +300,22 @@ void Engine::tick() {
     // producer records (lag grows) but consumers fetch nothing.
     double available =
         spec.kind == OperatorKind::kSource
-            ? (ingest_stalled_at(t) ? 0.0 : kafka_->lag())
+            ? (faults_.ingest_stalled() ? 0.0 : kafka_->lag())
             : st.queue_mass;
 
     double emit_limit = std::numeric_limits<double>::infinity();
     if (spec.selectivity > 0.0) {
-      for (std::size_t d : topo_.downstream(i)) {
+      const std::vector<std::size_t>& down = topo_.downstream(i);
+      for (std::size_t di = 0; di < down.size(); ++di) {
+        // A partition-cut edge transfers nothing: the operator stalls
+        // outright (emitted mass goes to every downstream edge, so one
+        // dead edge blocks the emit) and backpressure builds upstream.
+        if (edge_cut_now(i, di)) {
+          emit_limit = 0.0;
+          break;
+        }
         const double free =
-            state_[d].queue_capacity - state_[d].queue_mass;
+            state_[down[di]].queue_capacity - state_[down[di]].queue_mass;
         emit_limit =
             std::min(emit_limit, std::max(0.0, free) / spec.selectivity);
       }
@@ -305,7 +332,7 @@ void Engine::tick() {
                                "' references unknown service '" +
                                *spec.external_service + "'");
       }
-      if (service_out_at(*spec.external_service, t)) {
+      if (faults_.service_out(*spec.external_service)) {
         processed = 0.0;  // every per-record call times out
       } else {
         const double want = processed * spec.external_calls_per_record;
@@ -415,6 +442,13 @@ OperatorRates Engine::rates(std::size_t op) const {
     throw std::out_of_range("Engine::rates: bad operator index");
   }
   return rates_from(op, state_[op].counters);
+}
+
+const OperatorCounters& Engine::counters(std::size_t op) const {
+  if (op >= topo_.num_operators()) {
+    throw std::out_of_range("Engine::counters: bad operator index");
+  }
+  return state_[op].counters;
 }
 
 OperatorRates Engine::rates_from(std::size_t op,

@@ -28,6 +28,7 @@
 #include "runtime/job_metrics.hpp"
 #include "streamsim/cluster.hpp"
 #include "streamsim/external_service.hpp"
+#include "streamsim/fault_timeline.hpp"
 #include "streamsim/interference.hpp"
 #include "streamsim/kafka.hpp"
 #include "streamsim/latency.hpp"
@@ -124,6 +125,18 @@ class Engine {
   void inject_service_outage(const std::string& service, double from_sec,
                              double until_sec);
 
+  /// Failure injection: the machines in `island` are network-partitioned
+  /// from the rest of the cluster during [from_sec, until_sec). Operator
+  /// edges whose endpoint instances do not all live on one side stop
+  /// transferring (an all-to-all shuffle with a cut channel blocks the
+  /// whole exchange): upstream queues back up and backpressure propagates,
+  /// while records already queued downstream keep processing. Which edges
+  /// are cut is precomputed against the engine's (fixed) parallelism.
+  /// Throws std::invalid_argument on bad machines, duplicates, or an empty
+  /// island.
+  void inject_network_partition(const std::vector<std::size_t>& island,
+                                double from_sec, double until_sec);
+
   /// Advances the simulation by one tick.
   void tick();
 
@@ -161,6 +174,11 @@ class Engine {
 
   /// Rates over the window since the last reset_counters() call.
   [[nodiscard]] OperatorRates rates(std::size_t op) const;
+
+  /// Raw per-operator counters since the last reset_counters() — the mass
+  /// ledger the conservation property tests audit (records in = processed
+  /// + still queued, at every tick). Throws std::out_of_range.
+  [[nodiscard]] const OperatorCounters& counters(std::size_t op) const;
 
   /// Latency accumulated since the last reset_counters().
   [[nodiscard]] const LatencyStats& processing_latency() const noexcept {
@@ -230,38 +248,17 @@ class Engine {
   };
   [[nodiscard]] MetricIdSet resolve_metric_ids(runtime::MetricSink& sink) const;
 
-  struct SlowdownEvent {
-    std::size_t machine = 0;
-    double factor = 1.0;
-    double from = 0.0;
-    double until = 0.0;
+  /// One injected network partition: its window lives in the fault
+  /// timeline (same index); the cut-edge mask is precomputed here against
+  /// the engine's parallelism when the partition is injected.
+  struct PartitionSpec {
+    /// edge_cut[op][di] — is the edge to downstream(op)[di] cut?
+    std::vector<std::vector<bool>> edge_cut;
   };
 
-  struct MachineDownEvent {
-    std::size_t machine = 0;
-    double from = 0.0;
-    double until = 0.0;
-  };
-
-  struct TimeWindow {
-    double from = 0.0;
-    double until = 0.0;
-  };
-
-  struct ServiceOutageEvent {
-    std::string service;
-    double from = 0.0;
-    double until = 0.0;
-  };
-
-  /// Product of active slowdown-event factors (1.0 when none).
-  [[nodiscard]] double slowdown_factor_at(std::size_t machine,
-                                          double t) const noexcept;
-  [[nodiscard]] bool machine_down_at(std::size_t machine,
-                                     double t) const noexcept;
-  [[nodiscard]] bool ingest_stalled_at(double t) const noexcept;
-  [[nodiscard]] bool service_out_at(const std::string& service,
-                                    double t) const noexcept;
+  /// True if any *active* partition cuts the edge op -> downstream(op)[di].
+  [[nodiscard]] bool edge_cut_now(std::size_t op,
+                                  std::size_t di) const noexcept;
 
   Topology topo_;
   Cluster cluster_;
@@ -270,10 +267,10 @@ class Engine {
   EngineParams params_;
   InterferenceModel interference_;
   std::map<std::string, ExternalService> services_;
-  std::vector<SlowdownEvent> slowdowns_;
-  std::vector<MachineDownEvent> machine_downs_;
-  std::vector<TimeWindow> ingest_stalls_;
-  std::vector<ServiceOutageEvent> service_outages_;
+  /// Sorted-window cursors over all injected fault events; advanced once
+  /// per tick so the per-instance queries in the hot loop are O(1).
+  FaultTimeline faults_;
+  std::vector<PartitionSpec> partitions_;
 
   std::vector<std::size_t> topo_order_;
   std::vector<OperatorState> state_;

@@ -1,0 +1,224 @@
+#include "streamsim/fault_timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace autra::sim {
+
+namespace {
+
+/// Stable sort of event indices by window start.
+template <typename Event>
+std::vector<std::size_t> order_by_from(const std::vector<Event>& events) {
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return events[a].from < events[b].from;
+                   });
+  return order;
+}
+
+void check_window(double from, double until, const char* what) {
+  if (until <= from) {
+    throw std::invalid_argument(std::string("FaultTimeline: ") + what +
+                                ": until must be > from");
+  }
+}
+
+}  // namespace
+
+FaultTimeline::FaultTimeline(std::size_t num_machines)
+    : num_machines_(num_machines),
+      down_count_(num_machines, 0),
+      slow_active_(num_machines) {}
+
+void FaultTimeline::add_slowdown(std::size_t machine, double factor,
+                                 double from, double until) {
+  check_window(from, until, "slowdown");
+  if (machine >= num_machines_ || factor <= 0.0) {
+    throw std::invalid_argument("FaultTimeline: bad slowdown event");
+  }
+  slow_.push_back({machine, factor, from, until});
+  dirty_ = true;
+}
+
+void FaultTimeline::add_machine_down(std::size_t machine, double from,
+                                     double until) {
+  check_window(from, until, "machine-down");
+  if (machine >= num_machines_) {
+    throw std::invalid_argument("FaultTimeline: bad machine index");
+  }
+  down_.push_back({machine, from, until});
+  dirty_ = true;
+}
+
+void FaultTimeline::add_ingest_stall(double from, double until) {
+  check_window(from, until, "ingest-stall");
+  stall_.push_back({from, until});
+  dirty_ = true;
+}
+
+void FaultTimeline::add_service_outage(std::string service, double from,
+                                       double until) {
+  check_window(from, until, "service-outage");
+  if (service.empty()) {
+    throw std::invalid_argument("FaultTimeline: empty service name");
+  }
+  outage_.push_back({std::move(service), from, until});
+  dirty_ = true;
+}
+
+std::size_t FaultTimeline::add_partition(double from, double until) {
+  check_window(from, until, "partition");
+  part_.push_back({from, until});
+  dirty_ = true;
+  return part_.size() - 1;
+}
+
+void FaultTimeline::rebuild() {
+  slow_order_ = order_by_from(slow_);
+  down_order_ = order_by_from(down_);
+  stall_order_ = order_by_from(stall_);
+  outage_order_ = order_by_from(outage_);
+  part_order_ = order_by_from(part_);
+  slow_next_ = down_next_ = stall_next_ = outage_next_ = part_next_ = 0;
+  slow_expiry_ = {};
+  down_expiry_ = {};
+  stall_expiry_ = {};
+  outage_expiry_ = {};
+  part_expiry_ = {};
+  std::fill(down_count_.begin(), down_count_.end(), 0);
+  for (auto& active : slow_active_) active.clear();
+  stall_count_ = 0;
+  outage_count_.clear();
+  part_active_.clear();
+  dirty_ = false;
+  started_ = false;
+}
+
+void FaultTimeline::advance_to(double t) {
+  if (dirty_ || (started_ && t < cursor_time_)) rebuild();
+  cursor_time_ = t;
+  started_ = true;
+
+  // Activate windows that have opened, retire windows that have closed.
+  // An event entirely in the past activates and retires in the same call
+  // (net zero), which keeps the two phases order-independent.
+  while (slow_next_ < slow_order_.size() &&
+         slow_[slow_order_[slow_next_]].from <= t) {
+    const std::size_t idx = slow_order_[slow_next_++];
+    std::vector<std::size_t>& active = slow_active_[slow_[idx].machine];
+    active.insert(std::lower_bound(active.begin(), active.end(), idx), idx);
+    slow_expiry_.emplace(slow_[idx].until, idx);
+  }
+  while (!slow_expiry_.empty() && slow_expiry_.top().first <= t) {
+    const std::size_t idx = slow_expiry_.top().second;
+    slow_expiry_.pop();
+    std::vector<std::size_t>& active = slow_active_[slow_[idx].machine];
+    active.erase(std::lower_bound(active.begin(), active.end(), idx));
+  }
+
+  while (down_next_ < down_order_.size() &&
+         down_[down_order_[down_next_]].from <= t) {
+    const std::size_t idx = down_order_[down_next_++];
+    ++down_count_[down_[idx].machine];
+    down_expiry_.emplace(down_[idx].until, idx);
+  }
+  while (!down_expiry_.empty() && down_expiry_.top().first <= t) {
+    --down_count_[down_[down_expiry_.top().second].machine];
+    down_expiry_.pop();
+  }
+
+  while (stall_next_ < stall_order_.size() &&
+         stall_[stall_order_[stall_next_]].from <= t) {
+    stall_expiry_.emplace(stall_[stall_order_[stall_next_++]].until, 0);
+    ++stall_count_;
+  }
+  while (!stall_expiry_.empty() && stall_expiry_.top().first <= t) {
+    --stall_count_;
+    stall_expiry_.pop();
+  }
+
+  while (outage_next_ < outage_order_.size() &&
+         outage_[outage_order_[outage_next_]].from <= t) {
+    const std::size_t idx = outage_order_[outage_next_++];
+    ++outage_count_[outage_[idx].service];
+    outage_expiry_.emplace(outage_[idx].until, idx);
+  }
+  while (!outage_expiry_.empty() && outage_expiry_.top().first <= t) {
+    --outage_count_[outage_[outage_expiry_.top().second].service];
+    outage_expiry_.pop();
+  }
+
+  while (part_next_ < part_order_.size() &&
+         part_[part_order_[part_next_]].from <= t) {
+    const std::size_t idx = part_order_[part_next_++];
+    part_active_.insert(
+        std::lower_bound(part_active_.begin(), part_active_.end(), idx), idx);
+    part_expiry_.emplace(part_[idx].until, idx);
+  }
+  while (!part_expiry_.empty() && part_expiry_.top().first <= t) {
+    const std::size_t idx = part_expiry_.top().second;
+    part_expiry_.pop();
+    part_active_.erase(
+        std::lower_bound(part_active_.begin(), part_active_.end(), idx));
+  }
+}
+
+double FaultTimeline::slowdown_factor(std::size_t machine) const noexcept {
+  double factor = 1.0;
+  for (std::size_t idx : slow_active_[machine]) factor *= slow_[idx].factor;
+  return factor;
+}
+
+bool FaultTimeline::service_out(const std::string& service) const noexcept {
+  const auto it = outage_count_.find(service);
+  return it != outage_count_.end() && it->second > 0;
+}
+
+bool FaultTimeline::machine_down_linear(std::size_t machine,
+                                        double t) const noexcept {
+  for (const DownEvent& e : down_) {
+    if (e.machine == machine && t >= e.from && t < e.until) return true;
+  }
+  return false;
+}
+
+double FaultTimeline::slowdown_factor_linear(std::size_t machine,
+                                             double t) const noexcept {
+  double factor = 1.0;
+  for (const SlowEvent& e : slow_) {
+    if (e.machine == machine && t >= e.from && t < e.until) {
+      factor *= e.factor;
+    }
+  }
+  return factor;
+}
+
+bool FaultTimeline::ingest_stalled_linear(double t) const noexcept {
+  for (const Window& w : stall_) {
+    if (t >= w.from && t < w.until) return true;
+  }
+  return false;
+}
+
+bool FaultTimeline::service_out_linear(const std::string& service,
+                                       double t) const noexcept {
+  for (const OutageEvent& e : outage_) {
+    if (t >= e.from && t < e.until && e.service == service) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> FaultTimeline::active_partitions_linear(
+    double t) const {
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < part_.size(); ++i) {
+    if (t >= part_[i].from && t < part_[i].until) active.push_back(i);
+  }
+  return active;
+}
+
+}  // namespace autra::sim

@@ -94,25 +94,35 @@ ScalingSession::ScalingSession(JobSpec spec, Parallelism initial,
 
 void ScalingSession::run_for(double sec) {
   const double target = engine_->now() + sec;
-  // Machine crashes force framework-style restarts: run up to the moment
-  // the crash is detected, then rebuild the engine at the current
-  // parallelism with the full restart downtime. The crash window usually
-  // extends past the restart, so the successor engine (faults re-applied)
-  // still sees the machine down until it recovers.
+  // Machine and rack crashes force framework-style restarts: run up to the
+  // moment the crash is detected, then rebuild the engine at the current
+  // parallelism with the full restart downtime. A rack crash costs ONE
+  // restart for the whole group (the framework notices the correlated loss
+  // as one incident). The crash window usually extends past the restart,
+  // so the successor engine (faults re-applied) still sees the machines
+  // down until they recover.
   for (;;) {
-    MachineDownFault* pending = nullptr;
+    bool* pending = nullptr;
     double restart_at = 0.0;
     for (MachineDownFault& f : machine_down_faults_) {
       const double at = f.from + f.detect;
       if (f.restarted || at > target) continue;
       if (pending == nullptr || at < restart_at) {
-        pending = &f;
+        pending = &f.restarted;
+        restart_at = at;
+      }
+    }
+    for (RackDownFault& f : rack_down_faults_) {
+      const double at = f.from + f.detect;
+      if (f.restarted || at > target) continue;
+      if (pending == nullptr || at < restart_at) {
+        pending = &f.restarted;
         restart_at = at;
       }
     }
     if (pending == nullptr) break;
     engine_->run_until(std::max(restart_at, engine_->now()));
-    pending->restarted = true;
+    *pending = true;
     ++failure_restarts_;
     const Parallelism p = engine_->parallelism();
     rebuild_engine(p, restart_downtime_sec_);
@@ -169,6 +179,14 @@ void ScalingSession::apply_faults_to(Engine& engine) const {
   for (const StallFault& f : stall_faults_) {
     engine.inject_ingest_stall(f.from, f.until);
   }
+  for (const RackDownFault& f : rack_down_faults_) {
+    for (std::size_t m : f.machines) {
+      engine.inject_machine_down(m, f.from, f.until);
+    }
+  }
+  for (const PartitionFault& f : partition_faults_) {
+    engine.inject_network_partition(f.island, f.from, f.until);
+  }
 }
 
 void ScalingSession::host_machine_down(std::size_t machine, double from_sec,
@@ -199,6 +217,38 @@ void ScalingSession::host_service_outage(const std::string& service,
 void ScalingSession::host_ingest_stall(double from_sec, double until_sec) {
   engine_->inject_ingest_stall(from_sec, until_sec);  // validates
   stall_faults_.push_back({from_sec, until_sec});
+}
+
+void ScalingSession::host_rack_down(const std::vector<std::size_t>& machines,
+                                    double from_sec, double until_sec,
+                                    double detection_delay_sec) {
+  if (detection_delay_sec < 0.0) {
+    throw std::invalid_argument(
+        "ScalingSession: negative rack-down detection delay");
+  }
+  // Validate everything before touching the engine so a bad group leaves
+  // no partial crash behind.
+  if (machines.empty() || until_sec <= from_sec) {
+    throw std::invalid_argument("ScalingSession::host_rack_down: bad group");
+  }
+  for (std::size_t m : machines) {
+    if (m >= engine_->cluster().num_machines()) {
+      throw std::invalid_argument(
+          "ScalingSession::host_rack_down: bad machine index");
+    }
+  }
+  for (std::size_t m : machines) {
+    engine_->inject_machine_down(m, from_sec, until_sec);
+  }
+  rack_down_faults_.push_back(
+      {machines, from_sec, until_sec, detection_delay_sec, false});
+}
+
+void ScalingSession::host_network_partition(
+    const std::vector<std::size_t>& island, double from_sec,
+    double until_sec) {
+  engine_->inject_network_partition(island, from_sec, until_sec);  // validates
+  partition_faults_.push_back({island, from_sec, until_sec});
 }
 
 JobMetrics ScalingSession::window_metrics() const {

@@ -143,8 +143,8 @@ class ScalingSession final : public runtime::StreamingBackend,
   }
 
   // fault::FaultHost — events are kept on the session so they survive
-  // engine rebuilds. All four may be called at any time; events entirely
-  // in the past are retained but unobservable.
+  // engine rebuilds. All may be called at any time; events entirely in the
+  // past are retained but unobservable.
   void host_machine_down(std::size_t machine, double from_sec,
                          double until_sec,
                          double detection_delay_sec) override;
@@ -153,6 +153,11 @@ class ScalingSession final : public runtime::StreamingBackend,
   void host_service_outage(const std::string& service, double from_sec,
                            double until_sec) override;
   void host_ingest_stall(double from_sec, double until_sec) override;
+  void host_rack_down(const std::vector<std::size_t>& machines,
+                      double from_sec, double until_sec,
+                      double detection_delay_sec) override;
+  void host_network_partition(const std::vector<std::size_t>& island,
+                              double from_sec, double until_sec) override;
 
  private:
   struct MachineDownFault {
@@ -177,6 +182,18 @@ class ScalingSession final : public runtime::StreamingBackend,
     double from = 0.0;
     double until = 0.0;
   };
+  struct RackDownFault {
+    std::vector<std::size_t> machines;
+    double from = 0.0;
+    double until = 0.0;
+    double detect = 0.0;     ///< Shared detection delay, seconds.
+    bool restarted = false;  ///< One forced restart for the whole group.
+  };
+  struct PartitionFault {
+    std::vector<std::size_t> island;
+    double from = 0.0;
+    double until = 0.0;
+  };
 
   /// Registers every stored fault event with a (possibly fresh) engine.
   void apply_faults_to(Engine& engine) const;
@@ -198,6 +215,8 @@ class ScalingSession final : public runtime::StreamingBackend,
   std::vector<SlowNodeFault> slow_node_faults_;
   std::vector<ServiceOutageFault> service_outage_faults_;
   std::vector<StallFault> stall_faults_;
+  std::vector<RackDownFault> rack_down_faults_;
+  std::vector<PartitionFault> partition_faults_;
 };
 
 /// The simulator's Plan-stage trial provider: every evaluator_at() call

@@ -2,6 +2,7 @@
 // checked against both implementations — the fluid simulator's
 // ScalingSession and the trace-driven ReplayBackend — so the policy layer
 // can rely on it regardless of the backend behind the interface.
+#include "fault/chaos.hpp"
 #include "fault/fault_injecting_backend.hpp"
 #include "fault/fault_schedule.hpp"
 #include "runtime/replay_backend.hpp"
@@ -121,6 +122,27 @@ TEST(BackendConformance, FaultInjectingBackendMetricFaults) {
   fault::FaultSchedule sched;
   sched.metric_dropout(10.0, 20.0).metric_delay(50.0, 20.0, 5.0);
   sim::ScalingSession session(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+  check_conformance(faulted);
+}
+
+// A chaos-*generated* (not canned) schedule through the decorator must
+// still satisfy the contract. The mix zeroes the classes that violate the
+// contract's bookkeeping on purpose: crash classes force uncommanded
+// restarts and rescale failures make reconfigure() throw — both are
+// exercised by the chaos property suite, not the conformance contract.
+TEST(BackendConformance, FaultInjectingBackendChaosSchedule) {
+  const sim::JobSpec spec = chain_spec(30000.0);
+  fault::ChaosProfile profile =
+      fault::ChaosProfile::for_job(spec, 120.0, 2.0);
+  profile.mix.machine_down = 0.0;
+  profile.mix.rack_down = 0.0;
+  profile.mix.rescale_failure = 0.0;
+  const fault::ChaosGenerator gen(profile);
+  const fault::FaultSchedule sched = gen.generate(42);
+  ASSERT_FALSE(sched.empty());
+
+  sim::ScalingSession session(spec, {1, 1, 1});
   fault::FaultInjectingBackend faulted(session, sched);
   check_conformance(faulted);
 }

@@ -1,0 +1,488 @@
+// Property-based chaos harness: hundreds of seeded profiles through the
+// generator, with controller invariants asserted on simulation-backed
+// subsets, plus the golden-trace regression corpus.
+//
+// Suites are lowercase on purpose: gtest_discover_tests registers them as
+// "<suite>.<test>", so `ctest -R chaos` selects exactly this harness.
+//
+//   chaos_generator   — structural validity + determinism over 250 seeded
+//                       schedules (cheap, no simulation).
+//   chaos_properties  — controller invariants on seeded subsets: empty
+//                       schedule is bit-identical to fault-free, mass
+//                       conservation at every tick, recovery drains lag,
+//                       identical seeds give bit-identical LoopStats at
+//                       1/2/8 threads.
+//   chaos_golden      — three chaos schedules with expected LoopStats and
+//                       final configuration pinned under tests/golden/.
+//
+// Updating the golden corpus after an intentional behaviour change:
+//
+//   ./tests/test_chaos_properties --update-golden
+//
+// (or AUTRA_UPDATE_GOLDEN=1) regenerates every file under tests/golden/
+// in the source tree; review the diff before committing it.
+#include "fault/chaos.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "fault/fault_injecting_backend.hpp"
+#include "fault/fault_schedule.hpp"
+#include "streamsim/engine.hpp"
+#include "streamsim/job_runner.hpp"
+#include "workloads/workloads.hpp"
+
+namespace autra {
+
+// Set by main() from --update-golden / AUTRA_UPDATE_GOLDEN=1.
+bool g_update_golden = false;
+
+namespace {
+
+sim::JobSpec chain_spec(double rate) {
+  sim::JobSpec spec = workloads::synthetic_chain(
+      3, std::make_shared<sim::ConstantRate>(rate), 10.0);
+  spec.engine.measurement_noise = 0.0;
+  return spec;
+}
+
+sim::JobSpec wordcount_spec(double rate) {
+  sim::JobSpec spec =
+      workloads::word_count(std::make_shared<sim::ConstantRate>(rate));
+  spec.engine.measurement_noise = 0.0;
+  return spec;
+}
+
+// --- chaos_generator: structural validity, no simulation -------------------
+
+TEST(chaos_generator, SeededSchedulesAreValidSortedAndDeterministic) {
+  // 250 seeded schedules from a job-shaped profile: every one must be
+  // valid (survives the validating FaultSchedule constructor unchanged),
+  // sorted by start time, within the cluster, with a fault-free tail —
+  // and regenerating with the same seed must be bit-identical.
+  const sim::JobSpec spec = wordcount_spec(150e3);
+  const fault::ChaosProfile profile =
+      fault::ChaosProfile::for_job(spec, 900.0, 1.5);
+  const fault::ChaosGenerator gen(profile);
+  const sim::Cluster cluster{spec.cluster};
+
+  std::set<fault::FaultKind> seen;
+  std::size_t total_events = 0;
+  for (std::uint64_t seed = 1; seed <= 250; ++seed) {
+    const fault::FaultSchedule a = gen.generate(seed);
+    const fault::FaultSchedule b = gen.generate(seed);
+    ASSERT_TRUE(a.events() == b.events()) << "seed=" << seed;
+    ASSERT_FALSE(a.empty()) << "seed=" << seed;
+    total_events += a.events().size();
+
+    // Valid and order-preserved through the validating constructor.
+    const fault::FaultSchedule revalidated(a.events());
+    EXPECT_TRUE(revalidated.events() == a.events()) << "seed=" << seed;
+
+    EXPECT_LE(a.last_fault_end(), 0.9 * profile.horizon_sec + 1e-9)
+        << "seed=" << seed;
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+      const fault::FaultEvent& e = a.events()[i];
+      seen.insert(e.kind);
+      if (i > 0) EXPECT_LE(a.events()[i - 1].at, e.at) << "seed=" << seed;
+      EXPECT_GE(e.at, 0.0);
+      EXPECT_GT(e.duration, 0.0);
+      switch (e.kind) {
+        case fault::FaultKind::kMachineDown:
+        case fault::FaultKind::kSlowNode:
+          EXPECT_LT(e.machine, cluster.num_machines()) << "seed=" << seed;
+          break;
+        case fault::FaultKind::kRackDown: {
+          ASSERT_FALSE(e.machines.empty()) << "seed=" << seed;
+          // A rack group is one of the cluster's real rack domains.
+          const std::size_t rack = cluster.rack_of(e.machines.front());
+          EXPECT_EQ(e.machines, cluster.racks()[rack]) << "seed=" << seed;
+          break;
+        }
+        case fault::FaultKind::kNetworkPartition: {
+          // A proper, duplicate-free subset, emitted in ascending order.
+          ASSERT_FALSE(e.machines.empty()) << "seed=" << seed;
+          EXPECT_LT(e.machines.size(), cluster.num_machines())
+              << "seed=" << seed;
+          for (std::size_t j = 0; j < e.machines.size(); ++j) {
+            EXPECT_LT(e.machines[j], cluster.num_machines());
+            if (j > 0) EXPECT_LT(e.machines[j - 1], e.machines[j]);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  // The default job mix has no gated classes except service outages
+  // (word_count calls no external service), so the corpus should exercise
+  // the full remaining taxonomy.
+  EXPECT_GE(seen.size(), 8u);
+  EXPECT_EQ(seen.count(fault::FaultKind::kServiceOutage), 0u);
+  EXPECT_GT(total_events, 250u * 2u);
+}
+
+TEST(chaos_generator, ZeroIntensityYieldsEmptySchedule) {
+  const fault::ChaosProfile profile =
+      fault::ChaosProfile::for_job(chain_spec(30e3), 600.0, 0.0);
+  const fault::ChaosGenerator gen(profile);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_TRUE(gen.generate(seed).empty());
+  }
+}
+
+TEST(chaos_generator, GatesStructurallyImpossibleClasses) {
+  // One machine, no racks, no services: rack-down, partitions and service
+  // outages cannot be expressed and must never be drawn.
+  fault::ChaosProfile profile;
+  profile.num_machines = 1;
+  profile.horizon_sec = 600.0;
+  profile.intensity = 3.0;
+  const fault::ChaosGenerator gen(profile);
+  for (const fault::FaultKind kind : gen.enabled_kinds()) {
+    EXPECT_NE(kind, fault::FaultKind::kRackDown);
+    EXPECT_NE(kind, fault::FaultKind::kNetworkPartition);
+    EXPECT_NE(kind, fault::FaultKind::kServiceOutage);
+  }
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const fault::FaultSchedule schedule = gen.generate(seed);
+    for (const fault::FaultEvent& e : schedule.events()) {
+      EXPECT_NE(e.kind, fault::FaultKind::kRackDown);
+      EXPECT_NE(e.kind, fault::FaultKind::kNetworkPartition);
+      EXPECT_NE(e.kind, fault::FaultKind::kServiceOutage);
+    }
+  }
+}
+
+TEST(chaos_generator, RejectsNonsenseProfiles) {
+  fault::ChaosProfile p = fault::ChaosProfile::for_job(chain_spec(30e3));
+  p.horizon_sec = 0.0;
+  EXPECT_THROW(fault::ChaosGenerator{p}, std::invalid_argument);
+  p = fault::ChaosProfile::for_job(chain_spec(30e3));
+  p.intensity = -1.0;
+  EXPECT_THROW(fault::ChaosGenerator{p}, std::invalid_argument);
+  p = fault::ChaosProfile::for_job(chain_spec(30e3));
+  p.mix.slow_node = -0.5;
+  EXPECT_THROW(fault::ChaosGenerator{p}, std::invalid_argument);
+  p = fault::ChaosProfile::for_job(chain_spec(30e3));
+  p.racks.push_back({99});
+  EXPECT_THROW(fault::ChaosGenerator{p}, std::invalid_argument);
+  p = fault::ChaosProfile::for_job(chain_spec(30e3));
+  p.num_machines = 0;
+  EXPECT_THROW(fault::ChaosGenerator{p}, std::invalid_argument);
+  // All classes gated or zero-weight at positive intensity: unusable.
+  fault::ChaosProfile dead;
+  dead.num_machines = 1;
+  dead.mix = {.machine_down = 0.0,
+              .slow_node = 0.0,
+              .service_outage = 1.0,  // gated: no services
+              .ingest_stall = 0.0,
+              .metric_dropout = 0.0,
+              .metric_delay = 0.0,
+              .rescale_failure = 0.0,
+              .rack_down = 1.0,          // gated: no racks
+              .network_partition = 1.0}; // gated: one machine
+  EXPECT_THROW(fault::ChaosGenerator{dead}, std::invalid_argument);
+}
+
+// --- chaos_properties: simulation-backed controller invariants -------------
+
+TEST(chaos_properties, EmptyChaosScheduleIsBitIdenticalToFaultFree) {
+  // A zero-intensity chaos schedule through the full decorator stack must
+  // reproduce the fault-free run exactly — histories, clock, and the
+  // controller's LoopStats.
+  const sim::JobSpec spec = chain_spec(30e3);
+  const fault::ChaosGenerator gen(
+      fault::ChaosProfile::for_job(spec, 600.0, 0.0));
+
+  sim::ScalingSession plain(spec, {1, 1, 1});
+  sim::ScalingSession inner(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(inner, gen.generate(3));
+
+  core::ControllerParams params;
+  params.policy_interval_sec = 60.0;
+  params.steady.target_latency_ms = 1e5;
+  params.steady.bootstrap_m = 3;
+  params.steady.max_evaluations = 6;
+  core::AuTraScaleController a(spec.topology, sim::make_trial_service(spec),
+                               params);
+  core::AuTraScaleController b(spec.topology, sim::make_trial_service(spec),
+                               params);
+  const auto da = a.run(plain, 300.0);
+  const auto db = b.run(faulted, 300.0);
+
+  EXPECT_TRUE(a.stats() == b.stats());
+  EXPECT_TRUE(da == db);
+  EXPECT_EQ(plain.parallelism(), faulted.parallelism());
+  EXPECT_EQ(plain.now(), faulted.now());
+
+  namespace mn = runtime::metric_names;
+  const auto va = plain.history().series(plain.history().find(mn::kThroughput));
+  const auto vb = inner.history().series(inner.history().find(mn::kThroughput));
+  ASSERT_EQ(va.values.size(), vb.values.size());
+  for (std::size_t i = 0; i < va.values.size(); ++i) {
+    EXPECT_EQ(va.values[i], vb.values[i]);  // exact, not NEAR
+    EXPECT_EQ(va.times[i], vb.times[i]);
+  }
+}
+
+TEST(chaos_properties, MassIsConservedAtEveryTickUnderChaos) {
+  // Records in = processed + still queued, per operator, at every audited
+  // instant — and the Kafka ledger balances — no matter what the schedule
+  // does to the engine. Metric/Execute faults can't touch engine mass, so
+  // the profile draws only engine-level classes.
+  const sim::JobSpec spec = chain_spec(50e3);
+  fault::ChaosProfile profile =
+      fault::ChaosProfile::for_job(spec, 300.0, 3.0);
+  profile.mix.metric_dropout = 0.0;
+  profile.mix.metric_delay = 0.0;
+  profile.mix.rescale_failure = 0.0;
+  const fault::ChaosGenerator gen(profile);
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    auto engine = sim::make_engine(spec, {2, 2, 2}, 0.0, 0);
+    const fault::FaultSchedule schedule = gen.generate(seed);
+    for (const fault::FaultEvent& e : schedule.events()) {
+      switch (e.kind) {
+        case fault::FaultKind::kMachineDown:
+          engine->inject_machine_down(e.machine, e.at, e.end());
+          break;
+        case fault::FaultKind::kSlowNode:
+          engine->inject_slowdown(e.machine, e.magnitude, e.at, e.end());
+          break;
+        case fault::FaultKind::kIngestStall:
+          engine->inject_ingest_stall(e.at, e.end());
+          break;
+        case fault::FaultKind::kRackDown:
+          for (std::size_t m : e.machines) {
+            engine->inject_machine_down(m, e.at, e.end());
+          }
+          break;
+        case fault::FaultKind::kNetworkPartition:
+          engine->inject_network_partition(e.machines, e.at, e.end());
+          break;
+        default:
+          FAIL() << "unexpected kind in engine-only profile";
+      }
+    }
+    for (double t = 1.0; t <= 360.0; t += 1.0) {
+      engine->run_until(t);
+      for (std::size_t i = 0; i < spec.topology.num_operators(); ++i) {
+        const sim::OperatorCounters& c = engine->counters(i);
+        const double queued = engine->rates(i).queue_length;
+        const double in = c.records_in;
+        EXPECT_NEAR(in, c.processed + queued,
+                    1e-6 * std::max(1.0, in))
+            << "seed=" << seed << " op=" << i << " t=" << t;
+      }
+      const sim::KafkaLog& kafka = engine->kafka();
+      EXPECT_NEAR(kafka.total_produced(),
+                  kafka.total_consumed() + kafka.lag(),
+                  1e-6 * std::max(1.0, kafka.total_produced()))
+          << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(chaos_properties, RecoveryDrainsLagOnceFaultsStop) {
+  // Engine-level chaos against an over-provisioned job: whatever the
+  // schedule did, once its last window closes the backlog must drain and
+  // throughput must return to the input rate.
+  const double rate = 30e3;
+  const sim::JobSpec spec = chain_spec(rate);
+  fault::ChaosProfile profile =
+      fault::ChaosProfile::for_job(spec, 600.0, 2.0);
+  profile.mix.metric_dropout = 0.0;  // metric faults don't stress recovery
+  profile.mix.metric_delay = 0.0;
+  profile.mix.rescale_failure = 0.0;  // nothing reconfigures in this test
+  const fault::ChaosGenerator gen(profile);
+
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const fault::FaultSchedule schedule = gen.generate(seed);
+    sim::ScalingSession session(spec, {1, 1, 1});
+    fault::FaultInjectingBackend faulted(session, schedule);
+    faulted.run_for(schedule.last_fault_end());
+    faulted.reset_window();
+    faulted.run_for(1200.0 - schedule.last_fault_end());
+    const runtime::JobMetrics end = faulted.window_metrics();
+    EXPECT_LT(end.kafka_lag, 5.0 * rate) << "seed=" << seed;  // < 5 s of rate
+    // Mean throughput over the drain window covers rate + backlog.
+    EXPECT_GE(end.throughput, 0.95 * rate) << "seed=" << seed;
+  }
+}
+
+TEST(chaos_properties, SameSeedIsBitIdenticalAcrossThreadCounts) {
+  // The paper's determinism contract extended to chaos mode: the same
+  // (profile, seed) run through the full controller must produce the same
+  // LoopStats, decisions and final configuration whether the Plan stage
+  // uses 1, 2 or 8 threads.
+  const sim::JobSpec spec = wordcount_spec(150e3);
+  const fault::ChaosGenerator gen(
+      fault::ChaosProfile::for_job(spec, 600.0, 1.0));
+  const fault::FaultSchedule schedule = gen.generate(5);
+
+  struct Outcome {
+    core::LoopStats stats;
+    std::vector<core::ControlDecision> decisions;
+    runtime::Parallelism final;
+  };
+  const auto run_with = [&](int threads) {
+    sim::ScalingSession session(
+        spec, sim::Parallelism(spec.topology.num_operators(), 1));
+    fault::FaultInjectingBackend faulted(session, schedule);
+    core::ControllerParams params;
+    params.policy_interval_sec = 60.0;
+    params.steady.target_latency_ms = 1e5;
+    params.steady.bootstrap_m = 3;
+    params.steady.max_evaluations = 6;
+    params.steady.threads = threads;
+    core::AuTraScaleController controller(
+        spec.topology, sim::make_trial_service(spec), params);
+    Outcome o;
+    o.decisions = controller.run(faulted, 600.0);
+    o.stats = controller.stats();
+    o.final = faulted.parallelism();
+    return o;
+  };
+
+  const Outcome serial = run_with(1);
+  EXPECT_GT(serial.stats.windows, 0);
+  for (const int threads : {2, 8}) {
+    const Outcome parallel = run_with(threads);
+    EXPECT_TRUE(serial.stats == parallel.stats) << "threads=" << threads;
+    EXPECT_TRUE(serial.decisions == parallel.decisions)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.final, parallel.final) << "threads=" << threads;
+  }
+}
+
+// --- chaos_golden: the regression corpus -----------------------------------
+
+struct GoldenCase {
+  const char* name;      ///< File stem under tests/golden/.
+  std::uint64_t seed;
+  double intensity;
+  bool host_only;        ///< Zero the metric/Execute classes.
+};
+
+constexpr GoldenCase kGoldenCases[] = {
+    {"chaos-mixed", 7, 1.0, false},
+    {"chaos-metric-storm", 11, 2.0, false},
+    {"chaos-infra", 23, 1.5, true},
+};
+
+std::string golden_path(const std::string& stem) {
+  return std::string(AUTRA_GOLDEN_DIR) + "/" + stem + ".golden";
+}
+
+/// Serialises a run outcome exactly (%.17g round-trips doubles).
+std::string render_golden(const GoldenCase& c,
+                          const fault::FaultSchedule& schedule,
+                          const core::LoopStats& stats,
+                          const runtime::Parallelism& final_config) {
+  std::ostringstream out;
+  char buf[64];
+  const auto num = [&](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  out << "# chaos golden trace v1 — regenerate with --update-golden\n";
+  out << "case " << c.name << " seed " << c.seed << "\n";
+  out << "events " << schedule.events().size() << "\n";
+  for (const fault::FaultEvent& e : schedule.events()) {
+    out << fault::to_string(e.kind) << " at " << num(e.at) << " dur "
+        << num(e.duration) << " machine " << e.machine << " magnitude "
+        << num(e.magnitude) << " detect " << num(e.detection_delay_sec)
+        << " service " << (e.service.empty() ? "-" : e.service)
+        << " machines";
+    for (std::size_t m : e.machines) out << " " << m;
+    out << "\n";
+  }
+  out << "stats windows " << stats.windows << " unhealthy "
+      << stats.unhealthy_windows << " failure_restarts "
+      << stats.failure_restarts << " rescale_retries "
+      << stats.rescale_retries << " rescale_aborts " << stats.rescale_aborts
+      << "\n";
+  out << "final";
+  for (int k : final_config) out << " " << k;
+  out << "\n";
+  return out.str();
+}
+
+TEST(chaos_golden, SchedulesAndLoopStatsMatchGoldenCorpus) {
+  const double horizon = 420.0;
+  const sim::JobSpec spec = wordcount_spec(150e3);
+  for (const GoldenCase& c : kGoldenCases) {
+    fault::ChaosProfile profile =
+        fault::ChaosProfile::for_job(spec, horizon, c.intensity);
+    if (c.host_only) {
+      profile.mix.metric_dropout = 0.0;
+      profile.mix.metric_delay = 0.0;
+      profile.mix.rescale_failure = 0.0;
+    }
+    const fault::ChaosGenerator gen(profile);
+    const fault::FaultSchedule schedule = gen.generate(c.seed);
+
+    sim::ScalingSession session(
+        spec, sim::Parallelism(spec.topology.num_operators(), 1));
+    fault::FaultInjectingBackend faulted(session, schedule);
+    core::ControllerParams params;
+    params.policy_interval_sec = 60.0;
+    params.steady.target_latency_ms = 1e5;
+    params.steady.bootstrap_m = 3;
+    params.steady.max_evaluations = 6;
+    params.steady.threads = 1;
+    core::AuTraScaleController controller(
+        spec.topology, sim::make_trial_service(spec), params);
+    (void)controller.run(faulted, horizon);
+
+    const std::string rendered = render_golden(
+        c, schedule, controller.stats(), faulted.parallelism());
+    const std::string path = golden_path(c.name);
+    if (g_update_golden) {
+      std::ofstream out(path, std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << rendered;
+      continue;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — run test_chaos_properties --update-golden to create it";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), rendered)
+        << c.name
+        << ": behaviour diverged from the pinned trace. If the change is "
+           "intentional, regenerate with --update-golden and review the "
+           "diff.";
+  }
+}
+
+}  // namespace
+}  // namespace autra
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      autra::g_update_golden = true;
+    }
+  }
+  if (const char* env = std::getenv("AUTRA_UPDATE_GOLDEN")) {
+    if (env[0] != '\0' && env[0] != '0') autra::g_update_golden = true;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -88,5 +88,37 @@ TEST(Cluster, UnevenMachinesStillSpreadAllSlots) {
   EXPECT_EQ(count, (std::vector<int>{8, 2}));
 }
 
+TEST(Cluster, RackGroupsAreDenseAndSingletonsByDefault) {
+  // Explicit rack ids group machines by first appearance; -1 machines are
+  // their own failure domain.
+  ClusterSpec spec;
+  spec.machines.push_back({.name = "a", .rack = 7});
+  spec.machines.push_back({.name = "b", .rack = -1});
+  spec.machines.push_back({.name = "c", .rack = 7});
+  spec.machines.push_back({.name = "d", .rack = 2});
+  const Cluster c(spec);
+  ASSERT_EQ(c.racks().size(), 3u);
+  EXPECT_EQ(c.racks()[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(c.racks()[1], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(c.racks()[2], (std::vector<std::size_t>{3}));
+  EXPECT_EQ(c.rack_of(2), 0u);
+  EXPECT_EQ(c.rack_of(3), 2u);
+  EXPECT_THROW((void)c.rack_of(4), std::out_of_range);
+
+  // No rack ids at all: every machine its own rack.
+  ClusterSpec plain;
+  plain.machines.push_back({.name = "x"});
+  plain.machines.push_back({.name = "y"});
+  const Cluster p(plain);
+  EXPECT_EQ(p.racks().size(), p.num_machines());
+
+  // The paper cluster opts in: machines 0 and 1 share a rack.
+  const Cluster paper(paper_cluster());
+  ASSERT_EQ(paper.racks().size(), 2u);
+  EXPECT_EQ(paper.racks()[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(paper.rack_of(0), paper.rack_of(1));
+  EXPECT_NE(paper.rack_of(0), paper.rack_of(2));
+}
+
 }  // namespace
 }  // namespace autra::sim

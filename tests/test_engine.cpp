@@ -2,7 +2,12 @@
 // true-vs-observed rates, suspension, and the latency model.
 #include "streamsim/engine.hpp"
 
+#include <random>
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "streamsim/fault_timeline.hpp"
 
 namespace autra::sim {
 namespace {
@@ -390,6 +395,97 @@ TEST(Engine, BusyCoresBoundedByClusterAndPositiveUnderLoad) {
   e->run_until(40.0);
   EXPECT_GT(e->busy_cores(), 0.5);
   EXPECT_LT(e->busy_cores(), 60.0);
+}
+
+// --- FaultTimeline: sorted-window cursors == linear scans ------------------
+
+TEST(FaultTimeline, CursorMatchesLinearScanOnRandomizedEvents) {
+  // ~1k events across every class, then a forward walk with randomized
+  // step sizes: at each stop the cursor answers must be *bit-identical*
+  // to the linear reference scans they replaced (slowdown products
+  // included — same factors multiplied in the same order).
+  std::mt19937_64 rng(20260806);
+  const std::size_t machines = 8;
+  const double horizon = 1000.0;
+  FaultTimeline tl(machines);
+  const std::vector<std::string> services = {"redis", "s3", "dynamo"};
+  std::uniform_real_distribution<double> when(0.0, horizon);
+  std::uniform_real_distribution<double> span(0.1, 80.0);
+  std::uniform_real_distribution<double> factor(0.05, 0.95);
+  std::uniform_int_distribution<std::size_t> which(0, machines - 1);
+  std::uniform_int_distribution<int> kind(0, 4);
+  std::uniform_int_distribution<std::size_t> svc(0, services.size() - 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double from = when(rng);
+    const double until = from + span(rng);
+    switch (kind(rng)) {
+      case 0: tl.add_slowdown(which(rng), factor(rng), from, until); break;
+      case 1: tl.add_machine_down(which(rng), from, until); break;
+      case 2: tl.add_ingest_stall(from, until); break;
+      case 3: tl.add_service_outage(services[svc(rng)], from, until); break;
+      default: tl.add_partition(from, until); break;
+    }
+  }
+  ASSERT_EQ(tl.num_events(), 1000u);
+
+  const auto check_all = [&](double t) {
+    for (std::size_t m = 0; m < machines; ++m) {
+      EXPECT_EQ(tl.machine_down(m), tl.machine_down_linear(m, t)) << t;
+      // Exact equality: the cursor multiplies the same factors in the
+      // same order the linear scan does.
+      EXPECT_EQ(tl.slowdown_factor(m), tl.slowdown_factor_linear(m, t)) << t;
+    }
+    EXPECT_EQ(tl.ingest_stalled(), tl.ingest_stalled_linear(t)) << t;
+    for (const std::string& s : services) {
+      EXPECT_EQ(tl.service_out(s), tl.service_out_linear(s, t)) << t;
+    }
+    EXPECT_EQ(tl.active_partitions(), tl.active_partitions_linear(t)) << t;
+  };
+
+  std::uniform_real_distribution<double> step(0.0, 2.5);
+  double t = 0.0;
+  while (t < 1.2 * horizon) {
+    tl.advance_to(t);
+    check_all(t);
+    t += step(rng);
+  }
+
+  // Backward jump (an engine rebuild) triggers the cold rebuild path, and
+  // events injected after ticking started dirty the index — both must
+  // land back on the linear answers.
+  tl.advance_to(horizon / 2.0);
+  check_all(horizon / 2.0);
+  tl.add_slowdown(0, 0.5, horizon / 2.0 - 10.0, horizon / 2.0 + 10.0);
+  tl.add_machine_down(1, horizon / 2.0 - 5.0, horizon / 2.0 + 5.0);
+  tl.advance_to(horizon / 2.0 + 1.0);
+  check_all(horizon / 2.0 + 1.0);
+}
+
+TEST(FaultTimeline, NetworkPartitionBlocksCrossCutEdges) {
+  // Source spans machines 0 and 1 (p=2); the rest of the chain sits on
+  // machine 0. Cutting machine 1 off blocks the source's whole exchange:
+  // consumption stops, lag builds, and the engine recovers once healed.
+  auto e = make_engine_with(simple_chain(), {2, 1, 1}, 50000.0);
+  e->inject_network_partition({1}, 60.0, 180.0);
+  EXPECT_THROW(e->inject_network_partition({0, 1, 99}, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(e->inject_network_partition({}, 0.0, 1.0),
+               std::invalid_argument);
+
+  e->run_until(55.0);
+  e->reset_counters();
+  e->run_until(59.0);
+  const double before = e->throughput();
+  EXPECT_NEAR(before, 50000.0, 2500.0);
+
+  e->reset_counters();
+  e->run_until(175.0);  // inside [60, 180)
+  EXPECT_LT(e->throughput(), 0.1 * before);
+  EXPECT_GT(e->kafka().lag(), 1e6);
+
+  e->reset_counters();
+  e->run_until(400.0);
+  EXPECT_GT(e->throughput(), before);  // healed and draining the backlog
 }
 
 }  // namespace

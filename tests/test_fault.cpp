@@ -54,6 +54,58 @@ TEST(FaultSchedule, SortsAndClassifiesEvents) {
   EXPECT_FALSE(exec_only.has_host_faults());
 }
 
+TEST(FaultSchedule, UnsortedHandBuiltScheduleBehavesLikeSorted) {
+  // The latent ordering assumption: consumers iterate events() expecting
+  // start-time order. A hand-assembled vector arrives in whatever order
+  // the author typed — the validating constructor must sort it.
+  std::vector<fault::FaultEvent> unsorted = {
+      {.kind = fault::FaultKind::kIngestStall, .at = 300.0, .duration = 30.0},
+      {.kind = fault::FaultKind::kSlowNode,
+       .at = 60.0,
+       .duration = 120.0,
+       .machine = 0,
+       .magnitude = 0.3},
+      {.kind = fault::FaultKind::kMetricDropout, .at = 150.0,
+       .duration = 60.0},
+  };
+  const fault::FaultSchedule hand(unsorted);
+  fault::FaultSchedule built;
+  built.ingest_stall(300.0, 30.0)
+      .slow_node(0, 0.3, 60.0, 120.0)
+      .metric_dropout(150.0, 60.0);
+  ASSERT_EQ(hand.events().size(), built.events().size());
+  EXPECT_TRUE(hand.events() == built.events());
+  for (std::size_t i = 1; i < hand.events().size(); ++i) {
+    EXPECT_LE(hand.events()[i - 1].at, hand.events()[i].at);
+  }
+
+  // And the runs are bit-identical, not just the event lists.
+  sim::ScalingSession sa(chain_spec(30000.0), {1, 1, 1});
+  sim::ScalingSession sb(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend fa(sa, hand);
+  fault::FaultInjectingBackend fb(sb, built);
+  fa.run_for(400.0);
+  fb.run_for(400.0);
+  namespace mn = runtime::metric_names;
+  const auto va = fa.history().series(fa.history().find(mn::kThroughput));
+  const auto vb = fb.history().series(fb.history().find(mn::kThroughput));
+  ASSERT_EQ(va.values.size(), vb.values.size());
+  for (std::size_t i = 0; i < va.values.size(); ++i) {
+    EXPECT_EQ(va.values[i], vb.values[i]);  // exact
+  }
+
+  // The constructor applies the same validation as the builders.
+  EXPECT_THROW(fault::FaultSchedule({{.kind = fault::FaultKind::kSlowNode,
+                                      .at = 0.0,
+                                      .duration = 1.0,
+                                      .magnitude = 1.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      fault::FaultSchedule({{.kind = fault::FaultKind::kRackDown,
+                             .at = 0.0, .duration = 1.0}}),
+      std::invalid_argument);  // empty machine group
+}
+
 TEST(FaultSchedule, CannedSchedulesAreDeterministic) {
   for (const std::string& name : fault::FaultSchedule::canned_names()) {
     const fault::FaultSchedule a = fault::FaultSchedule::canned(name, 7);
@@ -276,6 +328,80 @@ TEST(FaultHost, FaultsSurviveReconfiguration) {
   faulted.run_for(60.0);  // fully inside the slow-node window
   const double during = faulted.window_metrics().throughput;
   EXPECT_LT(during, early);  // the successor engine still sees the fault
+}
+
+TEST(FaultHost, RackCrashCostsOneRestartForTheGroup) {
+  // paper_cluster puts machines 0 and 1 on the same rack. With p=2 both
+  // hold instances, so the rack crash stalls the chain — and the framework
+  // notices the correlated loss as ONE incident, not one per machine.
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.rack_down({0, 1}, 120.0, 120.0, 10.0);
+  EXPECT_DOUBLE_EQ(sched.last_fault_end(), 240.0);
+  sim::ScalingSession session(spec, {2, 2, 2});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  faulted.reset_window();
+  faulted.run_for(110.0);
+  const double before = faulted.window_metrics().throughput;
+  EXPECT_NEAR(before, 50000.0, 2500.0);
+  EXPECT_EQ(session.failure_restarts(), 0);
+
+  faulted.reset_window();
+  faulted.run_for(70.0);  // crash at 120, detected at 130, both machines out
+  EXPECT_LT(faulted.window_metrics().throughput, 0.35 * before);
+  EXPECT_EQ(session.failure_restarts(), 1);  // one restart for two machines
+  EXPECT_EQ(session.restarts(), 1);
+  const double lag_peak = faulted.window_metrics().kafka_lag;
+  EXPECT_GT(lag_peak, 1e6);
+
+  faulted.reset_window();
+  faulted.run_for(520.0);  // rack back at 240; drain the backlog
+  const runtime::JobMetrics after = faulted.window_metrics();
+  EXPECT_GT(after.throughput, 0.9 * before);
+  EXPECT_LT(after.kafka_lag, 0.25 * lag_peak);
+}
+
+TEST(FaultHost, NetworkPartitionCutsCrossEdgesWithoutRestart) {
+  // p = {2,1,1}: the source spans machines 0 and 1, downstream sits on
+  // machine 0 only. Isolating machine 1 cuts the source's outgoing
+  // exchange (keyed shuffles are all-to-all), so nothing flows — queues
+  // back up, lag builds — yet no machine died, so no restart happens.
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.network_partition({1}, 120.0, 120.0);
+  EXPECT_TRUE(sched.has_host_faults());
+  sim::ScalingSession session(spec, {2, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  faulted.reset_window();
+  faulted.run_for(110.0);
+  const double before = faulted.window_metrics().throughput;
+  EXPECT_GT(before, 0.0);
+
+  faulted.reset_window();
+  faulted.run_for(130.0);  // spans the whole partition window
+  const runtime::JobMetrics during = faulted.window_metrics();
+  EXPECT_LT(during.throughput, 0.6 * before);
+  EXPECT_GT(during.kafka_lag, 1e5);   // records piled up behind the cut
+  EXPECT_EQ(session.restarts(), 0);   // a partition is not a crash
+  EXPECT_EQ(session.failure_restarts(), 0);
+
+  faulted.reset_window();
+  faulted.run_for(500.0);  // heal at 240, then drain
+  const runtime::JobMetrics after = faulted.window_metrics();
+  EXPECT_GT(after.throughput, 0.9 * before);
+  EXPECT_LT(after.kafka_lag, during.kafka_lag);
+
+  // The partition survives a reconfiguration: the successor engine
+  // recomputes the edge cut against the new parallelism.
+  sim::ScalingSession session2(spec, {2, 1, 1});
+  fault::FaultInjectingBackend faulted2(session2, sched);
+  faulted2.run_for(60.0);
+  faulted2.reconfigure({2, 2, 1});
+  faulted2.reset_window();
+  faulted2.run_for(130.0);  // hits [120, 240) after the rebuild
+  EXPECT_GT(faulted2.window_metrics().kafka_lag, 1e5);
 }
 
 TEST(FaultHost, ServiceOutageThrottlesYahoo) {
