@@ -1,0 +1,34 @@
+# Header self-sufficiency (the build half of lint rule H1, DESIGN.md §10):
+# every project header is compiled as its own translation unit, so a
+# header that silently leans on its includer's includes fails right here
+# instead of in whichever file reorders its #includes next.
+#
+# The object library is EXCLUDE_FROM_ALL; it is built by the `lint`
+# umbrella target and the static-analysis CI job via
+#   cmake --build build --target autra_header_check
+file(GLOB_RECURSE AUTRA_CHECK_HEADERS CONFIGURE_DEPENDS
+  ${CMAKE_SOURCE_DIR}/src/*.hpp)
+
+set(AUTRA_HEADER_CHECK_DIR ${CMAKE_BINARY_DIR}/header_check)
+set(AUTRA_HEADER_CHECK_SOURCES "")
+foreach(header ${AUTRA_CHECK_HEADERS})
+  file(RELATIVE_PATH rel ${CMAKE_SOURCE_DIR}/src ${header})
+  string(REPLACE "/" "_" mangled ${rel})
+  string(REGEX REPLACE "\\.hpp$" ".cpp" mangled ${mangled})
+  set(tu ${AUTRA_HEADER_CHECK_DIR}/check_${mangled})
+  set(content "#include \"${rel}\"\n")
+  # Rewrite only on change so reconfiguring does not dirty the check.
+  set(existing "")
+  if(EXISTS ${tu})
+    file(READ ${tu} existing)
+  endif()
+  if(NOT existing STREQUAL content)
+    file(WRITE ${tu} "${content}")
+  endif()
+  list(APPEND AUTRA_HEADER_CHECK_SOURCES ${tu})
+endforeach()
+
+add_library(autra_header_check OBJECT EXCLUDE_FROM_ALL
+  ${AUTRA_HEADER_CHECK_SOURCES})
+target_include_directories(autra_header_check PRIVATE ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(autra_header_check PRIVATE autra_strict_warnings)

@@ -1,7 +1,7 @@
 // Command-line driver: run any policy on any workload without writing
 // code. The closest thing in this repository to a production entry point.
 //
-//   autrascale_cli --workload wordcount --rate 350000 \
+//   autrascale_cli --workload wordcount --rate 350000
 //                  --policy autrascale --latency-ms 40
 //
 //   --workload   wordcount | yahoo | q1 | q5 | q8 | q11   (default wordcount)

@@ -33,6 +33,12 @@ const char* to_string(FaultKind kind) noexcept {
 
 namespace {
 
+bool has_duplicate_machines(const std::vector<std::size_t>& machines) {
+  std::vector<std::size_t> sorted(machines);
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end();
+}
+
 // Validation shared between the builder methods and the vector constructor
 // so a hand-assembled event passes exactly the same checks a built one does.
 void validate_event(const FaultEvent& e) {
@@ -77,15 +83,27 @@ void validate_event(const FaultEvent& e) {
         throw std::invalid_argument(
             "FaultSchedule::rack_down: empty machine group");
       }
+      if (has_duplicate_machines(e.machines)) {
+        throw std::invalid_argument(
+            "FaultSchedule::rack_down: duplicate machine in group");
+      }
       if (e.detection_delay_sec < 0.0) {
         throw std::invalid_argument(
             "FaultSchedule::rack_down: negative detection delay");
       }
       break;
     case FaultKind::kNetworkPartition:
+      // The island must be a set: duplicates would let "{1, 1}" pose as a
+      // two-machine island ("covers the whole cluster" checks downstream
+      // compare sizes, and Engine::inject_network_partition knows the real
+      // machine count).
       if (e.machines.empty()) {
         throw std::invalid_argument(
             "FaultSchedule::network_partition: empty island");
+      }
+      if (has_duplicate_machines(e.machines)) {
+        throw std::invalid_argument(
+            "FaultSchedule::network_partition: duplicate machine in island");
       }
       break;
     case FaultKind::kIngestStall:

@@ -132,6 +132,14 @@ void Engine::inject_network_partition(const std::vector<std::size_t>& island,
     }
     on_island[m] = 1;
   }
+  // An island holding every machine leaves no mainland: nothing is cut and
+  // the "partition" silently becomes a no-op, which is always a schedule
+  // bug rather than an intent.
+  if (island.size() == cluster_.num_machines()) {
+    throw std::invalid_argument(
+        "Engine::inject_network_partition: island covers the whole "
+        "cluster; a partition must leave a mainland");
+  }
 
   // Which sides of the cut host instances of each operator: bit 0 =
   // mainland, bit 1 = island. An edge functions only when every instance

@@ -1,0 +1,201 @@
+// The linter's own tier-1 coverage: every rule has a good and a bad
+// fixture under tools/autra_lint/testdata/, and flipping any good fixture
+// to its bad twin must flip the verdict — that is the property CI leans
+// on when it trusts a green `autra_lint` run.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rules.hpp"
+
+namespace autra {
+namespace {
+
+using lint::FileScope;
+using lint::Finding;
+
+/// Every scope switched on — fixtures opt out via their extension-derived
+/// header flags instead.
+FileScope full_scope(bool header) {
+  FileScope scope;
+  scope.decision_path = true;
+  scope.library_code = true;
+  scope.numeric_header = header;
+  scope.header = header;
+  return scope;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  const std::string path = std::string(AUTRA_LINT_TESTDATA) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+  const bool header = name.size() > 4 &&
+                      name.substr(name.size() - 4) == ".hpp";
+  return lint::lint_source(source, name, full_scope(header));
+}
+
+std::multiset<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::multiset<std::string> out;
+  for (const Finding& f : findings) out.insert(f.rule);
+  return out;
+}
+
+struct RulePair {
+  const char* rule;
+  const char* good;
+  const char* bad;
+};
+
+class FixtureCorpus : public ::testing::TestWithParam<RulePair> {};
+
+TEST_P(FixtureCorpus, GoodFixtureIsCleanBadFixtureFiresItsRule) {
+  const RulePair& p = GetParam();
+  const std::vector<Finding> good = lint_fixture(p.good);
+  EXPECT_TRUE(good.empty()) << p.good << " fired " << good.size()
+                            << " findings, first: "
+                            << (good.empty() ? "" : good.front().message);
+
+  const std::vector<Finding> bad = lint_fixture(p.bad);
+  ASSERT_FALSE(bad.empty()) << p.bad << " should fire " << p.rule;
+  for (const Finding& f : bad) {
+    EXPECT_EQ(f.rule, p.rule) << f.message;
+    EXPECT_GT(f.line, 0);
+    EXPECT_EQ(f.file, p.bad);
+    EXPECT_FALSE(f.message.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, FixtureCorpus,
+    ::testing::Values(RulePair{"D1", "d1_good.cpp", "d1_bad.cpp"},
+                      RulePair{"D2", "d2_good.cpp", "d2_bad.cpp"},
+                      RulePair{"D3", "d3_good.cpp", "d3_bad.cpp"},
+                      RulePair{"A1", "a1_good.cpp", "a1_bad.cpp"},
+                      RulePair{"A2", "a2_good.hpp", "a2_bad.hpp"},
+                      RulePair{"H1", "h1_good.hpp", "h1_bad.hpp"}),
+    [](const ::testing::TestParamInfo<RulePair>& info) {
+      return info.param.rule;
+    });
+
+TEST(FixtureCounts, BadFixturesFireTheExpectedFindingCounts) {
+  EXPECT_EQ(lint_fixture("d1_bad.cpp").size(), 4u);  // device, srand, time, rand
+  EXPECT_EQ(lint_fixture("d2_bad.cpp").size(), 2u);  // range-for, begin()
+  EXPECT_EQ(lint_fixture("d3_bad.cpp").size(), 2u);  // literal, clock
+  EXPECT_EQ(lint_fixture("a1_bad.cpp").size(), 2u);  // record, mean
+  EXPECT_EQ(lint_fixture("a2_bad.hpp").size(), 2u);  // two floats
+  EXPECT_EQ(lint_fixture("h1_bad.hpp").size(), 2u);  // pragma, using
+}
+
+TEST(Suppressions, ReasonedAllowSilencesTheNamedRule) {
+  const std::vector<Finding> findings = lint_fixture("suppress_good.cpp");
+  EXPECT_TRUE(findings.empty())
+      << "first: " << (findings.empty() ? "" : findings.front().message);
+}
+
+TEST(Suppressions, BareOrUnknownAllowIsAnErrorAndSuppressesNothing) {
+  const std::vector<Finding> findings = lint_fixture("suppress_bad.cpp");
+  const std::multiset<std::string> rules = rules_of(findings);
+  // Two S1 errors (bare reason, unknown rule) and the two D3 findings the
+  // broken suppressions failed to cover.
+  EXPECT_EQ(rules.count("S1"), 2u);
+  EXPECT_EQ(rules.count("D3"), 2u);
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(PathClassification, RepoLayoutMapsToTheDocumentedScopes) {
+  const FileScope core = lint::classify_path("src/core/rate_aware.cpp");
+  EXPECT_TRUE(core.decision_path);
+  EXPECT_TRUE(core.library_code);
+  EXPECT_FALSE(core.header);
+  EXPECT_FALSE(core.numeric_header);
+
+  const FileScope gp_hdr =
+      lint::classify_path("/root/repo/src/gp/kernel.hpp");
+  EXPECT_TRUE(gp_hdr.decision_path);
+  EXPECT_TRUE(gp_hdr.numeric_header);
+  EXPECT_TRUE(gp_hdr.header);
+
+  const FileScope test_file = lint::classify_path("tests/test_gp.cpp");
+  EXPECT_FALSE(test_file.decision_path);
+  EXPECT_FALSE(test_file.library_code);
+
+  const FileScope bench_file = lint::classify_path("bench/bench_util.hpp");
+  EXPECT_FALSE(bench_file.library_code);
+  EXPECT_TRUE(bench_file.header);
+
+  const FileScope linalg = lint::classify_path("src/linalg/matrix.hpp");
+  EXPECT_TRUE(linalg.numeric_header);
+  EXPECT_FALSE(lint::classify_path("src/streamsim/engine.hpp")
+                   .numeric_header);
+}
+
+TEST(RuleEdgeCases, DeclarationsAndReferencesAreNotConstructions) {
+  const FileScope scope = full_scope(false);
+  // Reference parameters, member declarations, using-aliases and
+  // template arguments never construct an engine.
+  const char* clean =
+      "#include <random>\n"
+      "using Rng = std::mt19937_64;\n"
+      "struct S { std::mt19937_64 rng_; };\n"
+      "void seed_from(std::mt19937_64& rng);\n"
+      "double draw(std::uniform_real_distribution<double>& d,\n"
+      "            std::mt19937_64* rng) { return d(*rng); }\n";
+  EXPECT_TRUE(lint::lint_source(clean, "f.cpp", scope).empty());
+
+  // A cast does not turn a literal into a named seed.
+  const char* cast =
+      "#include <random>\n"
+      "std::mt19937_64 rng(static_cast<unsigned>(7));\n";
+  const std::vector<Finding> findings =
+      lint::lint_source(cast, "f.cpp", scope);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().rule, "D3");
+}
+
+TEST(RuleEdgeCases, LiteralSeedsAreLegalOutsideLibraryCode) {
+  FileScope scope = full_scope(false);
+  scope.library_code = false;  // tests/bench pin literal seeds by design
+  const char* pinned =
+      "#include <random>\n"
+      "std::mt19937_64 rng(20260806);\n";
+  EXPECT_TRUE(lint::lint_source(pinned, "t.cpp", scope).empty());
+
+  // Clock seeds stay illegal everywhere.
+  const char* clocked =
+      "#include <chrono>\n#include <random>\n"
+      "std::mt19937_64 rng(std::chrono::steady_clock::now()\n"
+      "                        .time_since_epoch().count());\n";
+  const std::vector<Finding> findings =
+      lint::lint_source(clocked, "t.cpp", scope);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings.front().rule, "D3");
+}
+
+TEST(RuleEdgeCases, CommentsAndStringsNeverFireCodeRules) {
+  const FileScope scope = full_scope(false);
+  const char* masked =
+      "// std::random_device in a comment\n"
+      "/* for (auto& kv : unordered_map_) */\n"
+      "const char* kDoc = \"rand() and srand() and float\";\n"
+      "const char* kRaw = R\"(std::random_device)\";\n";
+  EXPECT_TRUE(lint::lint_source(masked, "f.cpp", scope).empty());
+}
+
+TEST(RuleEdgeCases, MemberFunctionsNamedLikeBannedCallsAreFine) {
+  const FileScope scope = full_scope(false);
+  const char* members =
+      "double t = engine.time();\n"
+      "double u = sampler->rand();\n";
+  EXPECT_TRUE(lint::lint_source(members, "f.cpp", scope).empty());
+}
+
+}  // namespace
+}  // namespace autra

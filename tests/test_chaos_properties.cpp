@@ -95,7 +95,9 @@ TEST(chaos_generator, SeededSchedulesAreValidSortedAndDeterministic) {
     for (std::size_t i = 0; i < a.events().size(); ++i) {
       const fault::FaultEvent& e = a.events()[i];
       seen.insert(e.kind);
-      if (i > 0) EXPECT_LE(a.events()[i - 1].at, e.at) << "seed=" << seed;
+      if (i > 0) {
+        EXPECT_LE(a.events()[i - 1].at, e.at) << "seed=" << seed;
+      }
       EXPECT_GE(e.at, 0.0);
       EXPECT_GT(e.duration, 0.0);
       switch (e.kind) {
@@ -117,7 +119,9 @@ TEST(chaos_generator, SeededSchedulesAreValidSortedAndDeterministic) {
               << "seed=" << seed;
           for (std::size_t j = 0; j < e.machines.size(); ++j) {
             EXPECT_LT(e.machines[j], cluster.num_machines());
-            if (j > 0) EXPECT_LT(e.machines[j - 1], e.machines[j]);
+            if (j > 0) {
+              EXPECT_LT(e.machines[j - 1], e.machines[j]);
+            }
           }
           break;
         }

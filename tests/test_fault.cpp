@@ -39,6 +39,43 @@ TEST(FaultSchedule, ValidatesEvents) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(FaultSchedule, RejectsDegeneratePartitionsAndRackGroups) {
+  fault::FaultSchedule s;
+  // Empty or duplicate-carrying machine sets: "{1, 1}" would pose as a
+  // two-machine island once sizes are compared against the cluster.
+  EXPECT_THROW(s.network_partition({}, 10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(s.network_partition({1, 1}, 10.0, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(s.network_partition({2, 0, 2}, 10.0, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(s.rack_down({3, 3}, 10.0, 5.0), std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+
+  // The hand-assembled-vector constructor applies the same gate.
+  fault::FaultEvent dup;
+  dup.kind = fault::FaultKind::kNetworkPartition;
+  dup.at = 1.0;
+  dup.duration = 1.0;
+  dup.machines = {0, 0};
+  EXPECT_THROW(fault::FaultSchedule({dup}), std::invalid_argument);
+
+  // An island covering the whole cluster leaves no mainland; the engine
+  // (which knows the machine count — paper_cluster has 3) rejects it
+  // instead of silently cutting nothing.
+  fault::FaultSchedule whole;
+  whole.network_partition({0, 1, 2}, 120.0, 60.0);
+  sim::ScalingSession session(chain_spec(30000.0), {1, 1, 1});
+  EXPECT_THROW(fault::FaultInjectingBackend(session, whole),
+               std::invalid_argument);
+
+  // A proper subset of the same cluster is accepted.
+  fault::FaultSchedule proper;
+  proper.network_partition({0, 2}, 120.0, 60.0);
+  sim::ScalingSession ok(chain_spec(30000.0), {1, 1, 1});
+  fault::FaultInjectingBackend backend(ok, proper);
+  backend.run_for(10.0);
+}
+
 TEST(FaultSchedule, SortsAndClassifiesEvents) {
   fault::FaultSchedule s;
   s.metric_dropout(100.0, 10.0).machine_down(1, 50.0, 20.0, 5.0);

@@ -1,0 +1,208 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace autra::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if the token stream so far ends in a context where `"` opens a
+/// raw string: the previous characters were an identifier ending in R,
+/// u8R, uR, UR or LR.
+bool raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Consumes a quoted literal (string or char), honouring backslash
+/// escapes; stops at the closing quote or end-of-line/file.
+void consume_quoted(Cursor& c, char quote) {
+  while (!c.done()) {
+    const char ch = c.advance();
+    if (ch == '\\' && !c.done()) {
+      c.advance();
+      continue;
+    }
+    if (ch == quote || ch == '\n') return;
+  }
+}
+
+/// Consumes a raw string body after the opening quote: `delim( ... )delim"`.
+void consume_raw_string(Cursor& c) {
+  std::string delim;
+  while (!c.done() && c.peek() != '(' && c.peek() != '\n') {
+    delim.push_back(c.advance());
+  }
+  if (c.done() || c.peek() == '\n') return;
+  c.advance();  // '('
+  const std::string closer = ")" + delim + "\"";
+  std::size_t matched = 0;
+  while (!c.done()) {
+    if (c.peek() == closer[matched]) {
+      ++matched;
+      c.advance();
+      if (matched == closer.size()) return;
+    } else {
+      c.advance();
+      matched = 0;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor c(source);
+  bool line_start = true;  // Only whitespace seen on this line so far.
+
+  while (!c.done()) {
+    const char ch = c.peek();
+
+    if (ch == '\n' || std::isspace(static_cast<unsigned char>(ch)) != 0) {
+      if (ch == '\n') line_start = true;
+      c.advance();
+      continue;
+    }
+
+    const std::size_t start = c.pos();
+    const int line = c.line();
+
+    // Preprocessor directive: the whole logical line, continuations spliced.
+    if (ch == '#' && line_start) {
+      while (!c.done()) {
+        const char d = c.peek();
+        if (d == '\\' && c.peek(1) == '\n') {
+          c.advance();
+          c.advance();
+          continue;
+        }
+        if (d == '\n') break;
+        c.advance();
+      }
+      out.push_back({TokenKind::kDirective, c.slice(start), line});
+      continue;
+    }
+    line_start = false;
+
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      out.push_back({TokenKind::kComment, c.slice(start), line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance();
+      c.advance();
+      while (!c.done()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          c.advance();
+          c.advance();
+          break;
+        }
+        c.advance();
+      }
+      out.push_back({TokenKind::kComment, c.slice(start), line});
+      continue;
+    }
+
+    if (ident_start(ch)) {
+      while (!c.done() && ident_char(c.peek())) c.advance();
+      const std::string_view ident = c.slice(start);
+      if (c.peek() == '"' && raw_string_prefix(ident)) {
+        c.advance();  // opening quote
+        consume_raw_string(c);
+        out.push_back({TokenKind::kString, c.slice(start), line});
+      } else {
+        out.push_back({TokenKind::kIdentifier, ident, line});
+      }
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      c.advance();
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_char(d) || d == '.' || d == '\'') {
+          c.advance();
+          continue;
+        }
+        // Exponent signs: 1e-5, 0x1p+3.
+        if ((d == '+' || d == '-') && c.pos() > start) {
+          const char prev = source[c.pos() - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      out.push_back({TokenKind::kNumber, c.slice(start), line});
+      continue;
+    }
+
+    if (ch == '"') {
+      c.advance();
+      consume_quoted(c, '"');
+      out.push_back({TokenKind::kString, c.slice(start), line});
+      continue;
+    }
+    if (ch == '\'') {
+      c.advance();
+      consume_quoted(c, '\'');
+      out.push_back({TokenKind::kChar, c.slice(start), line});
+      continue;
+    }
+
+    // Punctuation. "::" and "->" matter to the matchers, so keep them as
+    // single tokens; everything else is one character.
+    if (ch == ':' && c.peek(1) == ':') {
+      c.advance();
+      c.advance();
+    } else if (ch == '-' && c.peek(1) == '>') {
+      c.advance();
+      c.advance();
+    } else {
+      c.advance();
+    }
+    out.push_back({TokenKind::kPunct, c.slice(start), line});
+  }
+  return out;
+}
+
+}  // namespace autra::lint

@@ -1,0 +1,37 @@
+// Minimal C++ lexer for autra_lint: just enough token structure to write
+// reliable per-rule matchers without an LLVM dependency.
+//
+// The lexer never rejects input — a linter has to survive source the
+// compiler would refuse — and it keeps comments as first-class tokens
+// because the allow() suppressions live there (syntax in rules.hpp).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace autra::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< Identifiers and keywords alike ("float" is a token).
+  kNumber,      ///< Numeric literal, suffixes and digit separators included.
+  kString,      ///< String literal, raw strings included.
+  kChar,        ///< Character literal.
+  kPunct,       ///< One punctuator; "::" and "->" are single tokens.
+  kComment,     ///< // or /* */ comment, delimiters included in text.
+  kDirective,   ///< One whole preprocessor line, continuations spliced.
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  /// View into the source buffer handed to lex() — valid only while that
+  /// buffer is alive.
+  std::string_view text;
+  /// 1-based line of the token's first character.
+  int line = 1;
+};
+
+/// Tokenizes one translation unit. Unterminated literals or comments are
+/// closed at end-of-file rather than reported.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace autra::lint

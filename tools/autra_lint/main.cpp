@@ -1,0 +1,113 @@
+// autra_lint CLI: walks the given files/directories, applies the
+// determinism and API-hygiene rules (rules.hpp) to every .cpp/.hpp, and
+// prints findings as `file:line: [rule] message`. Exits 1 when any
+// unsuppressed finding remains, 2 on usage/IO errors.
+//
+//   autra_lint src bench examples tests
+//
+// Directories named testdata/, golden/ or build/ are skipped: fixtures
+// are deliberately dirty and generated trees are not ours to lint.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "testdata" || name == "golden" || name == "build" ||
+         (!name.empty() && name.front() == '.');
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  if (fs::is_regular_file(root)) {
+    if (lintable(root)) out.push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root)) {
+    throw std::runtime_error("no such file or directory: " + root.string());
+  }
+  fs::recursive_directory_iterator it(root), end;
+  for (; it != end; ++it) {
+    if (it->is_directory() && skipped_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable(it->path())) {
+      out.push_back(it->path());
+    }
+  }
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: autra_lint [--list-rules] <file-or-dir>...\n"
+     << "Project static analysis: determinism (D1-D3) and API hygiene\n"
+     << "(A1, A2, H1) contracts; see DESIGN.md section 10.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using autra::lint::Finding;
+
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
+    if (arg == "--list-rules") {
+      for (const std::string& r : autra::lint::known_rules()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) return usage(std::cerr, 2);
+
+  std::vector<fs::path> files;
+  try {
+    for (const fs::path& r : roots) collect(r, files);
+  } catch (const std::exception& e) {
+    std::cerr << "autra_lint: " << e.what() << "\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t findings = 0;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "autra_lint: cannot read " << f.string() << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    const std::string name = f.generic_string();
+    for (const Finding& finding : autra::lint::lint_source(
+             source, name, autra::lint::classify_path(name))) {
+      std::cout << finding.file << ":" << finding.line << ": ["
+                << finding.rule << "] " << finding.message << "\n";
+      ++findings;
+    }
+  }
+  std::cerr << "autra_lint: " << files.size() << " files, " << findings
+            << " finding" << (findings == 1 ? "" : "s") << "\n";
+  return findings == 0 ? 0 : 1;
+}

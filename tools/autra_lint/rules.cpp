@@ -1,0 +1,430 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "lexer.hpp"
+
+namespace autra::lint {
+
+namespace {
+
+constexpr std::array<std::string_view, 4> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+constexpr std::array<std::string_view, 8> kRngTypes = {
+    "mt19937",      "mt19937_64", "default_random_engine",
+    "minstd_rand",  "minstd_rand0", "ranlux24",
+    "ranlux48",     "knuth_b"};
+
+constexpr std::array<std::string_view, 7> kClockIdents = {
+    "time",         "clock",        "now",
+    "random_device", "system_clock", "steady_clock",
+    "high_resolution_clock"};
+
+/// Identifiers that appear in seed expressions without naming a seed —
+/// casts and builtin type names. `static_cast<unsigned>(7)` is still a
+/// literal seed.
+constexpr std::array<std::string_view, 16> kCastIdents = {
+    "static_cast", "const_cast", "reinterpret_cast", "unsigned",
+    "signed",      "int",        "long",             "short",
+    "char",        "auto",       "std",              "size_t",
+    "uint32_t",    "uint64_t",   "int32_t",          "int64_t"};
+
+constexpr std::array<std::string_view, 6> kIdKeyedMetricApis = {
+    "record", "sum", "mean", "last", "series", "range"};
+
+template <std::size_t N>
+bool one_of(std::string_view s, const std::array<std::string_view, N>& set) {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+
+bool contains(std::string_view hay, std::string_view needle) {
+  return hay.find(needle) != std::string_view::npos;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Directive text with runs of whitespace collapsed to single spaces and
+/// any trailing comment dropped — "#  pragma   once // x" -> "#pragma once".
+std::string normalize_directive(std::string_view text) {
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '/' && i + 1 < text.size() &&
+        (text[i + 1] == '/' || text[i + 1] == '*')) {
+      break;
+    }
+    if (std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      if (!out.empty() && out.back() != ' ' && out.back() != '#') out += ' ';
+    } else {
+      out += text[i];
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct Suppressions {
+  /// line -> rule ids allowed on that line.
+  std::map<int, std::set<std::string, std::less<>>> allowed;
+  /// S1 findings: malformed suppressions are errors, never silenced.
+  std::vector<Finding> errors;
+};
+
+constexpr std::string_view kMarker = "autra-lint:";
+
+Suppressions parse_suppressions(const std::vector<Token>& tokens,
+                                std::string_view file) {
+  Suppressions out;
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    const std::size_t at = t.text.find(kMarker);
+    if (at == std::string_view::npos) continue;
+
+    const auto s1 = [&](const std::string& msg) {
+      out.errors.push_back(
+          {std::string(file), t.line, "S1", msg});
+    };
+
+    std::string_view rest = trim(t.text.substr(at + kMarker.size()));
+    // Block comments: drop the trailing "*/".
+    if (rest.size() >= 2 && rest.substr(rest.size() - 2) == "*/") {
+      rest = trim(rest.substr(0, rest.size() - 2));
+    }
+    if (rest.substr(0, 6) != "allow(" || rest.find(')') ==
+                                             std::string_view::npos) {
+      s1("malformed suppression; use `autra-lint: allow(RULE reason)`");
+      continue;
+    }
+    const std::string_view inner =
+        trim(rest.substr(6, rest.rfind(')') - 6));
+    const std::size_t space = inner.find_first_of(" \t");
+    const std::string_view rule =
+        space == std::string_view::npos ? inner : inner.substr(0, space);
+    const std::string_view reason =
+        space == std::string_view::npos ? std::string_view{}
+                                        : trim(inner.substr(space + 1));
+
+    const std::vector<std::string>& rules = known_rules();
+    if (std::find(rules.begin(), rules.end(), rule) == rules.end()) {
+      s1("suppression names unknown rule '" + std::string(rule) + "'");
+      continue;
+    }
+    if (reason.empty()) {
+      s1("bare suppression; allow(" + std::string(rule) +
+         " <reason>) must say why the finding is legitimate");
+      continue;
+    }
+    // A suppression covers its own line and the one below it, so it can
+    // trail the offending statement or sit on the line above.
+    out.allowed[t.line].insert(std::string(rule));
+    out.allowed[t.line + 1].insert(std::string(rule));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule matchers. All operate on the "code" view: comments and preprocessor
+// directives removed.
+
+class Matcher {
+ public:
+  Matcher(const std::vector<Token>& all, std::string_view file,
+          const FileScope& scope, std::vector<Finding>& out)
+      : file_(file), scope_(scope), out_(out) {
+    for (const Token& t : all) {
+      if (t.kind != TokenKind::kComment && t.kind != TokenKind::kDirective) {
+        code_.push_back(&t);
+      }
+    }
+  }
+
+  void run(const std::vector<Token>& all) {
+    rule_d1();
+    if (scope_.decision_path) rule_d2();
+    rule_d3();
+    rule_a1();
+    if (scope_.numeric_header) rule_a2();
+    if (scope_.header) rule_h1(all);
+  }
+
+ private:
+  [[nodiscard]] const Token& at(std::size_t i) const {
+    static const Token kEof{TokenKind::kPunct, {}, 0};
+    return i < code_.size() ? *code_[i] : kEof;
+  }
+  [[nodiscard]] bool is(std::size_t i, std::string_view text) const {
+    return at(i).text == text;
+  }
+  [[nodiscard]] bool is_ident(std::size_t i) const {
+    return at(i).kind == TokenKind::kIdentifier;
+  }
+  [[nodiscard]] bool member_access(std::size_t i) const {
+    return i > 0 && (is(i - 1, ".") || is(i - 1, "->"));
+  }
+
+  void flag(int line, std::string_view rule, std::string message) {
+    out_.push_back({std::string(file_), line, std::string(rule),
+                    std::move(message)});
+  }
+
+  /// Index just past the matching closer for the opener at `i`
+  /// (one of ( { < [ ); code_.size() when unbalanced.
+  [[nodiscard]] std::size_t skip_balanced(std::size_t i, char open,
+                                          char close) const {
+    int depth = 0;
+    const std::string_view o(&open, 1);
+    const std::string_view c(&close, 1);
+    for (; i < code_.size(); ++i) {
+      if (at(i).text == o) ++depth;
+      if (at(i).text == c && --depth == 0) return i + 1;
+    }
+    return code_.size();
+  }
+
+  // D1 — entropy and wall-clock sources.
+  void rule_d1() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!is_ident(i)) continue;
+      const std::string_view id = at(i).text;
+      if (id == "random_device") {
+        flag(at(i).line, "D1",
+             "std::random_device is nondeterministic; thread a seeded "
+             "mt19937_64 through instead");
+      } else if ((id == "rand" || id == "srand") && is(i + 1, "(") &&
+                 !member_access(i)) {
+        flag(at(i).line, "D1",
+             std::string(id) + "() breaks seeded replay; use a "
+             "mt19937_64 with a named seed");
+      } else if (id == "time" && is(i + 1, "(") && !member_access(i)) {
+        const Token& arg = at(i + 2);
+        if (arg.text == ")" || arg.text == "0" || arg.text == "NULL" ||
+            arg.text == "nullptr") {
+          flag(at(i).line, "D1",
+               "time()-based seed makes runs unreproducible; pass the seed "
+               "explicitly");
+        }
+      }
+    }
+  }
+
+  // D2 — iteration order of unordered containers leaking into decisions.
+  void rule_d2() {
+    std::set<std::string_view> names;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!is_ident(i) || !one_of(at(i).text, kUnorderedTypes)) continue;
+      std::size_t j = i + 1;
+      if (is(j, "<")) j = skip_balanced(j, '<', '>');
+      while (is(j, "&") || is(j, "*") || is(j, "const")) ++j;
+      if (is_ident(j)) names.insert(at(j).text);
+    }
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      // Range-for whose range expression mentions an unordered container.
+      if (is_ident(i) && at(i).text == "for" && is(i + 1, "(")) {
+        int depth = 0;
+        std::size_t colon = 0;
+        std::size_t close = 0;
+        for (std::size_t j = i + 1; j < code_.size(); ++j) {
+          if (is(j, "(")) ++depth;
+          if (is(j, ")") && --depth == 0) {
+            close = j;
+            break;
+          }
+          if (is(j, ":") && depth == 1 && colon == 0) colon = j;
+        }
+        if (colon == 0 || close == 0) continue;
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (is_ident(j) && (names.count(at(j).text) != 0 ||
+                              one_of(at(j).text, kUnorderedTypes))) {
+            flag(at(i).line, "D2",
+                 "range-for over unordered container '" +
+                     std::string(at(j).text) +
+                     "'; iteration order is nondeterministic — take a "
+                     "sorted snapshot or use std::map");
+            break;
+          }
+        }
+      }
+      // Iterator access on a tracked unordered container. `.end()` alone
+      // is fine — `find(k) == end()` is an order-free point lookup; it is
+      // begin/cbegin that starts an ordered walk.
+      if (is_ident(i) && names.count(at(i).text) != 0 &&
+          (is(i + 1, ".") || is(i + 1, "->")) && is_ident(i + 2) &&
+          is(i + 3, "(")) {
+        const std::string_view m = at(i + 2).text;
+        if (m == "begin" || m == "cbegin") {
+          flag(at(i).line, "D2",
+               "iterator over unordered container '" +
+                   std::string(at(i).text) +
+                   "'; iteration order is nondeterministic — take a "
+                   "sorted snapshot or use std::map");
+        }
+      }
+    }
+  }
+
+  // D3 — RNG constructions must take a named seed.
+  void rule_d3() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!is_ident(i) || !one_of(at(i).text, kRngTypes)) continue;
+      std::size_t j = i + 1;
+      // References, template arguments, member-type access, using-aliases
+      // and bare declarations are not constructions.
+      if (is(j, "&") || is(j, "*") || is(j, ">") || is(j, ",") ||
+          is(j, ")") || is(j, ";") || is(j, "::") || is(j, "=")) {
+        continue;
+      }
+      if (is_ident(j)) ++j;  // mt19937_64 name(...)
+      const bool paren = is(j, "(");
+      const bool brace = is(j, "{");
+      if (!paren && !brace) continue;
+      const std::size_t end =
+          skip_balanced(j, paren ? '(' : '{', paren ? ')' : '}');
+      bool named = false;
+      bool clocked = false;
+      for (std::size_t k = j + 1; k + 1 < end; ++k) {
+        if (!is_ident(k)) continue;
+        if (one_of(at(k).text, kClockIdents)) clocked = true;
+        if (!one_of(at(k).text, kCastIdents)) named = true;
+      }
+      if (clocked) {
+        flag(at(i).line, "D3",
+             "RNG seeded from a clock or entropy source; seeds must be "
+             "named values so runs replay bit-identically");
+      } else if (!named && scope_.library_code) {
+        flag(at(i).line, "D3",
+             end == j + 2
+                 ? "default-constructed RNG hides the seed; take it as a "
+                   "named parameter"
+                 : "RNG seeded from a literal; take the seed as a named "
+                   "parameter so callers control replay");
+      }
+    }
+  }
+
+  // A1 — stringly metric keys on the id-keyed MetricStore/MetricSink API.
+  void rule_a1() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!is_ident(i) || !one_of(at(i).text, kIdKeyedMetricApis)) continue;
+      if (!member_access(i) || !is(i + 1, "(")) continue;
+      if (at(i + 2).kind == TokenKind::kString) {
+        flag(at(i).line, "A1",
+             "string literal passed to MetricStore::" +
+                 std::string(at(i).text) +
+                 "(); resolve() the series name to a MetricId once and "
+                 "record by id");
+      }
+    }
+  }
+
+  // A2 — float in numeric-layer public headers.
+  void rule_a2() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (is_ident(i) && at(i).text == "float") {
+        flag(at(i).line, "A2",
+             "float in a numeric-layer public header; the GP contract is "
+             "double end-to-end");
+      }
+    }
+  }
+
+  // H1 — header hygiene.
+  void rule_h1(const std::vector<Token>& all) {
+    const Token* first = nullptr;
+    for (const Token& t : all) {
+      if (t.kind != TokenKind::kComment) {
+        first = &t;
+        break;
+      }
+    }
+    if (first == nullptr || first->kind != TokenKind::kDirective ||
+        normalize_directive(first->text) != "#pragma once") {
+      flag(first != nullptr ? first->line : 1, "H1",
+           "header must open with #pragma once (before any include or "
+           "declaration)");
+    }
+    for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
+      if (is_ident(i) && at(i).text == "using" && is_ident(i + 1) &&
+          at(i + 1).text == "namespace") {
+        flag(at(i).line, "H1",
+             "using namespace in a header leaks into every includer");
+      }
+    }
+  }
+
+  std::vector<const Token*> code_;
+  std::string_view file_;
+  const FileScope& scope_;
+  std::vector<Finding>& out_;
+};
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_rules() {
+  static const std::vector<std::string> kRules = {"D1", "D2", "D3",
+                                                  "A1", "A2", "H1"};
+  return kRules;
+}
+
+FileScope classify_path(std::string_view path) {
+  FileScope scope;
+  scope.header = ends_with(path, ".hpp") || ends_with(path, ".h");
+  scope.library_code = contains(path, "src/");
+  scope.decision_path =
+      contains(path, "src/core/") || contains(path, "src/gp/") ||
+      contains(path, "src/bayesopt/") || contains(path, "src/streamsim/") ||
+      contains(path, "src/fault/") || contains(path, "src/runtime/");
+  scope.numeric_header =
+      scope.header && (contains(path, "src/linalg/") ||
+                       contains(path, "src/gp/") ||
+                       contains(path, "src/core/"));
+  return scope;
+}
+
+std::vector<Finding> lint_source(std::string_view source,
+                                 std::string_view file,
+                                 const FileScope& scope) {
+  const std::vector<Token> tokens = lex(source);
+  Suppressions sup = parse_suppressions(tokens, file);
+
+  std::vector<Finding> raw;
+  Matcher matcher(tokens, file, scope, raw);
+  matcher.run(tokens);
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    const auto it = sup.allowed.find(f.line);
+    if (it != sup.allowed.end() && it->second.count(f.rule) != 0) continue;
+    out.push_back(std::move(f));
+  }
+  for (Finding& f : sup.errors) out.push_back(std::move(f));
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) <
+           std::tie(b.line, b.rule, b.message);
+  });
+  return out;
+}
+
+}  // namespace autra::lint

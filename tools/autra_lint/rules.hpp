@@ -1,0 +1,67 @@
+// autra_lint rule engine: the project-specific determinism and API-hygiene
+// contracts, mechanically enforced (DESIGN.md §10).
+//
+// Rules:
+//   D1  no std::random_device / rand() / srand() / time(0)-style seeds
+//   D2  no iteration over unordered containers in decision-path code
+//   D3  RNG constructions must be seeded from a named value, never a
+//       literal (library code) or a clock (anywhere)
+//   A1  no string literals passed to the id-keyed MetricStore/MetricSink
+//       APIs — series names go through resolve()/intern() once
+//   A2  no `float` in public headers of the numeric layers (double is the
+//       GP contract)
+//   H1  header hygiene: `#pragma once` before anything else, no
+//       `using namespace` at header scope
+//   S1  malformed suppression (missing reason, unknown rule) — emitted by
+//       the suppression parser itself and never suppressible
+//
+// A finding on line N is silenced by an allow() suppression comment on
+// line N or line N-1, e.g.
+//   autra-lint: allow(D3 generator is the sanctioned entropy boundary)
+// The rule id must be real and the reason is mandatory — a bare allow()
+// is itself an S1 finding.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autra::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Which rule scopes apply to a file. The CLI derives this from the path
+/// (classify_path); the fixture tests set the fields directly.
+struct FileScope {
+  /// D2: decision-path directories (src/core, src/gp, src/bayesopt,
+  /// src/streamsim, src/fault, src/runtime).
+  bool decision_path = false;
+  /// D3's literal-seed sub-rule: library code under src/. Tests and
+  /// benches pin literal seeds as part of their spec, which is exactly
+  /// what determinism wants — only clock seeds are flagged there.
+  bool library_code = false;
+  /// A2: headers under src/linalg, src/gp, src/core.
+  bool numeric_header = false;
+  /// H1: any header.
+  bool header = false;
+};
+
+/// Path → scope mapping used by the CLI. Understands absolute and
+/// relative spellings of the repo layout.
+[[nodiscard]] FileScope classify_path(std::string_view path);
+
+/// Lints one file's contents. `file` is echoed verbatim into findings.
+/// Findings arrive sorted by line.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view source,
+                                               std::string_view file,
+                                               const FileScope& scope);
+
+/// Rule ids accepted by allow(); excludes S1.
+[[nodiscard]] const std::vector<std::string>& known_rules();
+
+}  // namespace autra::lint

@@ -1,0 +1,12 @@
+// A1 bad: stringly metric keys on the id-keyed store API.
+#include <string>
+
+struct Store {
+  void record(const std::string& name, double t, double v);
+  double mean(const std::string& name, double t0, double t1);
+};
+
+void write(Store& store) {
+  store.record("job.throughput", 0.0, 1.0);
+  (void)store.mean("job.throughput", 0.0, 1.0);
+}

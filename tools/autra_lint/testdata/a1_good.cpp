@@ -1,0 +1,15 @@
+// A1 good: the series name is interned once at the resolve() boundary;
+// every write afterwards is by id.
+#include <string_view>
+
+struct MetricId { unsigned value; };
+struct Sink {
+  MetricId resolve(std::string_view name);
+  void record(MetricId id, double t, double v);
+};
+
+void write(Sink& sink) {
+  const MetricId id = sink.resolve("job.throughput");
+  sink.record(id, 0.0, 1.0);
+  sink.record(id, 1.0, 2.0);
+}

@@ -1,0 +1,6 @@
+// A2 bad: float in a numeric-layer public header.
+#pragma once
+
+namespace fixture {
+[[nodiscard]] float squared_norm(float x);
+}  // namespace fixture

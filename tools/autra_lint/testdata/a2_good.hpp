@@ -1,0 +1,6 @@
+// A2 good: the numeric layers speak double end-to-end.
+#pragma once
+
+namespace fixture {
+[[nodiscard]] double squared_norm(double x);
+}  // namespace fixture

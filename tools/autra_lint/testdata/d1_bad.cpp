@@ -1,0 +1,10 @@
+// D1 bad: entropy and wall-clock seeds.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy() {
+  std::random_device rd;
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return std::rand() + static_cast<int>(rd());
+}

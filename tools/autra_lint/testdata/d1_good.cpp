@@ -1,0 +1,5 @@
+// D1 good: all randomness flows through an explicitly seeded engine.
+#include <cstdint>
+#include <random>
+
+std::uint64_t draw(std::mt19937_64& rng) { return rng(); }

@@ -1,0 +1,11 @@
+// D2 bad: hash-order accumulation — float addition is not associative,
+// so the result depends on the iteration order.
+#include <string>
+#include <unordered_map>
+
+double total(const std::unordered_map<std::string, double>& rates) {
+  double sum = 0.0;
+  for (const auto& [op, r] : rates) sum += r;
+  auto first = rates.begin();
+  return sum + (first == rates.end() ? 0.0 : first->second);
+}

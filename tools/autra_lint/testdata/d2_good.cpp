@@ -1,0 +1,17 @@
+// D2 good: point lookups into an unordered map are order-free; ordered
+// walks go through std::map.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double rate_of(const std::unordered_map<std::string, double>& rates,
+               const std::string& op) {
+  const auto it = rates.find(op);
+  return it == rates.end() ? 0.0 : it->second;
+}
+
+double total(const std::map<std::string, double>& sorted_rates) {
+  double sum = 0.0;
+  for (const auto& [op, r] : sorted_rates) sum += r;
+  return sum;
+}

@@ -1,0 +1,11 @@
+// D3 bad: a hidden literal seed and a clock seed.
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+std::uint64_t sample() {
+  std::mt19937_64 fixed(12345);
+  std::mt19937_64 clocked(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  return fixed() ^ clocked();
+}

@@ -1,0 +1,8 @@
+// D3 good: the seed is a named parameter; derivation stays replayable.
+#include <cstdint>
+#include <random>
+
+std::uint64_t sample(std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  return rng();
+}

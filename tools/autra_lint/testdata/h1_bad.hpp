@@ -1,0 +1,7 @@
+// H1 bad: include before #pragma once, and a header-scope using namespace.
+#include <vector>
+#pragma once
+
+using namespace std;
+
+inline vector<int> values;

@@ -1,0 +1,9 @@
+// H1 good: a leading comment is fine; #pragma once precedes everything
+// else and no namespace is opened wide.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+inline std::vector<int> values;
+}  // namespace fixture

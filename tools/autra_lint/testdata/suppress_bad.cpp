@@ -1,0 +1,10 @@
+// Suppression bad: a bare allow() without a reason and an unknown rule id
+// are S1 findings, and the D3 findings they meant to cover still stand.
+#include <cstdint>
+#include <random>
+
+std::uint64_t draw() {
+  std::mt19937_64 bare(42);  // autra-lint: allow(D3)
+  std::mt19937_64 unknown(43);  // autra-lint: allow(Z9 because reasons)
+  return bare() ^ unknown();
+}
