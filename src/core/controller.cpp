@@ -124,6 +124,8 @@ const char* to_string(ScalingTrigger trigger) noexcept {
       return "over-provisioned";
     case ScalingTrigger::kRateChanged:
       return "rate-changed";
+    case ScalingTrigger::kLagDrain:
+      return "lag-drain";
   }
   return "unknown";
 }
@@ -270,6 +272,80 @@ ControlDecision AuTraScaleController::plan_and_execute(
   return decision;
 }
 
+void AuTraScaleController::maybe_start_lag_drain(
+    runtime::StreamingBackend& session,
+    std::vector<ControlDecision>& decisions) {
+  if (params_.resilience.lag_drain_bound_sec <= 0.0 || lag_draining_) return;
+
+  const runtime::Parallelism saved = session.parallelism();
+  const int max_parallelism = trials_->max_parallelism();
+  runtime::Parallelism boosted = saved;
+  for (int& k : boosted) {
+    k = std::min(max_parallelism,
+                 static_cast<int>(std::ceil(
+                     k * params_.resilience.lag_drain_boost)));
+  }
+  if (boosted == saved) return;  // Already at capacity: nothing to boost.
+
+  ControlDecision decision;
+  decision.time = session.now();
+  decision.trigger = ScalingTrigger::kLagDrain;
+  decision.algorithm = "lag-drain";
+  decision.applied = boosted;
+  // A single attempt only: the drain is an opportunistic optimisation, and
+  // a cluster that cannot rescale right after a crash recovery should not
+  // be hammered with retries for it.
+  try {
+    session.reconfigure(boosted);
+  } catch (const runtime::RescaleFailed&) {
+    ++stats_.rescale_retries;
+    decision.rescale_retries = 1;
+    decision.execute_failed = true;
+    decision.applied = saved;
+    decisions.push_back(std::move(decision));
+    return;
+  }
+  decisions.push_back(std::move(decision));
+  lag_draining_ = true;
+  lag_drain_saved_ = saved;
+  lag_drain_windows_left_ = params_.resilience.lag_drain_max_intervals;
+  ++stats_.lag_drains;
+}
+
+bool AuTraScaleController::lag_drain_step(
+    runtime::StreamingBackend& session, const AggregatedMetrics& m,
+    std::vector<ControlDecision>& decisions) {
+  if (!lag_draining_) return false;
+
+  --lag_drain_windows_left_;
+  const double rate = m.input_rate > 0.0
+                          ? m.input_rate
+                          : trials_->scheduled_rate_at(session.now());
+  const double lag_bound = params_.resilience.lag_drain_bound_sec * rate;
+  const bool drained = m.kafka_lag <= lag_bound;
+  if (!drained && lag_drain_windows_left_ > 0) return true;
+
+  // Restore the pre-drain configuration (single attempt, as above; on
+  // failure the job simply keeps the boosted configuration and the
+  // over-provisioned trigger will shrink it through the normal path).
+  ControlDecision decision;
+  decision.time = session.now();
+  decision.trigger = ScalingTrigger::kLagDrain;
+  decision.algorithm = "lag-drain-restore";
+  decision.applied = lag_drain_saved_;
+  try {
+    session.reconfigure(lag_drain_saved_);
+  } catch (const runtime::RescaleFailed&) {
+    ++stats_.rescale_retries;
+    decision.rescale_retries = 1;
+    decision.execute_failed = true;
+    decision.applied = session.parallelism();
+  }
+  decisions.push_back(std::move(decision));
+  lag_draining_ = false;
+  return true;
+}
+
 std::vector<ControlDecision> AuTraScaleController::run(
     runtime::StreamingBackend& session, double until_sec) {
   std::vector<ControlDecision> decisions;
@@ -287,14 +363,32 @@ std::vector<ControlDecision> AuTraScaleController::run(
     // A restart the controller did not command (crash recovery inside the
     // backend) contaminates this window and restarts the stabilisation
     // clock, with optional extra cooldown while the recovered job drains
-    // the lag it accumulated during downtime.
-    bool contaminated = false;
+    // the lag it accumulated during downtime. When the lag-drain trigger
+    // is armed, the recovery also enters a temporary over-provisioned
+    // configuration instead of waiting the lag out at steady state.
     if (session.restarts() != known_restarts) {
       known_restarts = session.restarts();
       ++stats_.failure_restarts;
       ++stats_.unhealthy_windows;
-      contaminated = true;
       stable_since = t1 + params_.resilience.failure_cooldown_sec;
+      maybe_start_lag_drain(session, decisions);
+      known_restarts = session.restarts();  // The boost was commanded.
+      continue;  // Never decide on a window that overlaps the recovery.
+    }
+    // An active drain owns the loop (before the stabilisation gate: the
+    // whole point is to act while the job would otherwise sit in cooldown)
+    // and skips Analyze/Plan until the lag bound or interval cap hits.
+    if (lag_draining_) {
+      const AggregatedMetrics dm =
+          aggregator_.aggregate(session.history(), t0, t1, nullptr);
+      if (lag_drain_step(session, dm, decisions)) {
+        if (!lag_draining_) {
+          // Just restored: the commanded restart restabilises as usual.
+          stable_since = session.now();
+          known_restarts = session.restarts();
+        }
+        continue;
+      }
     }
     if (t1 - stable_since < params_.policy_running_time_sec) {
       continue;  // Job still stabilising after the last restart.
@@ -303,7 +397,6 @@ std::vector<ControlDecision> AuTraScaleController::run(
     // Window health is graded only when a gauge cadence is configured —
     // the guard costs nothing on a healthy deployment.
     WindowHealth health;
-    health.contaminated = contaminated;
     const bool guard = params_.resilience.metric_interval_sec > 0.0;
     const AggregatedMetrics m = aggregator_.aggregate(
         session.history(), t0, t1, guard ? &health : nullptr);

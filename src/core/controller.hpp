@@ -109,6 +109,7 @@ enum class ScalingTrigger {
   kLatencyViolation,     ///< Latency above target.
   kOverProvisioned,      ///< Benefit score below threshold.
   kRateChanged,          ///< Input rate moved away from the model's rate.
+  kLagDrain,             ///< Post-recovery over-provisioning to drain lag.
 };
 
 [[nodiscard]] const char* to_string(ScalingTrigger trigger) noexcept;
@@ -135,6 +136,22 @@ struct ResilienceParams {
   /// freshly restarted job is draining lag and its windows would read as
   /// violations the Plan stage cannot fix.
   double failure_cooldown_sec = 0.0;
+  /// Lag-drain trigger (EXPERIMENTS.md residual-lag finding): after a
+  /// crash recovery the job restarts at its steady-state configuration,
+  /// which has no headroom, so the lag accumulated during downtime can
+  /// persist for the rest of the run. When this bound is positive, a
+  /// detected failure restart temporarily *over*-provisions the job
+  /// (every operator scaled by lag_drain_boost) until the Kafka lag drops
+  /// below `lag_drain_bound_sec` seconds of the current input rate — then
+  /// the pre-drain configuration is restored. 0 (default) keeps the
+  /// feature inert.
+  double lag_drain_bound_sec = 0.0;
+  /// Multiplier applied to each operator's parallelism while draining
+  /// (rounded up, clamped to the cluster's slot capacity).
+  double lag_drain_boost = 1.5;
+  /// Give-up bound: the boosted configuration is restored after this many
+  /// policy intervals even if the lag bound was never reached.
+  int lag_drain_max_intervals = 5;
 };
 
 /// Counters describing how the loop coped with a faulty environment.
@@ -144,6 +161,7 @@ struct LoopStats {
   int failure_restarts = 0;   ///< Uncommanded restarts observed.
   int rescale_retries = 0;    ///< RescaleFailed caught and retried.
   int rescale_aborts = 0;     ///< Decisions abandoned after max retries.
+  int lag_drains = 0;         ///< Post-recovery lag-drain boosts entered.
 
   friend bool operator==(const LoopStats&, const LoopStats&) = default;
 };
@@ -210,6 +228,16 @@ class AuTraScaleController {
       const AggregatedMetrics& m, const runtime::Parallelism& current) const;
   ControlDecision plan_and_execute(runtime::StreamingBackend& session,
                                    ScalingTrigger trigger, double rate);
+  /// Enters lag-drain mode after a detected crash recovery (no-op when the
+  /// feature is inert or a drain is already active).
+  void maybe_start_lag_drain(runtime::StreamingBackend& session,
+                             std::vector<ControlDecision>& decisions);
+  /// One per-window drain check: restores the saved configuration once the
+  /// lag bound (or the interval cap) is reached. Returns true while the
+  /// drain owns the loop (analyze/plan are skipped).
+  bool lag_drain_step(runtime::StreamingBackend& session,
+                      const AggregatedMetrics& m,
+                      std::vector<ControlDecision>& decisions);
 
   sim::Topology topology_;
   std::shared_ptr<const runtime::TrialService> trials_;
@@ -219,6 +247,11 @@ class AuTraScaleController {
   ModelLibrary library_;
   double model_rate_ = -1.0;   ///< Rate of the base config currently applied.
   runtime::Parallelism base_;  ///< k' for the current rate.
+
+  // Lag-drain state (survives across run() calls).
+  bool lag_draining_ = false;
+  runtime::Parallelism lag_drain_saved_;  ///< Config to restore after drain.
+  int lag_drain_windows_left_ = 0;
 };
 
 }  // namespace autra::core

@@ -27,7 +27,11 @@ bool usable(FaultKind kind, const ChaosProfile& p) {
     case FaultKind::kRackDown:
       return !p.racks.empty();
     case FaultKind::kNetworkPartition:
-      return p.num_machines >= 2;
+      // Domain-aligned islands need a proper subset of >= 2 domains; the
+      // domain-free fallback needs >= 2 machines. One domain covering the
+      // whole cluster can never leave a mainland.
+      return p.partition_domains.size() >= 2 ||
+             (p.partition_domains.empty() && p.num_machines >= 2);
     default:
       return true;
   }
@@ -79,6 +83,9 @@ ChaosProfile ChaosProfile::for_cluster(const sim::Cluster& cluster,
     if (rack.size() >= 2) p.racks.push_back(rack);
   }
   if (p.racks.empty()) p.mix.rack_down = 0.0;
+  // Partition islands sever rack uplinks, so every rack — singletons
+  // included — is a partition domain (kRackDown's failure domains, reused).
+  p.partition_domains = cluster.racks();
   return p;
 }
 
@@ -109,6 +116,18 @@ ChaosGenerator::ChaosGenerator(ChaosProfile profile)
     require(!rack.empty(), "empty rack group");
     for (std::size_t m : rack) {
       require(m < profile_.num_machines, "rack member out of range");
+    }
+  }
+  {
+    std::vector<char> seen(profile_.num_machines, 0);
+    for (const std::vector<std::size_t>& dom : profile_.partition_domains) {
+      require(!dom.empty(), "empty partition domain");
+      for (std::size_t m : dom) {
+        require(m < profile_.num_machines,
+                "partition domain member out of range");
+        require(!seen[m], "partition domains must be disjoint");
+        seen[m] = 1;
+      }
     }
   }
   double total = 0.0;
@@ -206,19 +225,40 @@ FaultSchedule ChaosGenerator::generate(std::uint64_t seed) const {
         break;
       }
       case FaultKind::kNetworkPartition: {
-        // A proper, non-empty island: Fisher-Yates the machine indices,
-        // take a uniform prefix of size 1..M-1, emit in ascending order so
-        // the same island set is always spelled the same way.
-        std::vector<std::size_t> order(profile_.num_machines);
-        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-        for (std::size_t i = order.size() - 1; i > 0; --i) {
-          const std::size_t j =
-              std::uniform_int_distribution<std::size_t>(0, i)(rng);
-          std::swap(order[i], order[j]);
+        // A proper, non-empty island spelled in ascending machine order so
+        // the same island set always serialises the same way. With
+        // partition domains the island is a union of a proper subset of
+        // racks (a partition severs uplinks, so it cannot split a rack);
+        // without them, any proper machine subset (the legacy form).
+        std::vector<std::size_t> island;
+        if (!profile_.partition_domains.empty()) {
+          const std::size_t nd = profile_.partition_domains.size();
+          std::vector<std::size_t> order(nd);
+          for (std::size_t i = 0; i < nd; ++i) order[i] = i;
+          for (std::size_t i = nd - 1; i > 0; --i) {
+            const std::size_t j =
+                std::uniform_int_distribution<std::size_t>(0, i)(rng);
+            std::swap(order[i], order[j]);
+          }
+          const std::size_t size =
+              std::uniform_int_distribution<std::size_t>(1, nd - 1)(rng);
+          for (std::size_t d = 0; d < size; ++d) {
+            const std::vector<std::size_t>& dom =
+                profile_.partition_domains[order[d]];
+            island.insert(island.end(), dom.begin(), dom.end());
+          }
+        } else {
+          std::vector<std::size_t> order(profile_.num_machines);
+          for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+          for (std::size_t i = order.size() - 1; i > 0; --i) {
+            const std::size_t j =
+                std::uniform_int_distribution<std::size_t>(0, i)(rng);
+            std::swap(order[i], order[j]);
+          }
+          const std::size_t size = std::uniform_int_distribution<std::size_t>(
+              1, profile_.num_machines - 1)(rng);
+          island.assign(order.begin(), order.begin() + size);
         }
-        const std::size_t size = std::uniform_int_distribution<std::size_t>(
-            1, profile_.num_machines - 1)(rng);
-        std::vector<std::size_t> island(order.begin(), order.begin() + size);
         std::sort(island.begin(), island.end());
         schedule.network_partition(std::move(island), at, duration);
         break;

@@ -58,6 +58,15 @@ struct ChaosProfile {
   /// Rack groups (each a machine-index set) for correlated crashes;
   /// rack_down weight is ignored when empty.
   std::vector<std::vector<std::size_t>> racks;
+  /// Failure domains for network partitions. When at least two domains are
+  /// present, a partition island is a union of a proper subset of them —
+  /// real partitions sever rack uplinks, so islands align with the
+  /// topology's failure domains instead of sampling arbitrary machine
+  /// subsets. for_cluster() fills this with *every* rack (singletons
+  /// included: a one-machine rack is still its own uplink domain). Empty
+  /// falls back to per-machine islands; network_partition weight is gated
+  /// off when neither form is possible.
+  std::vector<std::vector<std::size_t>> partition_domains;
   /// Candidate services for outages; service_outage weight is ignored when
   /// empty.
   std::vector<std::string> services;

@@ -17,9 +17,34 @@ ClusterSpec paper_cluster() {
   return spec;
 }
 
+ClusterSpec uniform_cluster(std::size_t num_machines,
+                            std::size_t machines_per_rack, int cores,
+                            int slots_per_machine) {
+  if (num_machines == 0 || machines_per_rack == 0) {
+    throw std::invalid_argument("uniform_cluster: zero machines or rack size");
+  }
+  ClusterSpec spec;
+  spec.slots_per_machine = slots_per_machine;
+  spec.machines.reserve(num_machines);
+  for (std::size_t i = 0; i < num_machines; ++i) {
+    // Built in two steps: gcc 12's -Wrestrict misfires on the char* +
+    // temporary-string overload under -Werror.
+    std::string name = std::to_string(i);
+    name.insert(0, 1, 'm');
+    spec.machines.push_back(
+        {.name = std::move(name), .cores = cores, .memory_gb = 64.0,
+         .speed = 1.0, .rack = static_cast<int>(i / machines_per_rack)});
+  }
+  return spec;
+}
+
 Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
   if (spec_.machines.empty()) {
     throw std::invalid_argument("Cluster: no machines");
+  }
+  if (spec_.rack_uplink_records_per_sec < 0.0 ||
+      spec_.rack_oversubscription < 1.0) {
+    throw std::invalid_argument("Cluster: bad rack uplink parameters");
   }
   for (const MachineSpec& m : spec_.machines) {
     if (m.cores <= 0 || m.memory_gb <= 0.0 || m.speed <= 0.0 ||

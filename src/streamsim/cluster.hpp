@@ -42,12 +42,32 @@ struct ClusterSpec {
   int slots_per_machine = 0;
   /// Framework memory overhead charged per occupied slot.
   double slot_overhead_mb = 64.0;
+  /// Two-level (machine / top-of-rack) network model: capacity of each
+  /// rack's uplink into the core, in records per second of shuffle
+  /// traffic, before oversubscription. 0 (default) disables the flow-level
+  /// network — uplinks are infinite and only network partitions cut edges,
+  /// exactly the pre-topology behaviour.
+  double rack_uplink_records_per_sec = 0.0;
+  /// Oversubscription factor of the rack uplinks (>= 1): the effective
+  /// uplink capacity is rack_uplink_records_per_sec / rack_oversubscription,
+  /// the usual ToR-to-core taper.
+  double rack_oversubscription = 1.0;
 };
 
 /// The paper's evaluation cluster: 3x Dell R730xd (20 cores, 256 GB).
 /// The fourth machine hosts only Kafka/ZooKeeper in the paper and therefore
 /// does not execute operator instances.
 [[nodiscard]] ClusterSpec paper_cluster();
+
+/// A homogeneous platform-scale cluster: `num_machines` identical machines
+/// filled rack by rack (`machines_per_rack` under each ToR switch, the last
+/// rack possibly short). The 10k-machine scaling configurations in
+/// bench/ablation_tick and the README are built with this. Throws
+/// std::invalid_argument on zero machines or rack size.
+[[nodiscard]] ClusterSpec uniform_cluster(std::size_t num_machines,
+                                          std::size_t machines_per_rack,
+                                          int cores = 8,
+                                          int slots_per_machine = 0);
 
 /// Placement of a concrete parallelism configuration on a cluster.
 class Cluster {

@@ -9,22 +9,12 @@ namespace autra::sim {
 
 namespace {
 constexpr double kEps = 1e-12;
-}
+/// Placement entries folded per capacity chunk. Fixed so the serial and
+/// sharded refresh paths evaluate the identical partial sums.
+constexpr std::size_t kCapacityChunk = 1024;
+}  // namespace
 
-Engine::Engine(Topology topology, Cluster cluster, Parallelism parallelism,
-               std::unique_ptr<KafkaLog> kafka, EngineParams params)
-    : topo_(std::move(topology)),
-      cluster_(std::move(cluster)),
-      parallelism_(std::move(parallelism)),
-      kafka_(std::move(kafka)),
-      params_(params),
-      interference_(params.interference),
-      faults_(cluster_.num_machines()),
-      proc_latency_(4096, params.seed),
-      event_latency_(4096, params.seed + 1),
-      interval_proc_latency_(1024, params.seed + 2),
-      interval_event_latency_(1024, params.seed + 3),
-      rng_(params.seed) {
+NetworkModel Engine::make_network() const {
   topo_.validate();
   if (!kafka_) {
     throw std::invalid_argument("Engine: null kafka log");
@@ -38,18 +28,95 @@ Engine::Engine(Topology topology, Cluster cluster, Parallelism parallelism,
   if (params_.tick_sec <= 0.0 || params_.metric_interval_sec <= 0.0) {
     throw std::invalid_argument("Engine: bad timing parameters");
   }
+  if (params_.load_epsilon < 0.0) {
+    throw std::invalid_argument("Engine: negative load_epsilon");
+  }
+  return NetworkModel(topo_, cluster_, parallelism_);
+}
+
+Engine::Engine(Topology topology, Cluster cluster, Parallelism parallelism,
+               std::unique_ptr<KafkaLog> kafka, EngineParams params)
+    : topo_(std::move(topology)),
+      cluster_(std::move(cluster)),
+      parallelism_(std::move(parallelism)),
+      kafka_(std::move(kafka)),
+      params_(params),
+      interference_(params.interference),
+      faults_(cluster_.num_machines()),
+      network_(make_network()),
+      exec_(params.threads),
+      proc_latency_(4096, params.seed),
+      event_latency_(4096, params.seed + 1),
+      interval_proc_latency_(1024, params.seed + 2),
+      interval_event_latency_(1024, params.seed + 3),
+      rng_(params.seed) {
+  const std::size_t num_ops = topo_.num_operators();
+  const std::size_t num_machines = cluster_.num_machines();
 
   topo_order_ = topo_.topological_order();
-  state_.resize(topo_.num_operators());
-  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
-    const double base_rate = 1e6 / topo_.op(i).total_cost_us();
+  state_.resize(num_ops);
+  queue_mass_.assign(num_ops, 0.0);
+  queue_capacity_.assign(num_ops, 0.0);
+  smoothed_busy_.assign(num_ops, 0.0);
+  sb_snapshot_.assign(num_ops, 0.0);
+  base_rate_.assign(num_ops, 0.0);
+  hot_share_.assign(num_ops, 0.0);
+  capacity_.assign(num_ops, 0.0);
+  hot_capacity_.assign(num_ops, 0.0);
+
+  machine_bg_.assign(num_machines, 0.0);
+  machine_load_.assign(num_machines, 0.0);
+  machine_factor_.assign(num_machines, 0.0);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    machine_bg_[m] = cluster_.spec().machines[m].background_load;
+  }
+  hot_machine_ = cluster_.machine_of_slot(0);
+
+  // Static placement: which machines host how many instances of each
+  // operator (round-robin slot sharing makes this dense in the machine
+  // prefix), its inversion, and the chunked capacity partial sums.
+  placement_.resize(num_ops);
+  machine_ops_.resize(num_machines);
+  std::vector<double> count(num_machines, 0.0);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const OperatorSpec& spec = topo_.op(i);
+    const int k = parallelism_[i];
+    base_rate_[i] =
+        1e6 / (spec.total_cost_us() * interference_.coordination_factor(k));
+    if (spec.key_skew > 0.0 && k > 1) {
+      hot_share_[i] =
+          (1.0 + spec.key_skew) / (static_cast<double>(k) + spec.key_skew);
+    }
     // The buffer must hold at least one tick of flow or the per-tick
     // emit limit, not backpressure, becomes the throughput bound.
     const double buffer_sec = std::max(params_.buffer_sec, params_.tick_sec);
-    state_[i].queue_capacity =
-        std::max(params_.min_buffer_records, base_rate * buffer_sec) *
-        static_cast<double>(parallelism_[i]);
+    queue_capacity_[i] =
+        std::max(params_.min_buffer_records,
+                 1e6 / spec.total_cost_us() * buffer_sec) *
+        static_cast<double>(k);
+
+    std::fill(count.begin(), count.end(), 0.0);
+    for (int j = 0; j < k; ++j) {
+      count[cluster_.machine_of_instance(j)] += 1.0;
+    }
+    OpPlacement& pl = placement_[i];
+    pl.entry_of.assign(num_machines, -1);
+    for (std::size_t m = 0; m < num_machines; ++m) {
+      if (count[m] <= 0.0) continue;
+      pl.entry_of[m] = static_cast<std::int32_t>(pl.machine.size());
+      pl.machine.push_back(m);
+      pl.count.push_back(count[m]);
+      machine_ops_[m].emplace_back(i, count[m]);
+    }
+    const std::size_t chunks =
+        (pl.machine.size() + kCapacityChunk - 1) / kCapacityChunk;
+    pl.chunk_sum.assign(chunks, 0.0);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      all_chunks_.emplace_back(static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(c));
+    }
   }
+
   now_ = params_.start_time;
   window_start_ = now_;
   interval_start_ = now_;
@@ -140,38 +207,11 @@ void Engine::inject_network_partition(const std::vector<std::size_t>& island,
         "Engine::inject_network_partition: island covers the whole "
         "cluster; a partition must leave a mainland");
   }
-
-  // Which sides of the cut host instances of each operator: bit 0 =
-  // mainland, bit 1 = island. An edge functions only when every instance
-  // of both endpoints sits on one side — keyed shuffles are all-to-all, so
-  // one unreachable channel blocks the exchange.
-  std::vector<int> span(topo_.num_operators(), 0);
-  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
-    for (int j = 0; j < parallelism_[i]; ++j) {
-      span[i] |= on_island[cluster_.machine_of_instance(j)] ? 2 : 1;
-    }
-  }
-  PartitionSpec ps;
-  ps.edge_cut.resize(topo_.num_operators());
-  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
-    const std::vector<std::size_t>& down = topo_.downstream(i);
-    ps.edge_cut[i].resize(down.size());
-    for (std::size_t di = 0; di < down.size(); ++di) {
-      ps.edge_cut[i][di] = (span[i] | span[down[di]]) == 3;
-    }
-  }
-  const std::size_t index = faults_.add_partition(from_sec, until_sec);
-  partitions_.push_back(std::move(ps));
-  if (index + 1 != partitions_.size()) {
+  const std::size_t net_index = network_.add_partition(on_island);
+  const std::size_t fault_index = faults_.add_partition(from_sec, until_sec);
+  if (net_index != fault_index) {
     throw std::logic_error("Engine: partition index out of sync");
   }
-}
-
-bool Engine::edge_cut_now(std::size_t op, std::size_t di) const noexcept {
-  for (std::size_t p : faults_.active_partitions()) {
-    if (partitions_[p].edge_cut[op][di]) return true;
-  }
-  return false;
 }
 
 void Engine::add_external_service(ExternalService service) {
@@ -210,7 +250,7 @@ double Engine::latency_floor_sec() const noexcept {
 double Engine::congestion_delay_sec() const noexcept {
   double total = 0.0;
   for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
-    const double rho = std::clamp(state_[i].smoothed_busy, 0.0, 0.995);
+    const double rho = std::clamp(smoothed_busy_[i], 0.0, 0.995);
     const double coord = interference_.coordination_factor(parallelism_[i]);
     const double service_sec = topo_.op(i).total_cost_us() * coord / 1e6;
     const double w = params_.congestion_burst_records * service_sec * rho /
@@ -237,9 +277,285 @@ void Engine::push_downstream(std::size_t op, double mass, double produced,
     } else {
       ds.queue.push_back({mass, produced, ingested});
     }
-    ds.queue_mass += mass;
+    queue_mass_[d] += mass;
     ds.counters.records_in += mass;
   }
+}
+
+// --- Epoch cache maintenance (DESIGN.md §11) ------------------------------
+
+double Engine::compute_factor(std::size_t m, double load) const {
+  if (faults_.machine_down(m)) return 0.0;
+  const MachineSpec& ms = cluster_.spec().machines[m];
+  const double slow = faults_.slowdown_factor(m);
+  return (ms.speed * slow) /
+         interference_.contention_divisor(load, ms.cores, slow);
+}
+
+bool Engine::use_parallel_refresh() const {
+  // Sharding pays for itself only at platform scale, and worker threads
+  // must never open a nested region (engines run inside Plan-stage
+  // parallel trials — the serial fallback keeps that composition legal).
+  return exec_.threads() > 1 && cluster_.num_machines() >= 512 &&
+         !exec::detail::in_parallel_region();
+}
+
+void Engine::recompute_chunk(std::size_t op, std::size_t c) {
+  OpPlacement& pl = placement_[op];
+  const double base = base_rate_[op];
+  const double dt = params_.tick_sec;
+  const std::size_t begin = c * kCapacityChunk;
+  const std::size_t end =
+      std::min(begin + kCapacityChunk, pl.machine.size());
+  double sum = 0.0;
+  for (std::size_t e = begin; e < end; ++e) {
+    sum += pl.count[e] * (base * machine_factor_[pl.machine[e]] * dt);
+  }
+  pl.chunk_sum[c] = sum;
+}
+
+void Engine::fold_capacity(std::size_t op) {
+  const OpPlacement& pl = placement_[op];
+  double capacity = 0.0;
+  for (const double s : pl.chunk_sum) capacity += s;
+  hot_capacity_[op] =
+      base_rate_[op] * machine_factor_[hot_machine_] * params_.tick_sec;
+  // Key skew: the hot instance receives a (1 + skew) multiple of the
+  // uniform share and saturates first, capping the whole operator.
+  if (hot_share_[op] > 0.0) {
+    capacity = std::min(capacity, hot_capacity_[op] / hot_share_[op]);
+  }
+  capacity_[op] = capacity;
+}
+
+void Engine::full_refresh() {
+  ++epoch_stats_.full_refreshes;
+  const exec::ExecContext ctx =
+      use_parallel_refresh() ? exec_ : exec::ExecContext::serial();
+
+  // Per-machine busy load (co-tenant background load plus the previous
+  // fold's smoothed busy fractions of this job's instances) and the rate
+  // factor it implies. Index-addressed: bit-identical at any thread count.
+  exec::parallel_for(ctx, cluster_.num_machines(), [this](std::size_t m) {
+    double load = machine_bg_[m];
+    for (const auto& [op, cnt] : machine_ops_[m]) {
+      load += cnt * smoothed_busy_[op];
+    }
+    machine_load_[m] = load;
+    machine_factor_[m] = compute_factor(m, load);
+  });
+
+  std::copy(smoothed_busy_.begin(), smoothed_busy_.end(),
+            sb_snapshot_.begin());
+
+  exec::parallel_for(ctx, all_chunks_.size(), [this](std::size_t idx) {
+    recompute_chunk(all_chunks_[idx].first, all_chunks_[idx].second);
+  });
+  for (std::size_t i = 0; i < topo_.num_operators(); ++i) fold_capacity(i);
+}
+
+void Engine::refresh_factor(std::size_t m) {
+  ++epoch_stats_.machine_refreshes;
+  // Loads depend only on busy fractions, which are bit-equal to the last
+  // fold's snapshot on this path (otherwise sb_drift_ would have forced a
+  // full refresh) — so the cached load feeds the factor unchanged.
+  machine_factor_[m] = compute_factor(m, machine_load_[m]);
+  for (const auto& [op, cnt] : machine_ops_[m]) {
+    (void)cnt;
+    OpPlacement& pl = placement_[op];
+    pl.dirty_chunks.push_back(
+        static_cast<std::uint32_t>(pl.entry_of[m]) /
+        static_cast<std::uint32_t>(kCapacityChunk));
+    dirty_ops_.push_back(op);
+  }
+}
+
+void Engine::refresh_epoch_caches(const FaultTimeline::Delta& delta) {
+  if (params_.core == EngineCore::kTickDriven) {
+    // The reference core recomputes everything from live state every tick.
+    full_refresh();
+    return;
+  }
+  if (!caches_primed_ || delta.rebuilt || sb_drift_) {
+    full_refresh();
+    caches_primed_ = true;
+    sb_drift_ = false;
+    return;
+  }
+  if (delta.machines.empty()) return;
+
+  dirty_ops_.clear();
+  for (const std::size_t m : delta.machines) refresh_factor(m);
+  std::sort(dirty_ops_.begin(), dirty_ops_.end());
+  dirty_ops_.erase(std::unique(dirty_ops_.begin(), dirty_ops_.end()),
+                   dirty_ops_.end());
+  for (const std::size_t op : dirty_ops_) {
+    OpPlacement& pl = placement_[op];
+    std::sort(pl.dirty_chunks.begin(), pl.dirty_chunks.end());
+    pl.dirty_chunks.erase(
+        std::unique(pl.dirty_chunks.begin(), pl.dirty_chunks.end()),
+        pl.dirty_chunks.end());
+    for (const std::uint32_t c : pl.dirty_chunks) recompute_chunk(op, c);
+    pl.dirty_chunks.clear();
+    // Folding over every chunk sum (in chunk order) keeps the result
+    // bit-identical to a full recompute: clean chunks are bitwise
+    // unchanged by construction.
+    fold_capacity(op);
+  }
+}
+
+bool Engine::op_active(std::size_t i, bool suspended) const {
+  // A decayed busy fraction is exactly 0.0 (the EMA underflows to zero
+  // after ~2400 idle ticks); until then the operator still moves state.
+  if (smoothed_busy_[i] != 0.0) return true;
+  if (suspended) return false;
+  if (topo_.op(i).kind == OperatorKind::kSource) {
+    return !faults_.ingest_stalled() && kafka_->lag() > 0.0;
+  }
+  // queue_mass_ can be exactly 0.0 while sub-epsilon cohort residue sits in
+  // the deque; the kernel takes nothing in that state, so skipping is
+  // still exact.
+  return queue_mass_[i] > 0.0;
+}
+
+void Engine::run_operator(std::size_t i, double t, double dt, bool suspended,
+                          double floor, double& tick_busy_core_seconds) {
+  const OperatorSpec& spec = topo_.op(i);
+  OperatorState& st = state_[i];
+  const int k = parallelism_[i];
+  const double capacity = capacity_[i];
+
+  // --- How much work is available and emittable -----------------------
+  // An ingest stall blinds the sources: the broker keeps accepting
+  // producer records (lag grows) but consumers fetch nothing.
+  const double available =
+      spec.kind == OperatorKind::kSource
+          ? (faults_.ingest_stalled() ? 0.0 : kafka_->lag())
+          : queue_mass_[i];
+
+  const std::vector<std::size_t>& down = topo_.downstream(i);
+  double emit_limit = std::numeric_limits<double>::infinity();
+  if (spec.selectivity > 0.0) {
+    for (std::size_t di = 0; di < down.size(); ++di) {
+      // A partition-cut edge transfers nothing: the operator stalls
+      // outright (emitted mass goes to every downstream edge, so one
+      // dead edge blocks the emit) and backpressure builds upstream.
+      // A bandwidth-limited edge caps the transfer the same way, just
+      // with a finite limit instead of zero.
+      const double net = network_.edge_limit(i, di);
+      if (net <= 0.0) {
+        emit_limit = 0.0;
+        break;
+      }
+      const double free = queue_capacity_[down[di]] - queue_mass_[down[di]];
+      emit_limit = std::min(
+          emit_limit, std::min(std::max(0.0, free), net) / spec.selectivity);
+    }
+  }
+
+  double processed = std::min({available, capacity, emit_limit});
+  if (suspended) processed = 0.0;
+
+  // --- External-service throttling (the Redis cap) --------------------
+  if (spec.external_service && processed > kEps) {
+    auto it = services_.find(*spec.external_service);
+    if (it == services_.end()) {
+      throw std::logic_error("Engine: operator '" + spec.name +
+                             "' references unknown service '" +
+                             *spec.external_service + "'");
+    }
+    if (faults_.service_out(*spec.external_service)) {
+      processed = 0.0;  // every per-record call times out
+    } else {
+      const double want = processed * spec.external_calls_per_record;
+      const double granted = it->second.acquire(want);
+      processed = granted / spec.external_calls_per_record;
+    }
+  }
+
+  // --- Move cohorts ----------------------------------------------------
+  std::vector<QueueCohort> taken;
+  if (spec.kind == OperatorKind::kSource) {
+    for (const LogCohort& c : kafka_->consume(processed)) {
+      taken.push_back({c.mass, c.produced_time, t + dt});
+    }
+    double ingested = 0.0;
+    for (const QueueCohort& c : taken) ingested += c.mass;
+    st.counters.records_in += ingested;
+    st.interval.records_in += ingested;
+    window_consumed_ += ingested;
+    interval_consumed_ += ingested;
+  } else {
+    double remaining = processed;
+    while (remaining > kEps && !st.queue.empty()) {
+      QueueCohort& head = st.queue.front();
+      if (head.mass <= remaining + kEps) {
+        remaining -= head.mass;
+        queue_mass_[i] -= head.mass;
+        taken.push_back(head);
+        st.queue.pop_front();
+      } else {
+        taken.push_back({remaining, head.produced_time, head.ingested_time});
+        head.mass -= remaining;
+        queue_mass_[i] -= remaining;
+        remaining = 0.0;
+      }
+    }
+    queue_mass_[i] = std::max(queue_mass_[i], 0.0);
+  }
+
+  double actually_processed = 0.0;
+  for (const QueueCohort& c : taken) actually_processed += c.mass;
+
+  // --- Emit or complete -------------------------------------------------
+  const bool terminal = down.empty();
+  double emitted = 0.0;
+  for (const QueueCohort& c : taken) {
+    if (terminal) {
+      const double done = t + dt;
+      // Mean-one lognormal dispersion of the processing latency; the
+      // pending time in Kafka (event latency minus processing latency)
+      // is deterministic backlog and is not jittered.
+      double jitter = 1.0;
+      if (params_.latency_jitter_sigma > 0.0) {
+        const double s = params_.latency_jitter_sigma;
+        std::normal_distribution<double> n(-0.5 * s * s, s);
+        jitter = std::exp(n(rng_));
+      }
+      const double proc = (done - c.ingested_time + floor) * jitter;
+      const double pending = c.ingested_time - c.produced_time;
+      proc_latency_.add(proc, c.mass);
+      event_latency_.add(pending + proc, c.mass);
+      interval_proc_latency_.add(proc, c.mass);
+      interval_event_latency_.add(pending + proc, c.mass);
+    } else if (spec.selectivity > 0.0) {
+      push_downstream(i, c.mass * spec.selectivity, c.produced_time,
+                      c.ingested_time);
+      st.counters.records_out += c.mass * spec.selectivity;
+      st.interval.records_out += c.mass * spec.selectivity;
+      emitted += c.mass * spec.selectivity;
+    }
+  }
+  // Charge the shuffle against the rack uplinks it crossed (every
+  // downstream edge carries the full emitted mass — broadcast semantics).
+  if (network_.constrained() && emitted > 0.0) {
+    for (std::size_t di = 0; di < down.size(); ++di) {
+      network_.consume(i, di, emitted);
+    }
+  }
+
+  // --- Busy-time accounting (true vs observed rate) --------------------
+  const double busy_frac =
+      capacity > kEps ? std::clamp(actually_processed / capacity, 0.0, 1.0)
+                      : 0.0;
+  st.counters.processed += actually_processed;
+  st.counters.busy_time += busy_frac * dt * static_cast<double>(k);
+  st.interval.processed += actually_processed;
+  st.interval.busy_time += busy_frac * dt * static_cast<double>(k);
+  tick_busy_core_seconds += busy_frac * dt * static_cast<double>(k);
+
+  const double a = params_.interference.load_smoothing;
+  smoothed_busy_[i] = (1.0 - a) * smoothed_busy_[i] + a * busy_frac;
 }
 
 void Engine::tick() {
@@ -247,184 +563,50 @@ void Engine::tick() {
   const double dt = params_.tick_sec;
   const double t = now_;
 
-  // One cursor advance services every fault query this tick makes.
-  faults_.advance_to(t);
+  // One cursor advance services every fault query this tick makes, and its
+  // delta tells the epoch caches exactly which machines changed.
+  const FaultTimeline::Delta& delta = faults_.advance_to(t);
 
   kafka_->produce(t, dt);
   for (auto& [_, svc] : services_) svc.tick(dt);
 
   const bool suspended = t < suspended_until_;
 
-  // Per-machine busy load: co-tenant background load plus the previous
-  // tick's smoothed busy fractions of this job's instances.
-  std::vector<double> load(cluster_.num_machines(), 0.0);
-  for (std::size_t m = 0; m < cluster_.num_machines(); ++m) {
-    load[m] = cluster_.spec().machines[m].background_load;
-  }
-  for (std::size_t i = 0; i < topo_.num_operators(); ++i) {
-    for (int j = 0; j < parallelism_[i]; ++j) {
-      load[cluster_.machine_of_instance(j)] += state_[i].smoothed_busy;
-    }
-  }
+  refresh_epoch_caches(delta);
+  network_.begin_tick(dt, faults_.active_partitions());
 
   double tick_busy_core_seconds = 0.0;
   // Constant across operators within one tick (depends on configuration
   // and smoothed utilisation, both fixed during the tick).
   const double floor = latency_floor_sec() + congestion_delay_sec();
 
-  for (std::size_t i : topo_order_) {
-    const OperatorSpec& spec = topo_.op(i);
+  const bool tick_all = params_.core == EngineCore::kTickDriven;
+  ++epoch_stats_.ticks;
+  for (const std::size_t i : topo_order_) {
+    // Wall time accrues whether or not the operator does work — an idle
+    // instance still occupies its slot. Kept outside the kernel so both
+    // cores add the identical per-tick terms in the identical order.
+    const double wall = dt * static_cast<double>(parallelism_[i]);
     OperatorState& st = state_[i];
-    const int k = parallelism_[i];
+    st.counters.wall_time += wall;
+    st.interval.wall_time += wall;
+    if (!tick_all && !op_active(i, suspended)) continue;
+    ++epoch_stats_.operators_touched;
+    run_operator(i, t, dt, suspended, floor, tick_busy_core_seconds);
+  }
 
-    // --- Capacity of this operator in this tick -------------------------
-    const double coord = interference_.coordination_factor(k);
-    double capacity = 0.0;  // records processable this tick
-    double hot_capacity = 0.0;  // capacity of the (skew) hot instance 0
-    for (int j = 0; j < k; ++j) {
-      const std::size_t m = cluster_.machine_of_instance(j);
-      const MachineSpec& ms = cluster_.spec().machines[m];
-      const double slow = faults_.slowdown_factor(m);
-      const double divisor =
-          interference_.contention_divisor(load[m], ms.cores, slow);
-      const double rate =
-          faults_.machine_down(m)
-              ? 0.0
-              : 1e6 / (spec.total_cost_us() * coord) * (ms.speed * slow) /
-                    divisor;
-      capacity += rate * dt;
-      if (j == 0) hot_capacity = rate * dt;
-    }
-    // Key skew: the hot instance receives a (1 + skew) multiple of the
-    // uniform share and saturates first, capping the whole operator.
-    if (spec.key_skew > 0.0 && k > 1) {
-      const double hot_share = (1.0 + spec.key_skew) /
-                               (static_cast<double>(k) + spec.key_skew);
-      capacity = std::min(capacity, hot_capacity / hot_share);
-    }
-
-    // --- How much work is available and emittable -----------------------
-    // An ingest stall blinds the sources: the broker keeps accepting
-    // producer records (lag grows) but consumers fetch nothing.
-    double available =
-        spec.kind == OperatorKind::kSource
-            ? (faults_.ingest_stalled() ? 0.0 : kafka_->lag())
-            : st.queue_mass;
-
-    double emit_limit = std::numeric_limits<double>::infinity();
-    if (spec.selectivity > 0.0) {
-      const std::vector<std::size_t>& down = topo_.downstream(i);
-      for (std::size_t di = 0; di < down.size(); ++di) {
-        // A partition-cut edge transfers nothing: the operator stalls
-        // outright (emitted mass goes to every downstream edge, so one
-        // dead edge blocks the emit) and backpressure builds upstream.
-        if (edge_cut_now(i, di)) {
-          emit_limit = 0.0;
-          break;
-        }
-        const double free =
-            state_[down[di]].queue_capacity - state_[down[di]].queue_mass;
-        emit_limit =
-            std::min(emit_limit, std::max(0.0, free) / spec.selectivity);
+  // Busy fractions moved -> the load-dependent caches are stale. With
+  // load_epsilon == 0 any exact change forces a full refresh next tick
+  // (the bit-identity contract); a positive epsilon tolerates ulp wobble
+  // in converged fractions.
+  if (!tick_all && !sb_drift_) {
+    for (std::size_t i = 0; i < smoothed_busy_.size(); ++i) {
+      if (std::abs(smoothed_busy_[i] - sb_snapshot_[i]) >
+          params_.load_epsilon) {
+        sb_drift_ = true;
+        break;
       }
     }
-
-    double processed = std::min({available, capacity, emit_limit});
-    if (suspended) processed = 0.0;
-
-    // --- External-service throttling (the Redis cap) --------------------
-    if (spec.external_service && processed > kEps) {
-      auto it = services_.find(*spec.external_service);
-      if (it == services_.end()) {
-        throw std::logic_error("Engine: operator '" + spec.name +
-                               "' references unknown service '" +
-                               *spec.external_service + "'");
-      }
-      if (faults_.service_out(*spec.external_service)) {
-        processed = 0.0;  // every per-record call times out
-      } else {
-        const double want = processed * spec.external_calls_per_record;
-        const double granted = it->second.acquire(want);
-        processed = granted / spec.external_calls_per_record;
-      }
-    }
-
-    // --- Move cohorts ----------------------------------------------------
-    std::vector<QueueCohort> taken;
-    if (spec.kind == OperatorKind::kSource) {
-      for (const LogCohort& c : kafka_->consume(processed)) {
-        taken.push_back({c.mass, c.produced_time, t + dt});
-      }
-      double ingested = 0.0;
-      for (const QueueCohort& c : taken) ingested += c.mass;
-      st.counters.records_in += ingested;
-      st.interval.records_in += ingested;
-      window_consumed_ += ingested;
-      interval_consumed_ += ingested;
-    } else {
-      double remaining = processed;
-      while (remaining > kEps && !st.queue.empty()) {
-        QueueCohort& head = st.queue.front();
-        if (head.mass <= remaining + kEps) {
-          remaining -= head.mass;
-          st.queue_mass -= head.mass;
-          taken.push_back(head);
-          st.queue.pop_front();
-        } else {
-          taken.push_back({remaining, head.produced_time, head.ingested_time});
-          head.mass -= remaining;
-          st.queue_mass -= remaining;
-          remaining = 0.0;
-        }
-      }
-      st.queue_mass = std::max(st.queue_mass, 0.0);
-    }
-
-    double actually_processed = 0.0;
-    for (const QueueCohort& c : taken) actually_processed += c.mass;
-
-    // --- Emit or complete -------------------------------------------------
-    const bool terminal = topo_.downstream(i).empty();
-    for (const QueueCohort& c : taken) {
-      if (terminal) {
-        const double done = t + dt;
-        // Mean-one lognormal dispersion of the processing latency; the
-        // pending time in Kafka (event latency minus processing latency)
-        // is deterministic backlog and is not jittered.
-        double jitter = 1.0;
-        if (params_.latency_jitter_sigma > 0.0) {
-          const double s = params_.latency_jitter_sigma;
-          std::normal_distribution<double> n(-0.5 * s * s, s);
-          jitter = std::exp(n(rng_));
-        }
-        const double proc = (done - c.ingested_time + floor) * jitter;
-        const double pending = c.ingested_time - c.produced_time;
-        proc_latency_.add(proc, c.mass);
-        event_latency_.add(pending + proc, c.mass);
-        interval_proc_latency_.add(proc, c.mass);
-        interval_event_latency_.add(pending + proc, c.mass);
-      } else if (spec.selectivity > 0.0) {
-        push_downstream(i, c.mass * spec.selectivity, c.produced_time,
-                        c.ingested_time);
-        st.counters.records_out += c.mass * spec.selectivity;
-        st.interval.records_out += c.mass * spec.selectivity;
-      }
-    }
-
-    // --- Busy-time accounting (true vs observed rate) --------------------
-    const double busy_frac =
-        capacity > kEps ? std::clamp(actually_processed / capacity, 0.0, 1.0)
-                        : 0.0;
-    st.counters.processed += actually_processed;
-    st.counters.busy_time += busy_frac * dt * static_cast<double>(k);
-    st.counters.wall_time += dt * static_cast<double>(k);
-    st.interval.processed += actually_processed;
-    st.interval.busy_time += busy_frac * dt * static_cast<double>(k);
-    st.interval.wall_time += dt * static_cast<double>(k);
-    tick_busy_core_seconds += busy_frac * dt * static_cast<double>(k);
-
-    const double a = params_.interference.load_smoothing;
-    st.smoothed_busy = (1.0 - a) * st.smoothed_busy + a * busy_frac;
   }
 
   window_busy_core_seconds_ += tick_busy_core_seconds;
@@ -461,12 +643,11 @@ const OperatorCounters& Engine::counters(std::size_t op) const {
 
 OperatorRates Engine::rates_from(std::size_t op,
                                  const OperatorCounters& c) const {
-  const OperatorState& st = state_[op];
   const int k = parallelism_[op];
 
   OperatorRates r;
   r.parallelism = k;
-  r.queue_length = st.queue_mass;
+  r.queue_length = queue_mass_[op];
 
   const double window = c.wall_time / static_cast<double>(k);
   if (window > kEps) {

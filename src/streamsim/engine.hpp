@@ -16,8 +16,21 @@
 // Interference (CPU contention between co-located instances, coordination
 // overhead growing with parallelism) is injected via InterferenceModel and
 // produces the non-linear throughput scaling the paper is built around.
+//
+// The core is *epoch-driven* (DESIGN.md §11): hot per-operator state lives
+// in SoA arrays, per-machine rate factors and per-operator capacities are
+// cached across ticks and refreshed only when a FaultTimeline delta or a
+// smoothed-busy drift invalidates them, and operators with no work and a
+// fully decayed busy fraction are skipped outright — a quiescent subgraph
+// costs zero per-tick work. The pre-refactor semantics (every operator
+// every tick, every cache recomputed from live state) are retained behind
+// EngineCore::kTickDriven as the property-test reference; at the default
+// load_epsilon of 0 both cores are bit-identical. Shuffle traffic is
+// routed through the flow-level rack/uplink NetworkModel, which also owns
+// the network-partition cut masks.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -25,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "runtime/job_metrics.hpp"
 #include "streamsim/cluster.hpp"
 #include "streamsim/external_service.hpp"
@@ -33,9 +47,21 @@
 #include "streamsim/kafka.hpp"
 #include "streamsim/latency.hpp"
 #include "streamsim/metrics.hpp"
+#include "streamsim/network.hpp"
 #include "streamsim/topology.hpp"
 
 namespace autra::sim {
+
+/// Which per-tick core the engine runs (see file comment).
+enum class EngineCore {
+  /// Epoch-driven: dirty-set skipping, cached capacities. The default.
+  kEventDriven,
+  /// Legacy reference: every operator runs every tick and every cache is
+  /// recomputed from live state every tick. Bit-identical to kEventDriven
+  /// at load_epsilon == 0; kept for the bit-identity property tests and
+  /// the ablation bench.
+  kTickDriven,
+};
 
 struct EngineParams {
   /// Simulation tick. Smaller = finer latency resolution, slower sim.
@@ -73,6 +99,24 @@ struct EngineParams {
   double start_time = 0.0;
   std::uint64_t seed = 1234;
   InterferenceParams interference;
+  /// Per-tick core; see EngineCore.
+  EngineCore core = EngineCore::kEventDriven;
+  /// Epoch quantisation of the load -> capacity feedback: machine loads
+  /// (and everything downstream of them) are refolded only when some
+  /// operator's smoothed busy fraction has drifted more than this from the
+  /// last fold. 0 (default) refreshes on any exact change — the semantics
+  /// of the legacy tick core, bit for bit. Platform-scale runs set a small
+  /// positive epsilon (e.g. 1e-3) so ulp-level wobble in converged busy
+  /// fractions cannot force a whole-cluster refold every tick; this is an
+  /// explicit approximation and diverges from kTickDriven.
+  double load_epsilon = 0.0;
+  /// Threads used to shard epoch cache refreshes over the exec ThreadPool
+  /// (index-addressed, bit-identical at any count). 1 = serial (default:
+  /// engines usually run inside Plan-stage parallel trials, where nested
+  /// regions are forbidden); 0 resolves AUTRA_THREADS/hardware. The engine
+  /// falls back to serial automatically when constructed small or called
+  /// from inside a parallel region.
+  int threads = 1;
 };
 
 /// Aggregated per-operator counters since the last reset_counters().
@@ -84,6 +128,15 @@ struct OperatorCounters {
   double records_out = 0.0;     ///< Records emitted downstream.
 };
 
+/// Lifetime counters of the epoch-driven core — what the ablation bench
+/// reports as operators-touched-per-epoch. Never reset.
+struct EngineEpochStats {
+  std::uint64_t ticks = 0;              ///< Epochs (ticks) advanced.
+  std::uint64_t operators_touched = 0;  ///< Operator kernels actually run.
+  std::uint64_t full_refreshes = 0;     ///< Whole-cluster cache refolds.
+  std::uint64_t machine_refreshes = 0;  ///< Machine-granular factor updates.
+};
+
 /// Live snapshot of one operator's rates (backend-neutral runtime type).
 using OperatorRates = runtime::OperatorRates;
 
@@ -93,6 +146,13 @@ class Engine {
   /// parallelism must be feasible on the cluster. Throws otherwise.
   Engine(Topology topology, Cluster cluster, Parallelism parallelism,
          std::unique_ptr<KafkaLog> kafka, EngineParams params = {});
+
+  // The NetworkModel (and the external metric sink) hold pointers into the
+  // engine, so its address must be stable — engines live behind unique_ptr.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = delete;
+  Engine& operator=(Engine&&) = delete;
 
   /// Registers a rate-capped external service operators may reference.
   /// Must be called before the first tick; throws std::logic_error after.
@@ -130,9 +190,10 @@ class Engine {
   /// edges whose endpoint instances do not all live on one side stop
   /// transferring (an all-to-all shuffle with a cut channel blocks the
   /// whole exchange): upstream queues back up and backpressure propagates,
-  /// while records already queued downstream keep processing. Which edges
-  /// are cut is precomputed against the engine's (fixed) parallelism.
-  /// Throws std::invalid_argument on bad machines, duplicates, or an empty
+  /// while records already queued downstream keep processing. The cut
+  /// masks live in the NetworkModel — a partition is a zero-capacity link,
+  /// the degenerate case of the rack/uplink bandwidth mechanism. Throws
+  /// std::invalid_argument on bad machines, duplicates, or an empty
   /// island.
   void inject_network_partition(const std::vector<std::size_t>& island,
                                 double from_sec, double until_sec);
@@ -156,6 +217,9 @@ class Engine {
   }
   [[nodiscard]] const KafkaLog& kafka() const noexcept { return *kafka_; }
   [[nodiscard]] const EngineParams& params() const noexcept { return params_; }
+  [[nodiscard]] const NetworkModel& network() const noexcept {
+    return network_;
+  }
 
   [[nodiscard]] MetricsDb& metrics() noexcept { return metrics_; }
   [[nodiscard]] const MetricsDb& metrics() const noexcept { return metrics_; }
@@ -179,6 +243,11 @@ class Engine {
   /// ledger the conservation property tests audit (records in = processed
   /// + still queued, at every tick). Throws std::out_of_range.
   [[nodiscard]] const OperatorCounters& counters(std::size_t op) const;
+
+  /// Lifetime epoch-core counters (ticks, kernels run, cache refreshes).
+  [[nodiscard]] const EngineEpochStats& epoch_stats() const noexcept {
+    return epoch_stats_;
+  }
 
   /// Latency accumulated since the last reset_counters().
   [[nodiscard]] const LatencyStats& processing_latency() const noexcept {
@@ -218,14 +287,32 @@ class Engine {
     double ingested_time = 0.0;
   };
 
+  /// Cold per-operator state. The hot doubles the kernel touches every
+  /// tick (queue mass, capacities, smoothed busy) live in the SoA vectors
+  /// below instead.
   struct OperatorState {
     std::deque<QueueCohort> queue;
-    double queue_mass = 0.0;
-    double queue_capacity = 0.0;
-    double smoothed_busy = 0.0;  ///< EMA busy fraction for contention.
     OperatorCounters counters;   ///< Since reset_counters() (JobRunner window).
     OperatorCounters interval;   ///< Since the last metric write (time series).
   };
+
+  /// Static placement of one operator: which machines host how many of its
+  /// instances (machine-ascending), plus the chunked partial sums its
+  /// cached capacity folds from. Chunks are fixed-size so the serial and
+  /// sharded refresh paths evaluate the identical expression.
+  struct OpPlacement {
+    std::vector<std::size_t> machine;  ///< Machines hosting >= 1 instance.
+    std::vector<double> count;         ///< Instances on machine[e].
+    std::vector<double> chunk_sum;     ///< Partial capacity sums per chunk.
+    std::vector<std::int32_t> entry_of;  ///< machine -> entry index or -1.
+    std::vector<std::uint32_t> dirty_chunks;  ///< Scratch for partial refresh.
+  };
+
+  /// Validates the constructor arguments (so bad input throws the
+  /// documented std::invalid_argument before NetworkModel dereferences the
+  /// placement) and builds the network model. Called from the init list;
+  /// only members declared above network_ may be touched.
+  [[nodiscard]] NetworkModel make_network() const;
 
   [[nodiscard]] OperatorRates rates_from(std::size_t op,
                                          const OperatorCounters& c) const;
@@ -234,6 +321,34 @@ class Engine {
                        double ingested);
   [[nodiscard]] double noisy(double value);
   void write_metrics();
+
+  // --- Epoch-driven cache maintenance (DESIGN.md §11) -------------------
+  /// (speed * slow) / contention_divisor of machine m at the current fault
+  /// cursor, 0 when the machine is down. capacity(op) folds
+  /// base_rate_[op] * factor over the op's placement.
+  [[nodiscard]] double compute_factor(std::size_t m, double load) const;
+  /// Recomputes loads (from live smoothed busy fractions), every machine
+  /// factor and every capacity. The only path that moves sb_snapshot_.
+  void full_refresh();
+  /// Recomputes machine m's factor and marks the capacity chunks of every
+  /// operator placed on it dirty (loads are untouched: they depend only on
+  /// busy fractions, not on fault state).
+  void refresh_factor(std::size_t m);
+  /// Recomputes chunk `c` of operator `op` from entries and factors.
+  void recompute_chunk(std::size_t op, std::size_t c);
+  /// Folds chunk sums (in chunk order) and applies the key-skew cap.
+  void fold_capacity(std::size_t op);
+  /// Per-tick orchestration: full refresh, machine-granular refresh, or
+  /// nothing, depending on the core and what changed.
+  void refresh_epoch_caches(const FaultTimeline::Delta& delta);
+  /// Whether operator i does any work this tick (exact: skipping a
+  /// non-active operator is a bitwise no-op).
+  [[nodiscard]] bool op_active(std::size_t i, bool suspended) const;
+  /// The per-operator kernel both cores share: capacity lookup, emit
+  /// limits through the network, cohort movement, busy accounting.
+  void run_operator(std::size_t i, double t, double dt, bool suspended,
+                    double floor, double& tick_busy_core_seconds);
+  [[nodiscard]] bool use_parallel_refresh() const;
 
   /// Every gauge the engine emits, pre-resolved against one sink at
   /// attach time — the per-tick write path performs no string work.
@@ -248,18 +363,6 @@ class Engine {
   };
   [[nodiscard]] MetricIdSet resolve_metric_ids(runtime::MetricSink& sink) const;
 
-  /// One injected network partition: its window lives in the fault
-  /// timeline (same index); the cut-edge mask is precomputed here against
-  /// the engine's parallelism when the partition is injected.
-  struct PartitionSpec {
-    /// edge_cut[op][di] — is the edge to downstream(op)[di] cut?
-    std::vector<std::vector<bool>> edge_cut;
-  };
-
-  /// True if any *active* partition cuts the edge op -> downstream(op)[di].
-  [[nodiscard]] bool edge_cut_now(std::size_t op,
-                                  std::size_t di) const noexcept;
-
   Topology topo_;
   Cluster cluster_;
   Parallelism parallelism_;
@@ -268,12 +371,40 @@ class Engine {
   InterferenceModel interference_;
   std::map<std::string, ExternalService> services_;
   /// Sorted-window cursors over all injected fault events; advanced once
-  /// per tick so the per-instance queries in the hot loop are O(1).
+  /// per tick so the per-machine queries in the refresh path are O(1).
   FaultTimeline faults_;
-  std::vector<PartitionSpec> partitions_;
+  /// Flow-level rack/uplink network; owns the partition cut masks.
+  NetworkModel network_;
+  exec::ExecContext exec_;
 
   std::vector<std::size_t> topo_order_;
   std::vector<OperatorState> state_;
+
+  // SoA hot state, indexed by operator.
+  std::vector<double> queue_mass_;
+  std::vector<double> queue_capacity_;
+  std::vector<double> smoothed_busy_;  ///< EMA busy fraction for contention.
+  std::vector<double> sb_snapshot_;    ///< Busy fractions at the last fold.
+  std::vector<double> base_rate_;      ///< 1e6 / (cost * coordination).
+  std::vector<double> hot_share_;      ///< Key-skew hot share, 0 = no skew.
+  std::vector<double> capacity_;       ///< Cached records per tick.
+  std::vector<double> hot_capacity_;   ///< Cached skew hot-instance cap.
+  // SoA hot state, indexed by machine.
+  std::vector<double> machine_bg_;     ///< Background load (static).
+  std::vector<double> machine_load_;   ///< Busy-core load at the last fold.
+  std::vector<double> machine_factor_; ///< (speed*slow)/divisor, 0 if down.
+
+  std::vector<OpPlacement> placement_;
+  /// machine -> (operator, instance count) pairs, operator-ascending.
+  std::vector<std::vector<std::pair<std::size_t, double>>> machine_ops_;
+  /// All (op, chunk) pairs, flattened for the sharded full refresh.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> all_chunks_;
+  std::vector<std::size_t> dirty_ops_;  ///< Scratch for partial refresh.
+  std::size_t hot_machine_ = 0;         ///< Placement of instance 0.
+
+  bool caches_primed_ = false;
+  bool sb_drift_ = false;
+  EngineEpochStats epoch_stats_;
 
   MetricsDb metrics_;
   MetricIdSet metric_ids_;

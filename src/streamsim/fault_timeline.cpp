@@ -98,26 +98,35 @@ void FaultTimeline::rebuild() {
   started_ = false;
 }
 
-void FaultTimeline::advance_to(double t) {
-  if (dirty_ || (started_ && t < cursor_time_)) rebuild();
+const FaultTimeline::Delta& FaultTimeline::advance_to(double t) {
+  delta_.machines.clear();
+  delta_.rebuilt = false;
+  if (dirty_ || (started_ && t < cursor_time_)) {
+    rebuild();
+    delta_.rebuilt = true;
+  }
   cursor_time_ = t;
   started_ = true;
 
   // Activate windows that have opened, retire windows that have closed.
   // An event entirely in the past activates and retires in the same call
-  // (net zero), which keeps the two phases order-independent.
+  // (net zero), which keeps the two phases order-independent. Machine
+  // deltas are still reported for such events — a spurious entry costs the
+  // caller one redundant refresh, a missed one would corrupt its caches.
   while (slow_next_ < slow_order_.size() &&
          slow_[slow_order_[slow_next_]].from <= t) {
     const std::size_t idx = slow_order_[slow_next_++];
     std::vector<std::size_t>& active = slow_active_[slow_[idx].machine];
     active.insert(std::lower_bound(active.begin(), active.end(), idx), idx);
     slow_expiry_.emplace(slow_[idx].until, idx);
+    delta_.machines.push_back(slow_[idx].machine);
   }
   while (!slow_expiry_.empty() && slow_expiry_.top().first <= t) {
     const std::size_t idx = slow_expiry_.top().second;
     slow_expiry_.pop();
     std::vector<std::size_t>& active = slow_active_[slow_[idx].machine];
     active.erase(std::lower_bound(active.begin(), active.end(), idx));
+    delta_.machines.push_back(slow_[idx].machine);
   }
 
   while (down_next_ < down_order_.size() &&
@@ -125,8 +134,10 @@ void FaultTimeline::advance_to(double t) {
     const std::size_t idx = down_order_[down_next_++];
     ++down_count_[down_[idx].machine];
     down_expiry_.emplace(down_[idx].until, idx);
+    delta_.machines.push_back(down_[idx].machine);
   }
   while (!down_expiry_.empty() && down_expiry_.top().first <= t) {
+    delta_.machines.push_back(down_[down_expiry_.top().second].machine);
     --down_count_[down_[down_expiry_.top().second].machine];
     down_expiry_.pop();
   }
@@ -165,6 +176,10 @@ void FaultTimeline::advance_to(double t) {
     part_active_.erase(
         std::lower_bound(part_active_.begin(), part_active_.end(), idx));
   }
+  // A rebuild already tells the caller to refresh everything; the machine
+  // entries the catch-up loops above pushed would only duplicate that.
+  if (delta_.rebuilt) delta_.machines.clear();
+  return delta_;
 }
 
 double FaultTimeline::slowdown_factor(std::size_t machine) const noexcept {

@@ -48,10 +48,26 @@ class FaultTimeline {
   /// that active_partitions() reports.
   std::size_t add_partition(double from, double until);
 
-  /// Moves the cursor to time `t`. Monotone advances are amortised O(1)
-  /// per event state change; going backwards or advancing after new events
-  /// were added rebuilds the cursor state (cold path).
-  void advance_to(double t);
+  /// What changed during one advance_to() call — the epoch-driven engine
+  /// core invalidates its capacity caches from this instead of re-querying
+  /// every machine every tick. A rebuild (backwards time, new events)
+  /// reports `rebuilt` and callers must treat every machine as changed.
+  struct Delta {
+    bool rebuilt = false;
+    /// Machines whose down or slowdown state flipped this advance (may
+    /// contain duplicates); empty after a rebuild.
+    std::vector<std::size_t> machines;
+    [[nodiscard]] bool any() const noexcept {
+      return rebuilt || !machines.empty();
+    }
+  };
+
+  /// Moves the cursor to time `t` and reports which machine-affecting
+  /// state changed. Monotone advances are amortised O(1) per event state
+  /// change; going backwards or advancing after new events were added
+  /// rebuilds the cursor state (cold path, reported as Delta::rebuilt).
+  /// The returned reference is valid until the next advance_to() call.
+  const Delta& advance_to(double t);
 
   // Queries at the advanced-to time (call advance_to first).
   [[nodiscard]] bool machine_down(std::size_t machine) const noexcept {
@@ -115,6 +131,7 @@ class FaultTimeline {
   void rebuild();
 
   std::size_t num_machines_;
+  Delta delta_;  ///< Scratch filled by advance_to(); reused across calls.
   bool dirty_ = false;
   double cursor_time_ = 0.0;
   bool started_ = false;  ///< advance_to() has been called at least once.

@@ -1,0 +1,116 @@
+#include "streamsim/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace autra::sim {
+
+NetworkModel::NetworkModel(const Topology& topology, const Cluster& cluster,
+                           const Parallelism& parallelism)
+    : topo_(&topology), cluster_(&cluster), parallelism_(&parallelism) {
+  const std::size_t num_ops = topo_->num_operators();
+  edge_offset_.resize(num_ops + 1, 0);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    edge_offset_[i + 1] = edge_offset_[i] + topo_->downstream(i).size();
+  }
+
+  const ClusterSpec& spec = cluster_->spec();
+  constrained_ = spec.rack_uplink_records_per_sec > 0.0;
+  if (!constrained_) return;
+  uplink_per_sec_ =
+      spec.rack_uplink_records_per_sec / spec.rack_oversubscription;
+
+  const std::size_t num_racks = cluster_->racks().size();
+  budget_.assign(num_racks, 0.0);
+
+  // Instances of each operator per rack — the placement is fixed for the
+  // engine's lifetime, so the per-edge weights are too.
+  std::vector<std::vector<double>> rack_count(num_ops);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    rack_count[i].assign(num_racks, 0.0);
+    for (int j = 0; j < (*parallelism_)[i]; ++j) {
+      rack_count[i][cluster_->rack_of(cluster_->machine_of_instance(j))] +=
+          1.0;
+    }
+  }
+
+  edge_racks_.resize(edge_offset_[num_ops]);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const std::vector<std::size_t>& down = topo_->downstream(i);
+    const double ku = static_cast<double>((*parallelism_)[i]);
+    for (std::size_t di = 0; di < down.size(); ++di) {
+      const double kd = static_cast<double>((*parallelism_)[down[di]]);
+      std::vector<std::pair<std::size_t, double>>& racks =
+          edge_racks_[flat_edge(i, di)];
+      for (std::size_t r = 0; r < num_racks; ++r) {
+        const double fu = rack_count[i][r] / ku;
+        const double fd = rack_count[down[di]][r] / kd;
+        const double w = fu * (1.0 - fd) + (1.0 - fu) * fd;
+        if (w > 0.0) racks.emplace_back(r, w);
+      }
+    }
+  }
+}
+
+std::size_t NetworkModel::add_partition(const std::vector<char>& on_island) {
+  if (on_island.size() != cluster_->num_machines()) {
+    throw std::invalid_argument("NetworkModel::add_partition: bad mask size");
+  }
+  // Which sides of the cut host instances of each operator: bit 0 =
+  // mainland, bit 1 = island. An edge functions only when every instance
+  // of both endpoints sits on one side — keyed shuffles are all-to-all, so
+  // one unreachable channel blocks the exchange.
+  const std::size_t num_ops = topo_->num_operators();
+  std::vector<int> span(num_ops, 0);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    for (int j = 0; j < (*parallelism_)[i]; ++j) {
+      span[i] |= on_island[cluster_->machine_of_instance(j)] ? 2 : 1;
+    }
+  }
+  std::vector<char> cut(edge_offset_[num_ops], 0);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    const std::vector<std::size_t>& down = topo_->downstream(i);
+    for (std::size_t di = 0; di < down.size(); ++di) {
+      cut[flat_edge(i, di)] = (span[i] | span[down[di]]) == 3 ? 1 : 0;
+    }
+  }
+  partition_cut_.push_back(std::move(cut));
+  return partition_cut_.size() - 1;
+}
+
+void NetworkModel::begin_tick(
+    double dt, const std::vector<std::size_t>& active_partitions) {
+  active_ = &active_partitions;
+  if (constrained_) {
+    std::fill(budget_.begin(), budget_.end(), uplink_per_sec_ * dt);
+  }
+}
+
+bool NetworkModel::edge_cut(std::size_t op, std::size_t di) const {
+  if (active_ == nullptr) return false;
+  const std::size_t e = flat_edge(op, di);
+  for (std::size_t p : *active_) {
+    if (partition_cut_[p][e] != 0) return true;
+  }
+  return false;
+}
+
+double NetworkModel::edge_limit(std::size_t op, std::size_t di) const {
+  if (edge_cut(op, di)) return 0.0;
+  double limit = std::numeric_limits<double>::infinity();
+  if (!constrained_) return limit;
+  for (const auto& [rack, w] : edge_racks_[flat_edge(op, di)]) {
+    limit = std::min(limit, budget_[rack] / w);
+  }
+  return limit;
+}
+
+void NetworkModel::consume(std::size_t op, std::size_t di, double mass) {
+  if (!constrained_ || mass <= 0.0) return;
+  for (const auto& [rack, w] : edge_racks_[flat_edge(op, di)]) {
+    budget_[rack] = std::max(0.0, budget_[rack] - mass * w);
+  }
+}
+
+}  // namespace autra::sim

@@ -1,0 +1,119 @@
+// Flow-level rack/uplink network model.
+//
+// The cluster is a two-level topology: machines hang under top-of-rack
+// switches, and each rack reaches the rest of the cluster through one
+// uplink of finite, oversubscribed bandwidth (ClusterSpec's
+// rack_uplink_records_per_sec / rack_oversubscription). Shuffle traffic on
+// every operator edge is routed through this model as a fluid flow: for an
+// edge u -> d, the fraction of exchanged mass that crosses rack r's uplink
+// under a uniform keyed shuffle is
+//
+//   w_r = f_u(r) * (1 - f_d(r)) + (1 - f_u(r)) * f_d(r)
+//
+// where f_u(r) / f_d(r) are the fractions of u's / d's instances placed in
+// rack r (outbound plus inbound traffic). Each tick every rack uplink has
+// a budget of capacity * dt records; edges claim budget in topological
+// order (upstream operators win contended bandwidth first, which is what
+// credit-based flow control converges to), and an edge's transfer limit is
+// min over its racks of budget / w_r.
+//
+// Network partitions are the degenerate case of the same mechanism: an
+// injected island precomputes a cut mask per edge (an all-to-all exchange
+// with endpoints on both sides of the cut moves nothing), and a cut edge's
+// limit is 0 regardless of budgets. kNetworkPartition and bandwidth
+// contention are therefore one mechanism, not two.
+//
+// Determinism: everything here is a pure function of placement, the
+// active-partition set and the per-tick consumption sequence, which the
+// engine drives in topology order — no clocks, no RNG, no unordered
+// iteration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "streamsim/cluster.hpp"
+#include "streamsim/topology.hpp"
+
+namespace autra::sim {
+
+class NetworkModel {
+ public:
+  /// Precomputes per-edge rack weights against the (fixed) placement.
+  /// References must outlive the model; the parallelism must already be
+  /// validated against the cluster by the caller (the engine constructor).
+  NetworkModel(const Topology& topology, const Cluster& cluster,
+               const Parallelism& parallelism);
+
+  /// Registers a partition island (on_island[m] != 0 for island members)
+  /// and precomputes which edges it cuts. Returns the dense partition
+  /// index, which must match the caller's FaultTimeline partition index.
+  std::size_t add_partition(const std::vector<char>& on_island);
+
+  /// Starts a tick: resets rack budgets to capacity * dt and latches the
+  /// active partition set (borrowed until the next begin_tick call).
+  void begin_tick(double dt, const std::vector<std::size_t>& active_partitions);
+
+  /// Records transferable on edge op -> downstream(op)[di] this tick:
+  /// 0 for partition-cut edges, +infinity when unconstrained, otherwise
+  /// the tightest rack budget divided by the edge's uplink weight.
+  [[nodiscard]] double edge_limit(std::size_t op, std::size_t di) const;
+
+  /// Charges `mass` emitted records against the rack budgets of the edge.
+  void consume(std::size_t op, std::size_t di, double mass);
+
+  /// True when any *active* partition cuts the edge (the legacy scalar
+  /// partition semantics, preserved bit-for-bit).
+  [[nodiscard]] bool edge_cut(std::size_t op, std::size_t di) const;
+
+  /// Whether finite rack uplinks are configured at all. When false the
+  /// model costs nothing per tick beyond the cut-mask checks.
+  [[nodiscard]] bool constrained() const noexcept { return constrained_; }
+
+  /// Effective uplink capacity (records/sec) after oversubscription;
+  /// 0 when unconstrained.
+  [[nodiscard]] double uplink_records_per_sec() const noexcept {
+    return uplink_per_sec_;
+  }
+
+  [[nodiscard]] std::size_t num_partitions() const noexcept {
+    return partition_cut_.size();
+  }
+
+  /// The (rack, weight) pairs of one edge — exposed for the bandwidth
+  /// sharing unit tests. Empty means the edge never crosses a rack
+  /// boundary.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, double>>&
+  edge_rack_weights(std::size_t op, std::size_t di) const {
+    return edge_racks_[flat_edge(op, di)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t flat_edge(std::size_t op,
+                                      std::size_t di) const noexcept {
+    return edge_offset_[op] + di;
+  }
+
+  const Topology* topo_;
+  const Cluster* cluster_;
+  const Parallelism* parallelism_;
+
+  bool constrained_ = false;
+  double uplink_per_sec_ = 0.0;
+
+  /// edge_offset_[op] + di flattens (op, di) into one edge index.
+  std::vector<std::size_t> edge_offset_;
+  /// Per flat edge: sparse (rack, weight) pairs with weight > 0, rack
+  /// ascending. Built only when constrained.
+  std::vector<std::vector<std::pair<std::size_t, double>>> edge_racks_;
+  /// Per-rack records budget for the current tick.
+  std::vector<double> budget_;
+
+  /// partition_cut_[p][flat_edge] — does partition p cut the edge?
+  std::vector<std::vector<char>> partition_cut_;
+  /// Active partition indices, borrowed from the fault timeline between
+  /// begin_tick calls (empty before the first tick).
+  const std::vector<std::size_t>* active_ = nullptr;
+};
+
+}  // namespace autra::sim

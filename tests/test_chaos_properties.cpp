@@ -32,6 +32,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -201,6 +202,36 @@ TEST(chaos_generator, RejectsNonsenseProfiles) {
   EXPECT_THROW(fault::ChaosGenerator{dead}, std::invalid_argument);
 }
 
+/// Registers every engine-level event of a (host-only) schedule with a raw
+/// engine — the direct-injection twin of FaultInjectingBackend's delivery,
+/// shared by the mass-conservation and core bit-identity sweeps.
+void inject_engine_faults(sim::Engine& engine,
+                          const fault::FaultSchedule& schedule) {
+  for (const fault::FaultEvent& e : schedule.events()) {
+    switch (e.kind) {
+      case fault::FaultKind::kMachineDown:
+        engine.inject_machine_down(e.machine, e.at, e.end());
+        break;
+      case fault::FaultKind::kSlowNode:
+        engine.inject_slowdown(e.machine, e.magnitude, e.at, e.end());
+        break;
+      case fault::FaultKind::kIngestStall:
+        engine.inject_ingest_stall(e.at, e.end());
+        break;
+      case fault::FaultKind::kRackDown:
+        for (std::size_t m : e.machines) {
+          engine.inject_machine_down(m, e.at, e.end());
+        }
+        break;
+      case fault::FaultKind::kNetworkPartition:
+        engine.inject_network_partition(e.machines, e.at, e.end());
+        break;
+      default:
+        FAIL() << "unexpected kind in engine-only profile";
+    }
+  }
+}
+
 // --- chaos_properties: simulation-backed controller invariants -------------
 
 TEST(chaos_properties, EmptyChaosScheduleIsBitIdenticalToFaultFree) {
@@ -258,29 +289,7 @@ TEST(chaos_properties, MassIsConservedAtEveryTickUnderChaos) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     auto engine = sim::make_engine(spec, {2, 2, 2}, 0.0, 0);
     const fault::FaultSchedule schedule = gen.generate(seed);
-    for (const fault::FaultEvent& e : schedule.events()) {
-      switch (e.kind) {
-        case fault::FaultKind::kMachineDown:
-          engine->inject_machine_down(e.machine, e.at, e.end());
-          break;
-        case fault::FaultKind::kSlowNode:
-          engine->inject_slowdown(e.machine, e.magnitude, e.at, e.end());
-          break;
-        case fault::FaultKind::kIngestStall:
-          engine->inject_ingest_stall(e.at, e.end());
-          break;
-        case fault::FaultKind::kRackDown:
-          for (std::size_t m : e.machines) {
-            engine->inject_machine_down(m, e.at, e.end());
-          }
-          break;
-        case fault::FaultKind::kNetworkPartition:
-          engine->inject_network_partition(e.machines, e.at, e.end());
-          break;
-        default:
-          FAIL() << "unexpected kind in engine-only profile";
-      }
-    }
+    inject_engine_faults(*engine, schedule);
     for (double t = 1.0; t <= 360.0; t += 1.0) {
       engine->run_until(t);
       for (std::size_t i = 0; i < spec.topology.num_operators(); ++i) {
@@ -295,6 +304,66 @@ TEST(chaos_properties, MassIsConservedAtEveryTickUnderChaos) {
       EXPECT_NEAR(kafka.total_produced(),
                   kafka.total_consumed() + kafka.lag(),
                   1e-6 * std::max(1.0, kafka.total_produced()))
+          << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(chaos_properties, EventCoreIsBitIdenticalToTickCoreOverSeededChaos) {
+  // The refactor's load-bearing contract (DESIGN.md §11): at the default
+  // load_epsilon of 0, the epoch-driven core — dirty-set skipping, cached
+  // capacities, machine-granular refreshes — is bit-identical to the
+  // legacy run-everything reference on 250 seeded chaos schedules drawing
+  // every engine-level fault class. Exact equality (==), never NEAR.
+  const sim::JobSpec base = chain_spec(50e3);
+  fault::ChaosProfile profile =
+      fault::ChaosProfile::for_job(base, 300.0, 2.0);
+  profile.mix.metric_dropout = 0.0;  // metric/Execute faults never reach
+  profile.mix.metric_delay = 0.0;    // a raw engine
+  profile.mix.rescale_failure = 0.0;
+  const fault::ChaosGenerator gen(profile);
+
+  const auto build = [&](sim::EngineCore core,
+                         const fault::FaultSchedule& schedule) {
+    sim::JobSpec spec = base;
+    spec.engine.core = core;
+    auto engine = sim::make_engine(spec, {2, 2, 2}, 0.0, 0);
+    inject_engine_faults(*engine, schedule);
+    return engine;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 250; ++seed) {
+    const fault::FaultSchedule schedule = gen.generate(seed);
+    const auto event = build(sim::EngineCore::kEventDriven, schedule);
+    const auto tick = build(sim::EngineCore::kTickDriven, schedule);
+    for (const double t : {60.0, 150.0, 240.0, 330.0}) {
+      event->run_until(t);
+      tick->run_until(t);
+      for (std::size_t i = 0; i < base.topology.num_operators(); ++i) {
+        const sim::OperatorCounters& ce = event->counters(i);
+        const sim::OperatorCounters& ct = tick->counters(i);
+        ASSERT_EQ(ce.processed, ct.processed)
+            << "seed=" << seed << " t=" << t << " op=" << i;
+        ASSERT_EQ(ce.busy_time, ct.busy_time)
+            << "seed=" << seed << " t=" << t << " op=" << i;
+        ASSERT_EQ(ce.records_in, ct.records_in)
+            << "seed=" << seed << " t=" << t << " op=" << i;
+        ASSERT_EQ(ce.records_out, ct.records_out)
+            << "seed=" << seed << " t=" << t << " op=" << i;
+      }
+      ASSERT_EQ(event->kafka().lag(), tick->kafka().lag())
+          << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(event->kafka().total_consumed(),
+                tick->kafka().total_consumed())
+          << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(event->throughput(), tick->throughput())
+          << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(event->busy_cores(), tick->busy_cores())
+          << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(event->congestion_delay_sec(), tick->congestion_delay_sec())
+          << "seed=" << seed << " t=" << t;
+      ASSERT_EQ(event->processing_latency().mean(),
+                tick->processing_latency().mean())
           << "seed=" << seed << " t=" << t;
     }
   }
@@ -418,7 +487,7 @@ std::string render_golden(const GoldenCase& c,
       << stats.unhealthy_windows << " failure_restarts "
       << stats.failure_restarts << " rescale_retries "
       << stats.rescale_retries << " rescale_aborts " << stats.rescale_aborts
-      << "\n";
+      << " lag_drains " << stats.lag_drains << "\n";
   out << "final";
   for (int k : final_config) out << " " << k;
   out << "\n";
@@ -439,21 +508,35 @@ TEST(chaos_golden, SchedulesAndLoopStatsMatchGoldenCorpus) {
     const fault::ChaosGenerator gen(profile);
     const fault::FaultSchedule schedule = gen.generate(c.seed);
 
-    sim::ScalingSession session(
-        spec, sim::Parallelism(spec.topology.num_operators(), 1));
-    fault::FaultInjectingBackend faulted(session, schedule);
-    core::ControllerParams params;
-    params.policy_interval_sec = 60.0;
-    params.steady.target_latency_ms = 1e5;
-    params.steady.bootstrap_m = 3;
-    params.steady.max_evaluations = 6;
-    params.steady.threads = 1;
-    core::AuTraScaleController controller(
-        spec.topology, sim::make_trial_service(spec), params);
-    (void)controller.run(faulted, horizon);
+    const auto run_loop = [&](const sim::JobSpec& s) {
+      sim::ScalingSession session(
+          s, sim::Parallelism(s.topology.num_operators(), 1));
+      fault::FaultInjectingBackend faulted(session, schedule);
+      core::ControllerParams params;
+      params.policy_interval_sec = 60.0;
+      params.steady.target_latency_ms = 1e5;
+      params.steady.bootstrap_m = 3;
+      params.steady.max_evaluations = 6;
+      params.steady.threads = 1;
+      core::AuTraScaleController controller(
+          s.topology, sim::make_trial_service(s), params);
+      (void)controller.run(faulted, horizon);
+      return std::make_pair(controller.stats(), faulted.parallelism());
+    };
 
-    const std::string rendered = render_golden(
-        c, schedule, controller.stats(), faulted.parallelism());
+    const auto [stats, final_config] = run_loop(spec);
+
+    // The full MAPE loop — trials, rescales, failure restarts and all — is
+    // core-independent: the legacy tick-driven engine must land on the
+    // same pinned trace.
+    sim::JobSpec tick_spec = spec;
+    tick_spec.engine.core = sim::EngineCore::kTickDriven;
+    const auto [tick_stats, tick_final] = run_loop(tick_spec);
+    EXPECT_TRUE(stats == tick_stats) << c.name << ": tick core diverged";
+    EXPECT_EQ(final_config, tick_final) << c.name;
+
+    const std::string rendered =
+        render_golden(c, schedule, stats, final_config);
     const std::string path = golden_path(c.name);
     if (g_update_golden) {
       std::ofstream out(path, std::ios::trunc);

@@ -120,5 +120,43 @@ TEST(Cluster, RackGroupsAreDenseAndSingletonsByDefault) {
   EXPECT_NE(paper.rack_of(0), paper.rack_of(2));
 }
 
+TEST(ClusterSpec, UniformClusterShape) {
+  const ClusterSpec spec = uniform_cluster(5, 2);
+  ASSERT_EQ(spec.machines.size(), 5u);
+  EXPECT_EQ(spec.machines.front().name, "m0");
+  EXPECT_EQ(spec.machines.back().name, "m4");
+  for (std::size_t i = 0; i < spec.machines.size(); ++i) {
+    EXPECT_EQ(spec.machines[i].cores, 8);
+    EXPECT_EQ(spec.machines[i].rack, static_cast<int>(i / 2));
+  }
+  // Racks fill in order; the last one is short.
+  const Cluster c(spec);
+  EXPECT_EQ(c.total_slots(), 40);
+  ASSERT_EQ(c.racks().size(), 3u);
+  EXPECT_EQ(c.racks()[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(c.racks()[1], (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(c.racks()[2], (std::vector<std::size_t>{4}));
+
+  const Cluster custom(uniform_cluster(3, 3, 4, 2));
+  EXPECT_EQ(custom.total_slots(), 6);
+
+  EXPECT_THROW((void)uniform_cluster(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)uniform_cluster(4, 0), std::invalid_argument);
+}
+
+TEST(Cluster, ValidatesRackUplinkParameters) {
+  ClusterSpec spec = uniform_cluster(4, 2);
+  spec.rack_uplink_records_per_sec = 50000.0;
+  spec.rack_oversubscription = 2.5;
+  EXPECT_NO_THROW((void)Cluster{spec});
+
+  spec.rack_uplink_records_per_sec = -1.0;
+  EXPECT_THROW((void)Cluster{spec}, std::invalid_argument);
+
+  spec.rack_uplink_records_per_sec = 50000.0;
+  spec.rack_oversubscription = 0.99;
+  EXPECT_THROW((void)Cluster{spec}, std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace autra::sim

@@ -577,6 +577,121 @@ TEST(ControllerResilience, MachineCrashHandledEndToEnd) {
   EXPECT_LE(r.recovery_sec, horizon - schedule.last_fault_end());
 }
 
+// --- Lag-drain trigger (ResilienceParams::lag_drain_bound_sec) -------------
+
+/// The lag-drain scenario shared by the tests below: a comfortable job
+/// ({1,1,1} sustains ~100k/s against 50k/s input) whose source machine
+/// crashes at t=120 for 60 s. policy_running_time_sec = 180 keeps every
+/// post-crash window inside the stabilisation gate, so the decision log
+/// contains lag-drain entries and nothing else.
+core::ControllerParams lag_drain_params() {
+  core::ControllerParams params;
+  params.policy_interval_sec = 60.0;
+  params.policy_running_time_sec = 180.0;
+  params.steady.target_latency_ms = 1e5;
+  params.steady.bootstrap_m = 3;
+  params.steady.max_evaluations = 6;
+  return params;
+}
+
+TEST(ControllerResilience, LagDrainBoostsThenRestoresAfterCrash) {
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.machine_down(0, 120.0, 60.0, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  core::ControllerParams params = lag_drain_params();
+  params.resilience.lag_drain_bound_sec = 5.0;  // arm the trigger
+  core::AuTraScaleController controller(
+      spec.topology, sim::make_trial_service(spec), params);
+  const auto decisions = controller.run(faulted, 360.0);
+
+  EXPECT_EQ(controller.stats().failure_restarts, 1);
+  EXPECT_EQ(controller.stats().lag_drains, 1);
+  ASSERT_EQ(decisions.size(), 2u);
+  // The boost: every operator scaled by ceil(1 * 1.5) = 2, applied once.
+  EXPECT_EQ(decisions[0].trigger, core::ScalingTrigger::kLagDrain);
+  EXPECT_EQ(decisions[0].algorithm, "lag-drain");
+  EXPECT_EQ(decisions[0].applied, runtime::Parallelism({2, 2, 2}));
+  EXPECT_FALSE(decisions[0].execute_failed);
+  // The restore: back to the pre-drain configuration once the lag is
+  // below bound * rate.
+  EXPECT_EQ(decisions[1].trigger, core::ScalingTrigger::kLagDrain);
+  EXPECT_EQ(decisions[1].algorithm, "lag-drain-restore");
+  EXPECT_EQ(decisions[1].applied, runtime::Parallelism({1, 1, 1}));
+  EXPECT_EQ(faulted.parallelism(), runtime::Parallelism({1, 1, 1}));
+  // The downtime backlog is actually gone by the horizon.
+  EXPECT_LT(faulted.window_metrics().kafka_lag, 5.0 * 50000.0);
+}
+
+TEST(ControllerResilience, LagDrainGivesUpAtIntervalCap) {
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.machine_down(0, 120.0, 60.0, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  core::ControllerParams params = lag_drain_params();
+  params.resilience.lag_drain_bound_sec = 0.001;  // ~unreachable bound
+  params.resilience.lag_drain_max_intervals = 1;
+  core::AuTraScaleController controller(
+      spec.topology, sim::make_trial_service(spec), params);
+  const auto decisions = controller.run(faulted, 300.0);
+
+  // One drain window, then the cap restores unconditionally.
+  EXPECT_EQ(controller.stats().lag_drains, 1);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[1].algorithm, "lag-drain-restore");
+  EXPECT_EQ(faulted.parallelism(), runtime::Parallelism({1, 1, 1}));
+}
+
+TEST(ControllerResilience, LagDrainBoostFailureIsSingleAttempt) {
+  // An environment that cannot rescale right after a crash: the boost is
+  // attempted exactly once, recorded as failed, and never retried — the
+  // drain is an opportunistic optimisation, not a correctness action.
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.machine_down(0, 120.0, 60.0, 10.0);
+  sched.rescale_failure(0.0, 3600.0, 0);  // every attempt fails
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  core::ControllerParams params = lag_drain_params();
+  params.resilience.lag_drain_bound_sec = 5.0;
+  core::AuTraScaleController controller(
+      spec.topology, sim::make_trial_service(spec), params);
+  const auto decisions = controller.run(faulted, 360.0);
+
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].trigger, core::ScalingTrigger::kLagDrain);
+  EXPECT_TRUE(decisions[0].execute_failed);
+  EXPECT_EQ(decisions[0].applied, runtime::Parallelism({1, 1, 1}));
+  EXPECT_EQ(decisions[0].rescale_retries, 1);
+  EXPECT_EQ(controller.stats().lag_drains, 0);  // never entered the drain
+  EXPECT_EQ(controller.stats().rescale_retries, 1);
+  EXPECT_EQ(controller.stats().rescale_aborts, 0);
+  EXPECT_EQ(faulted.parallelism(), runtime::Parallelism({1, 1, 1}));
+}
+
+TEST(ControllerResilience, LagDrainIsInertByDefault) {
+  // Default ResilienceParams: the same crash produces a restart and
+  // nothing else — no boost, no decision, no stats movement.
+  sim::JobSpec spec = chain_spec(50000.0);
+  fault::FaultSchedule sched;
+  sched.machine_down(0, 120.0, 60.0, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1});
+  fault::FaultInjectingBackend faulted(session, sched);
+
+  core::AuTraScaleController controller(
+      spec.topology, sim::make_trial_service(spec), lag_drain_params());
+  const auto decisions = controller.run(faulted, 360.0);
+
+  EXPECT_TRUE(decisions.empty());
+  EXPECT_EQ(controller.stats().failure_restarts, 1);
+  EXPECT_EQ(controller.stats().lag_drains, 0);
+}
+
 TEST(Resilience, RejectsUnknownPolicy) {
   const sim::JobSpec spec = chain_spec(30000.0);
   EXPECT_THROW(

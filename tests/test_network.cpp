@@ -1,0 +1,237 @@
+// Unit tests of the flow-level rack/uplink network model (DESIGN.md §11):
+// per-edge uplink weights derived from the placement, topology-order
+// budget sharing, oversubscription, partition cuts as zero-capacity links,
+// and engine-level checks that finite uplinks cap throughput.
+#include "streamsim/network.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "streamsim/engine.hpp"
+
+namespace autra::sim {
+namespace {
+
+Topology chain2() {
+  Topology t;
+  t.add_operator({.name = "src",
+                  .kind = OperatorKind::kSource,
+                  .process_us = 2.0});
+  t.add_operator({.name = "sink",
+                  .kind = OperatorKind::kSink,
+                  .selectivity = 0.0,
+                  .process_us = 2.0});
+  t.connect(0, 1);
+  return t;
+}
+
+Topology chain3() {
+  Topology t;
+  t.add_operator({.name = "src",
+                  .kind = OperatorKind::kSource,
+                  .process_us = 2.0});
+  t.add_operator({.name = "mid",
+                  .kind = OperatorKind::kStateless,
+                  .selectivity = 1.0,
+                  .process_us = 5.0});
+  t.add_operator({.name = "sink",
+                  .kind = OperatorKind::kSink,
+                  .selectivity = 0.0,
+                  .process_us = 2.0});
+  t.connect(0, 1);
+  t.connect(1, 2);
+  return t;
+}
+
+ClusterSpec uplinked(std::size_t machines, std::size_t per_rack,
+                     double uplink, double oversub = 1.0) {
+  ClusterSpec spec = uniform_cluster(machines, per_rack);
+  spec.rack_uplink_records_per_sec = uplink;
+  spec.rack_oversubscription = oversub;
+  return spec;
+}
+
+// With k instances round-robined over 4 machines in 2 racks, each edge
+// endpoint splits 50/50 across the racks, so the uniform-shuffle weight
+// w_r = f_u (1 - f_d) + (1 - f_u) f_d is exactly 0.5 on both uplinks.
+TEST(NetworkModel, CrossRackWeightsMatchPlacement) {
+  const Topology t = chain3();
+  const Cluster cluster{uplinked(4, 2, 1000.0)};
+  const Parallelism p{4, 4, 4};
+  const NetworkModel nm(t, cluster, p);
+
+  ASSERT_TRUE(nm.constrained());
+  EXPECT_DOUBLE_EQ(nm.uplink_records_per_sec(), 1000.0);
+  for (const std::size_t op : {0ul, 1ul}) {
+    const auto& w = nm.edge_rack_weights(op, 0);
+    ASSERT_EQ(w.size(), 2u) << "op=" << op;
+    EXPECT_EQ(w[0].first, 0u);
+    EXPECT_DOUBLE_EQ(w[0].second, 0.5);
+    EXPECT_EQ(w[1].first, 1u);
+    EXPECT_DOUBLE_EQ(w[1].second, 0.5);
+  }
+}
+
+TEST(NetworkModel, IntraRackTrafficNeverTouchesTheUplink) {
+  const Topology t = chain2();
+  // Both machines in one rack: all shuffle traffic stays under the ToR.
+  const Cluster one_rack{uplinked(2, 2, 1000.0)};
+  const Parallelism p22{2, 2};
+  const NetworkModel nm(t, one_rack, p22);
+  EXPECT_TRUE(nm.edge_rack_weights(0, 0).empty());
+
+  // Both operator instances on the same machine: likewise free.
+  const Parallelism p11{1, 1};
+  const NetworkModel same_machine(t, one_rack, p11);
+  EXPECT_TRUE(same_machine.edge_rack_weights(0, 0).empty());
+}
+
+TEST(NetworkModel, AsymmetricPlacementWeighsTheSourceRackHeaviest) {
+  // src is a single instance in rack 0; the sink's 6 instances spread 2
+  // per rack over 3 racks. Rack 0 carries the outbound 2/3 of the
+  // exchange; racks 1 and 2 each receive their 1/3 share.
+  const Topology t = chain2();
+  const Cluster cluster{uplinked(6, 2, 1000.0)};
+  const Parallelism p{1, 6};
+  const NetworkModel nm(t, cluster, p);
+
+  const auto& w = nm.edge_rack_weights(0, 0);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].first, 0u);
+  EXPECT_NEAR(w[0].second, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(w[1].first, 1u);
+  EXPECT_NEAR(w[1].second, 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(w[2].first, 2u);
+  EXPECT_NEAR(w[2].second, 1.0 / 3.0, 1e-12);
+}
+
+TEST(NetworkModel, EdgesClaimBudgetInTopologyOrder) {
+  const Topology t = chain3();
+  const Cluster cluster{uplinked(4, 2, 1000.0)};
+  const Parallelism p{4, 4, 4};
+  NetworkModel nm(t, cluster, p);
+  const std::vector<std::size_t> none;
+
+  // dt = 1 s: each rack starts the tick with 1000 records of budget, and
+  // an edge with weight 0.5 can move at most 1000 / 0.5 = 2000 records.
+  nm.begin_tick(1.0, none);
+  EXPECT_DOUBLE_EQ(nm.edge_limit(0, 0), 2000.0);
+
+  // The upstream edge moves 1500 records, charging 750 against each rack;
+  // the downstream edge is left 250 / 0.5 = 500.
+  nm.consume(0, 0, 1500.0);
+  EXPECT_DOUBLE_EQ(nm.edge_limit(1, 0), 500.0);
+  nm.consume(1, 0, 500.0);
+  EXPECT_DOUBLE_EQ(nm.edge_limit(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(nm.edge_limit(0, 0), 0.0);
+
+  // A new tick resets the budgets in full.
+  nm.begin_tick(1.0, none);
+  EXPECT_DOUBLE_EQ(nm.edge_limit(0, 0), 2000.0);
+}
+
+TEST(NetworkModel, OversubscriptionTapersTheUplink) {
+  const Topology t = chain3();
+  const Cluster cluster{uplinked(4, 2, 1000.0, 4.0)};
+  const Parallelism p{4, 4, 4};
+  NetworkModel nm(t, cluster, p);
+  EXPECT_DOUBLE_EQ(nm.uplink_records_per_sec(), 250.0);
+  const std::vector<std::size_t> none;
+  nm.begin_tick(1.0, none);
+  EXPECT_DOUBLE_EQ(nm.edge_limit(0, 0), 500.0);
+}
+
+TEST(NetworkModel, PartitionCutIsAZeroCapacityLink) {
+  const Topology t = chain3();
+  const Cluster cluster{uplinked(4, 2, 1000.0)};
+  const Parallelism p{4, 4, 4};
+  NetworkModel nm(t, cluster, p);
+
+  // Island = rack 0. Every operator has instances on both sides, so every
+  // edge is cut while the partition is active — and only then.
+  EXPECT_EQ(nm.add_partition({1, 1, 0, 0}), 0u);
+  EXPECT_EQ(nm.num_partitions(), 1u);
+  const std::vector<std::size_t> active{0};
+  nm.begin_tick(1.0, active);
+  EXPECT_TRUE(nm.edge_cut(0, 0));
+  EXPECT_DOUBLE_EQ(nm.edge_limit(0, 0), 0.0);
+
+  const std::vector<std::size_t> none;
+  nm.begin_tick(1.0, none);
+  EXPECT_FALSE(nm.edge_cut(0, 0));
+  EXPECT_DOUBLE_EQ(nm.edge_limit(0, 0), 2000.0);
+
+  // A configuration living entirely inside the island is unaffected:
+  // machines 0 and 1 host every instance of a k=2 job.
+  const Parallelism p2{2, 2, 2};
+  NetworkModel inside(t, cluster, p2);
+  EXPECT_EQ(inside.add_partition({1, 1, 0, 0}), 0u);
+  inside.begin_tick(1.0, active);
+  EXPECT_FALSE(inside.edge_cut(0, 0));
+  EXPECT_GT(inside.edge_limit(0, 0), 0.0);
+
+  EXPECT_THROW(nm.add_partition({1, 1, 0}), std::invalid_argument);
+}
+
+TEST(NetworkModel, UnconstrainedClusterIsFreeExceptForCuts) {
+  const Topology t = chain3();
+  const Cluster cluster{uniform_cluster(4, 2)};  // no uplink configured
+  const Parallelism p{4, 4, 4};
+  NetworkModel nm(t, cluster, p);
+
+  EXPECT_FALSE(nm.constrained());
+  EXPECT_DOUBLE_EQ(nm.uplink_records_per_sec(), 0.0);
+  const std::vector<std::size_t> none;
+  nm.begin_tick(0.05, none);
+  EXPECT_TRUE(std::isinf(nm.edge_limit(0, 0)));
+  nm.consume(0, 0, 1e9);  // no budgets to charge
+  EXPECT_TRUE(std::isinf(nm.edge_limit(0, 0)));
+
+  // Partitions still cut edges: the degenerate zero-capacity case works
+  // without any bandwidth accounting.
+  EXPECT_EQ(nm.add_partition({1, 1, 0, 0}), 0u);
+  const std::vector<std::size_t> active{0};
+  nm.begin_tick(0.05, active);
+  EXPECT_DOUBLE_EQ(nm.edge_limit(0, 0), 0.0);
+}
+
+TEST(NetworkModel, UplinkCapsEngineThroughput) {
+  // Two racks of one machine each, 10k records/s of effective uplink.
+  // A k=2 shuffle splits 50/50 across the racks (w = 0.5), so the edge can
+  // move at most 10k / 0.5 = 20k records/s: the engine must pin throughput
+  // there and let the rest pile up as Kafka lag.
+  const auto run = [](ClusterSpec spec) {
+    EngineParams params;
+    params.measurement_noise = 0.0;
+    auto e = std::make_unique<Engine>(
+        chain2(), Cluster(std::move(spec)), Parallelism{2, 2},
+        std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(50000.0)),
+        params);
+    e->run_until(20.0);
+    e->reset_counters();
+    e->run_until(50.0);
+    return e;
+  };
+
+  const auto capped = run(uplinked(2, 1, 10000.0));
+  EXPECT_DOUBLE_EQ(capped->network().uplink_records_per_sec(), 10000.0);
+  EXPECT_NEAR(capped->throughput(), 20000.0, 2000.0);
+  EXPECT_GT(capped->kafka().lag(), 5e5);  // ~30k/s shortfall over 30 s
+
+  // Same job and placement with the oversubscription taper: 40k raw
+  // uplink at 4:1 is the same effective 10k.
+  const auto tapered = run(uplinked(2, 1, 40000.0, 4.0));
+  EXPECT_DOUBLE_EQ(tapered->network().uplink_records_per_sec(), 10000.0);
+  EXPECT_NEAR(tapered->throughput(), 20000.0, 2000.0);
+
+  // And without uplinks the same job runs at the offered rate.
+  const auto unconstrained = run(uniform_cluster(2, 1));
+  EXPECT_NEAR(unconstrained->throughput(), 50000.0, 2500.0);
+  EXPECT_LT(unconstrained->kafka().lag(), 5e4);
+}
+
+}  // namespace
+}  // namespace autra::sim
