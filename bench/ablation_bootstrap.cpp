@@ -62,7 +62,8 @@ int main() {
 
   sim::JobSpec spec =
       workloads::word_count(std::make_shared<sim::ConstantRate>(350e3));
-  sim::JobRunner runner(std::move(spec), 60.0, 60.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator evaluate = core::make_runner_evaluator(runner);
   const core::ThroughputOptimizer opt(
       runner.spec().topology,

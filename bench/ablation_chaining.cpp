@@ -29,7 +29,8 @@ struct Row {
 Row optimize(const sim::JobSpec& spec, double rate, double latency_ms) {
   sim::JobSpec copy = spec;
   copy.schedule = std::make_shared<sim::ConstantRate>(rate);
-  sim::JobRunner runner(std::move(copy), 60.0, 60.0);
+  sim::JobRunner runner(std::move(copy),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator eval = core::make_runner_evaluator(runner);
   const core::ThroughputOptimizer opt(
       runner.spec().topology,

@@ -26,7 +26,8 @@ int main() {
       sim::JobSpec spec = workloads::word_count(
           std::make_shared<sim::ConstantRate>(3e6));  // never input-limited
       spec.engine.interference.enabled = enabled;
-      sim::JobRunner runner(std::move(spec), 30.0, 30.0);
+      sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 30.0, .measure_sec = 30.0});
       const sim::JobMetrics m = runner.measure(sim::Parallelism(4, p));
       if (p == 1) t1 = m.throughput;
       std::printf("%6d %12.1f %17.0f%%\n", p, m.throughput / 1e3,
@@ -37,7 +38,8 @@ int main() {
     sim::JobSpec spec = workloads::word_count(
         std::make_shared<sim::ConstantRate>(350e3));
     spec.engine.interference.enabled = enabled;
-    sim::JobRunner runner(std::move(spec), 30.0, 30.0);
+    sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 30.0, .measure_sec = 30.0});
     const core::Evaluator evaluate = core::make_runner_evaluator(runner);
     const baselines::Ds2Policy ds2(
         runner.spec().topology,

@@ -104,7 +104,8 @@ int main(int argc, char** argv) {
         std::make_shared<sim::ConstantRate>(300e3));
     spec.engine.tick_sec = tick;
     spec.engine.measurement_noise = 0.0;
-    sim::JobRunner runner(std::move(spec), 60.0, 120.0);
+    sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 60.0, .measure_sec = 120.0});
 
     const auto t0 = std::chrono::steady_clock::now();
     const sim::JobMetrics m = runner.measure(sim::Parallelism(4, 3));

@@ -13,8 +13,9 @@ namespace {
 using namespace autra;
 
 sim::JobRunner q5_runner(double rate) {
-  return {workloads::nexmark_q5(std::make_shared<sim::ConstantRate>(rate)),
-          60.0, 60.0};
+  return sim::JobRunner(
+      workloads::nexmark_q5(std::make_shared<sim::ConstantRate>(rate)),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
 }
 
 sim::Parallelism base_of(sim::JobRunner& runner, double target) {

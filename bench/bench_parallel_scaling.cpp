@@ -6,17 +6,31 @@
 // layer guarantees it — that the decisions are identical at every thread
 // count. Speedup is bounded by the physical cores of the machine running
 // the bench; the determinism column must read "yes" everywhere regardless.
+// Wall time and speedup vary with the host, so the committed JSON baseline
+// is meaningful for the determinism flag and evaluation counts only.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/steady_rate.hpp"
 #include "core/throughput_opt.hpp"
 #include "workloads/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace autra;
   using Clock = std::chrono::steady_clock;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
 
   bench::header(
       "Plan-stage parallel scaling — Alg. 1 on the Table-IV synthetic "
@@ -25,7 +39,8 @@ int main() {
   const auto run_once = [](int threads) {
     sim::JobSpec spec = workloads::synthetic_chain(
         6, std::make_shared<sim::ConstantRate>(220e3), 10.0);
-    sim::JobRunner runner(std::move(spec), 60.0, 60.0);
+    sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
     const core::Evaluator evaluate = core::make_runner_evaluator(runner);
 
     const core::ThroughputOptimizer opt(
@@ -53,6 +68,7 @@ int main() {
   std::printf("%8s %10s %8s %-18s %8s %6s %6s %6s\n", "threads", "time[s]",
               "speedup", "best config", "score", "boot", "bo", "same");
 
+  bench::JsonReport report("bench_parallel_scaling");
   double serial_sec = 0.0;
   core::SteadyRateResult serial;
   for (const int threads : {1, 2, 4, 8}) {
@@ -68,11 +84,25 @@ int main() {
                 serial_sec / sec, bench::cfg(r.best).c_str(), r.best_score,
                 r.bootstrap_evaluations, r.bo_iterations,
                 same ? "yes" : "NO");
+    report.row()
+        .num("threads", threads)
+        .num("time_sec", sec)
+        .num("speedup", serial_sec / sec)
+        .str("best_config", bench::cfg(r.best))
+        .num("best_score", r.best_score)
+        .num("bootstrap_evaluations", r.bootstrap_evaluations)
+        .num("bo_iterations", r.bo_iterations)
+        .num("deterministic", same ? 1 : 0);
   }
 
   std::printf(
       "\nShape check: the 'same' column must read yes at every thread "
       "count (bit-identical decisions); speedup saturates at the "
       "machine's physical core count.\n");
+
+  if (!json_path.empty()) {
+    if (!report.write(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

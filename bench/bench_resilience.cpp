@@ -22,6 +22,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -41,8 +42,25 @@ void print(const fault::ResilienceReport& r) {
               r.failure_restarts, r.failed_rescales, r.decisions);
 }
 
+void report_row(bench::JsonReport& report, const char* schedule,
+                const fault::ResilienceReport& r) {
+  report.row()
+      .str("schedule", schedule)
+      .str("policy", r.policy)
+      .num("mean_throughput", r.mean_throughput)
+      .num("violation_sec", r.violation_sec)
+      .num("max_lag", r.max_lag)
+      .num("end_lag", r.end_lag)
+      .num("recovery_sec", r.recovery_sec)
+      .num("restarts", r.restarts)
+      .num("failure_restarts", r.failure_restarts)
+      .num("failed_rescales", r.failed_rescales)
+      .num("decisions", r.decisions);
+}
+
 void run_schedule(const char* name, double horizon,
-                  const std::vector<std::string>& policies) {
+                  const std::vector<std::string>& policies,
+                  bench::JsonReport& report) {
   bench::header(name);
   std::printf("%-11s %9s %9s %10s %9s %9s %5s %4s %5s %5s\n", "policy",
               "thr [/s]", "viol [s]", "maxlag[k]", "endlag[k]", "recov[s]",
@@ -54,7 +72,10 @@ void run_schedule(const char* name, double horizon,
     opt.horizon_sec = horizon;
     sim::JobSpec spec = workloads::word_count(
         std::make_shared<sim::ConstantRate>(250e3));
-    print(fault::run_resilience(policy, spec, schedule, opt));
+    const fault::ResilienceReport r =
+        fault::run_resilience(policy, spec, schedule, opt);
+    print(r);
+    report_row(report, name, r);
   }
 }
 
@@ -66,7 +87,7 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
-void run_chaos(int schedules, bool smoke) {
+void run_chaos(int schedules, bool smoke, bench::JsonReport& report) {
   const double horizon = smoke ? 600.0 : 1800.0;
   const std::vector<std::string> policies =
       smoke ? std::vector<std::string>{"autrascale", "threshold"}
@@ -115,6 +136,17 @@ void run_chaos(int schedules, bool smoke) {
                 percentile(violations, 0.90), percentile(violations, 0.99),
                 thr_sum / n, maxlag_sum / n / 1e3,
                 100.0 * recovered / n, failure_restarts);
+    report.row()
+        .str("schedule", "chaos")
+        .str("policy", policy)
+        .num("schedules", schedules)
+        .num("violation_p50", percentile(violations, 0.50))
+        .num("violation_p90", percentile(violations, 0.90))
+        .num("violation_p99", percentile(violations, 0.99))
+        .num("mean_throughput", thr_sum / n)
+        .num("mean_max_lag", maxlag_sum / n)
+        .num("recovered_fraction", recovered / n)
+        .num("failure_restarts", failure_restarts);
   }
 
   std::printf(
@@ -133,6 +165,7 @@ void run_chaos(int schedules, bool smoke) {
 int main(int argc, char** argv) {
   bool smoke = false;
   int chaos = 0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -142,14 +175,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--chaos needs a positive schedule count\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--chaos N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--chaos N] [--json PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
 
+  bench::JsonReport report("bench_resilience");
+
   if (chaos > 0) {
-    run_chaos(chaos, smoke);
+    run_chaos(chaos, smoke, report);
+    if (!json_path.empty()) {
+      if (!report.write(json_path)) return 1;
+      std::printf("wrote %s\n", json_path.c_str());
+    }
     return 0;
   }
 
@@ -158,10 +200,10 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::string>{"autrascale", "threshold"}
             : fault::resilience_policies();
 
-  run_schedule("machine-crash", horizon, policies);
+  run_schedule("machine-crash", horizon, policies, report);
   if (!smoke) {
-    run_schedule("metric-chaos", horizon, policies);
-    run_schedule("degraded-cluster", horizon, policies);
+    run_schedule("metric-chaos", horizon, policies, report);
+    run_schedule("degraded-cluster", horizon, policies, report);
   }
 
   std::printf(
@@ -173,5 +215,10 @@ int main(int argc, char** argv) {
       "instead of acting on them. Under degraded-cluster the transient "
       "rescale failures cost the baselines whole intervals; AuTraScale "
       "retries with backoff.\n");
+
+  if (!json_path.empty()) {
+    if (!report.write(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -75,7 +75,8 @@ Timeline run_static(const sim::Parallelism& config) {
 
 Timeline run_controller() {
   sim::JobSpec spec = workloads::word_count(staircase());
-  sim::ScalingSession session(spec, sim::Parallelism(4, 1), 10.0);
+  sim::ScalingSession session(spec, sim::Parallelism(4, 1),
+      {.restart_downtime_sec = 10.0});
   core::ControllerParams params;
   params.steady.target_latency_ms = 200.0;
   params.steady.target_throughput = 0.0;  // track the rate

@@ -19,7 +19,8 @@ int main() {
   for (int p = 1; p <= 6; ++p) {
     sim::JobSpec spec = workloads::word_count(
         std::make_shared<sim::ConstantRate>(300e3));
-    sim::JobRunner runner(std::move(spec), 120.0, 120.0);
+    sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 120.0, .measure_sec = 120.0});
     const sim::JobMetrics m = runner.measure(sim::Parallelism(4, p));
     if (p == 1) p1_throughput = m.throughput;
     std::printf("%6d %12.1f %14.1f %14.0f %16.1f\n", p, m.throughput / 1e3,

@@ -41,7 +41,8 @@ int main() {
               "iters", "stop");
 
   for (Case& c : cases) {
-    sim::JobRunner runner(std::move(c.spec), 60.0, 60.0);
+    sim::JobRunner runner(std::move(c.spec),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
     const core::Evaluator evaluate = core::make_runner_evaluator(runner);
     const core::ThroughputOptimizer opt(
         runner.spec().topology,

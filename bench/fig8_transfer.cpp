@@ -30,7 +30,8 @@ struct QueryCase {
 };
 
 sim::JobRunner make_runner(const QueryCase& q, double rate) {
-  return {q.make(std::make_shared<sim::ConstantRate>(rate)), 60.0, 60.0};
+  return sim::JobRunner(q.make(std::make_shared<sim::ConstantRate>(rate)),
+                        {.warmup_sec = 60.0, .measure_sec = 60.0});
 }
 
 sim::Parallelism base_config(sim::JobRunner& runner, double target) {

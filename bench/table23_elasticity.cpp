@@ -42,7 +42,8 @@ struct Scenario {
 };
 
 std::vector<MethodResult> run_scenario(Scenario& sc) {
-  sim::JobRunner runner(std::move(sc.spec), 60.0, 60.0);
+  sim::JobRunner runner(std::move(sc.spec),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator evaluate = core::make_runner_evaluator(runner);
   const auto& topology = runner.spec().topology;
   const int p_max = runner.max_parallelism();

@@ -194,7 +194,8 @@ int main(int argc, char** argv) {
   if (!opt.faults.empty()) return run_faulted(opt);
   const double target_thr = opt.throughput > 0.0 ? opt.throughput : opt.rate;
 
-  sim::JobRunner runner(make_spec(opt), 60.0, 60.0);
+  sim::JobRunner runner(make_spec(opt),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator evaluate = core::make_runner_evaluator(runner);
   const auto& topology = runner.spec().topology;
   const int p_max = runner.max_parallelism();

@@ -19,7 +19,8 @@ namespace {
 autra::sim::JobRunner make_runner(double rate) {
   auto spec = autra::workloads::nexmark_q5(
       std::make_shared<autra::sim::ConstantRate>(rate));
-  return {std::move(spec), 60.0, 60.0};
+  return autra::sim::JobRunner(
+      std::move(spec), {.warmup_sec = 60.0, .measure_sec = 60.0});
 }
 
 autra::sim::Parallelism base_config(autra::sim::JobRunner& runner) {

@@ -45,7 +45,8 @@ int main() {
 
   sim::JobSpec spec =
       workloads::word_count(std::make_shared<sim::ConstantRate>(rate));
-  sim::JobRunner runner(std::move(spec), 60.0, 60.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator evaluate = core::make_runner_evaluator(runner);
   const auto& topology = runner.spec().topology;
   const int p_max = runner.max_parallelism();

@@ -24,8 +24,8 @@ int main() {
 
   // The evaluation harness: each measure() is one "run the job with this
   // configuration for the policy running time" trial.
-  sim::JobRunner runner(std::move(spec), /*warmup_sec=*/60.0,
-                        /*measure_sec=*/60.0);
+  sim::JobRunner runner(std::move(spec),
+                        {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator evaluate = core::make_runner_evaluator(runner);
 
   // Step 1: throughput optimisation from parallelism 1.

@@ -22,7 +22,8 @@ int main() {
   const double rate = 60000.0;  // input exceeds what Redis can absorb
   sim::JobSpec spec =
       workloads::yahoo_streaming(std::make_shared<sim::ConstantRate>(rate));
-  sim::JobRunner runner(std::move(spec), 60.0, 60.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator evaluate = core::make_runner_evaluator(runner);
 
   std::printf("input rate %.0fk rec/s; Redis capacity %.0fk calls/s\n\n",
@@ -67,7 +68,7 @@ int main() {
   // target rate, which the capped job can sustain.
   sim::JobRunner qos_runner(
       workloads::yahoo_streaming(std::make_shared<sim::ConstantRate>(34000.0)),
-      60.0, 60.0);
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const core::Evaluator qos_eval = core::make_runner_evaluator(qos_runner);
   const core::ThroughputOptimizer qos_opt(
       qos_runner.spec().topology,

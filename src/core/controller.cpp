@@ -148,6 +148,7 @@ AuTraScaleController::AuTraScaleController(
         "AuTraScaleController: policy running time must be at least the "
         "policy interval");
   }
+  stats_.tenant = params_.tenant;
 }
 
 ScalingTrigger AuTraScaleController::analyze(
@@ -195,6 +196,7 @@ ControlDecision AuTraScaleController::plan_and_execute(
   ControlDecision decision;
   decision.time = session.now();
   decision.trigger = trigger;
+  decision.tenant = params_.tenant;
 
   // The Plan stage evaluates candidates on fresh-start trials of the same
   // job at the current rate (each is one real job restart in the paper).
@@ -292,6 +294,7 @@ void AuTraScaleController::maybe_start_lag_drain(
   decision.trigger = ScalingTrigger::kLagDrain;
   decision.algorithm = "lag-drain";
   decision.applied = boosted;
+  decision.tenant = params_.tenant;
   // A single attempt only: the drain is an opportunistic optimisation, and
   // a cluster that cannot rescale right after a crash recovery should not
   // be hammered with retries for it.
@@ -333,6 +336,7 @@ bool AuTraScaleController::lag_drain_step(
   decision.trigger = ScalingTrigger::kLagDrain;
   decision.algorithm = "lag-drain-restore";
   decision.applied = lag_drain_saved_;
+  decision.tenant = params_.tenant;
   try {
     session.reconfigure(lag_drain_saved_);
   } catch (const runtime::RescaleFailed&) {
@@ -346,73 +350,83 @@ bool AuTraScaleController::lag_drain_step(
   return true;
 }
 
+void AuTraScaleController::prime(const runtime::StreamingBackend& session) {
+  stable_since_ = session.now();
+  known_restarts_ = session.restarts();
+}
+
+void AuTraScaleController::observe_window(
+    runtime::StreamingBackend& session, double t0,
+    std::vector<ControlDecision>& decisions) {
+  const double t1 = session.now();
+  ++stats_.windows;
+
+  // A restart the controller did not command (crash recovery inside the
+  // backend) contaminates this window and restarts the stabilisation
+  // clock, with optional extra cooldown while the recovered job drains
+  // the lag it accumulated during downtime. When the lag-drain trigger
+  // is armed, the recovery also enters a temporary over-provisioned
+  // configuration instead of waiting the lag out at steady state.
+  if (session.restarts() != known_restarts_) {
+    known_restarts_ = session.restarts();
+    ++stats_.failure_restarts;
+    ++stats_.unhealthy_windows;
+    stable_since_ = t1 + params_.resilience.failure_cooldown_sec;
+    maybe_start_lag_drain(session, decisions);
+    known_restarts_ = session.restarts();  // The boost was commanded.
+    return;  // Never decide on a window that overlaps the recovery.
+  }
+  // An active drain owns the loop (before the stabilisation gate: the
+  // whole point is to act while the job would otherwise sit in cooldown)
+  // and skips Analyze/Plan until the lag bound or interval cap hits.
+  if (lag_draining_) {
+    const AggregatedMetrics dm =
+        aggregator_.aggregate(session.history(), t0, t1, nullptr);
+    if (lag_drain_step(session, dm, decisions)) {
+      if (!lag_draining_) {
+        // Just restored: the commanded restart restabilises as usual.
+        stable_since_ = session.now();
+        known_restarts_ = session.restarts();
+      }
+      return;
+    }
+  }
+  if (t1 - stable_since_ < params_.policy_running_time_sec) {
+    return;  // Job still stabilising after the last restart.
+  }
+
+  // Window health is graded only when a gauge cadence is configured —
+  // the guard costs nothing on a healthy deployment.
+  WindowHealth health;
+  const bool guard = params_.resilience.metric_interval_sec > 0.0;
+  const AggregatedMetrics m = aggregator_.aggregate(
+      session.history(), t0, t1, guard ? &health : nullptr);
+  if (!health.healthy()) {
+    ++stats_.unhealthy_windows;
+    return;  // Never decide on a window the Monitor path corrupted.
+  }
+  const ScalingTrigger trigger = analyze(m, session.parallelism());
+  if (trigger == ScalingTrigger::kNone) return;
+
+  const double rate = m.input_rate > 0.0
+                          ? m.input_rate
+                          : trials_->scheduled_rate_at(session.now());
+  decisions.push_back(plan_and_execute(session, trigger, rate));
+  stable_since_ = session.now();
+  known_restarts_ = session.restarts();
+}
+
 std::vector<ControlDecision> AuTraScaleController::run(
     runtime::StreamingBackend& session, double until_sec) {
   std::vector<ControlDecision> decisions;
-  double stable_since = session.now();
-  int known_restarts = session.restarts();
+  prime(session);
 
   while (session.now() < until_sec) {
     session.reset_window();
     const double t0 = session.now();
     session.run_for(
         std::min(params_.policy_interval_sec, until_sec - session.now()));
-    const double t1 = session.now();
-    ++stats_.windows;
-
-    // A restart the controller did not command (crash recovery inside the
-    // backend) contaminates this window and restarts the stabilisation
-    // clock, with optional extra cooldown while the recovered job drains
-    // the lag it accumulated during downtime. When the lag-drain trigger
-    // is armed, the recovery also enters a temporary over-provisioned
-    // configuration instead of waiting the lag out at steady state.
-    if (session.restarts() != known_restarts) {
-      known_restarts = session.restarts();
-      ++stats_.failure_restarts;
-      ++stats_.unhealthy_windows;
-      stable_since = t1 + params_.resilience.failure_cooldown_sec;
-      maybe_start_lag_drain(session, decisions);
-      known_restarts = session.restarts();  // The boost was commanded.
-      continue;  // Never decide on a window that overlaps the recovery.
-    }
-    // An active drain owns the loop (before the stabilisation gate: the
-    // whole point is to act while the job would otherwise sit in cooldown)
-    // and skips Analyze/Plan until the lag bound or interval cap hits.
-    if (lag_draining_) {
-      const AggregatedMetrics dm =
-          aggregator_.aggregate(session.history(), t0, t1, nullptr);
-      if (lag_drain_step(session, dm, decisions)) {
-        if (!lag_draining_) {
-          // Just restored: the commanded restart restabilises as usual.
-          stable_since = session.now();
-          known_restarts = session.restarts();
-        }
-        continue;
-      }
-    }
-    if (t1 - stable_since < params_.policy_running_time_sec) {
-      continue;  // Job still stabilising after the last restart.
-    }
-
-    // Window health is graded only when a gauge cadence is configured —
-    // the guard costs nothing on a healthy deployment.
-    WindowHealth health;
-    const bool guard = params_.resilience.metric_interval_sec > 0.0;
-    const AggregatedMetrics m = aggregator_.aggregate(
-        session.history(), t0, t1, guard ? &health : nullptr);
-    if (!health.healthy()) {
-      ++stats_.unhealthy_windows;
-      continue;  // Never decide on a window the Monitor path corrupted.
-    }
-    const ScalingTrigger trigger = analyze(m, session.parallelism());
-    if (trigger == ScalingTrigger::kNone) continue;
-
-    const double rate = m.input_rate > 0.0
-                            ? m.input_rate
-                            : trials_->scheduled_rate_at(session.now());
-    decisions.push_back(plan_and_execute(session, trigger, rate));
-    stable_since = session.now();
-    known_restarts = session.restarts();
+    observe_window(session, t0, decisions);
   }
   return decisions;
 }

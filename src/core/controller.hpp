@@ -32,6 +32,7 @@
 #include "core/throughput_opt.hpp"
 #include "core/transfer.hpp"
 #include "runtime/backend.hpp"
+#include "runtime/tenant.hpp"
 #include "streamsim/topology.hpp"
 
 namespace autra::core {
@@ -162,6 +163,8 @@ struct LoopStats {
   int rescale_retries = 0;    ///< RescaleFailed caught and retried.
   int rescale_aborts = 0;     ///< Decisions abandoned after max retries.
   int lag_drains = 0;         ///< Post-recovery lag-drain boosts entered.
+  /// Which tenant's loop these counters describe (invalid = single-tenant).
+  runtime::TenantId tenant;
 
   friend bool operator==(const LoopStats&, const LoopStats&) = default;
 };
@@ -178,6 +181,10 @@ struct ControllerParams {
   double policy_running_time_sec = 120.0;
   /// Relative rate change that counts as "the rate changed".
   double rate_change_tolerance = 0.10;
+  /// Tenant this controller acts for on a shared cluster; stamped into
+  /// LoopStats and every ControlDecision. Invalid (default) means
+  /// single-tenant.
+  runtime::TenantId tenant;
 };
 
 /// Decision record for observability/tests.
@@ -189,6 +196,8 @@ struct ControlDecision {
   int evaluations = 0;
   int rescale_retries = 0;     ///< Transient Execute failures survived.
   bool execute_failed = false; ///< Gave up applying after max retries.
+  /// Tenant the deciding controller acts for (invalid = single-tenant).
+  runtime::TenantId tenant;
 
   friend bool operator==(const ControlDecision&,
                          const ControlDecision&) = default;
@@ -206,9 +215,25 @@ class AuTraScaleController {
                        ControllerParams params);
 
   /// Runs the MAPE loop against `session` until session time reaches
-  /// `until_sec`. Returns all decisions taken.
+  /// `until_sec`. Returns all decisions taken. Equivalent to prime() once,
+  /// then per window: reset_window(), advance one policy interval,
+  /// observe_window().
   std::vector<ControlDecision> run(runtime::StreamingBackend& session,
                                    double until_sec);
+
+  /// Latches the restart watermark and the stabilisation clock against the
+  /// session's current state. run() calls this on entry; a co-simulation
+  /// harness that owns the advance loop (mt::MultiTenantHarness) calls it
+  /// once before its first window.
+  void prime(const runtime::StreamingBackend& session);
+
+  /// One Monitor -> Analyze -> Plan -> Execute iteration over the window
+  /// that began at `t0` and ends at session.now(). The caller has already
+  /// reset the window and advanced the session (run() does both; a
+  /// harness advances all tenants in lockstep instead). Decisions taken
+  /// are appended to `decisions`.
+  void observe_window(runtime::StreamingBackend& session, double t0,
+                      std::vector<ControlDecision>& decisions);
 
   [[nodiscard]] const ModelLibrary& library() const noexcept {
     return library_;
@@ -252,6 +277,10 @@ class AuTraScaleController {
   bool lag_draining_ = false;
   runtime::Parallelism lag_drain_saved_;  ///< Config to restore after drain.
   int lag_drain_windows_left_ = 0;
+
+  // Loop state shared by run() and the prime()/observe_window() pair.
+  double stable_since_ = 0.0;  ///< When the job last (re)stabilised.
+  int known_restarts_ = 0;     ///< Restart watermark at the last window.
 };
 
 }  // namespace autra::core

@@ -1,0 +1,37 @@
+#include "runtime/tenant.hpp"
+
+#include <stdexcept>
+
+namespace autra::runtime {
+
+TenantId TenantRegistry::intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return TenantId(it->second);
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return TenantId(id);
+}
+
+TenantId TenantRegistry::find(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? TenantId() : TenantId(it->second);
+}
+
+const std::string& TenantRegistry::name(TenantId id) const {
+  if (!id.valid() || id.value() >= names_.size()) {
+    throw std::out_of_range("TenantRegistry::name: unknown id");
+  }
+  return names_[id.value()];
+}
+
+std::string tenant_series(std::string_view tenant_name,
+                          std::string_view metric) {
+  std::string path = "tenant.";
+  path += tenant_name;
+  path += '.';
+  path += metric;
+  return path;
+}
+
+}  // namespace autra::runtime

@@ -1,0 +1,74 @@
+// Typed tenant identity for multi-tenant deployments.
+//
+// A platform hosting many jobs on one shared cluster needs to attribute
+// every observable — loop statistics, control decisions, metric series —
+// to the job that produced it. Tenant names are interned into dense
+// TenantIds exactly once (mirroring the MetricId registry), so the hot
+// paths carry a 4-byte handle and never compare strings, and the lint
+// gate (rule A3) can ban raw integer tenant ids from public headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace autra::runtime {
+
+/// Dense handle of one interned tenant. Ids are stable for the lifetime
+/// of the registry that produced them. A default-constructed id is
+/// invalid and means "no tenant" — the single-tenant configuration.
+class TenantId {
+ public:
+  constexpr TenantId() = default;
+  constexpr explicit TenantId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+  friend constexpr bool operator==(TenantId, TenantId) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t value_ = kInvalid;
+};
+
+/// Name -> TenantId interning table (one per SharedCluster / harness).
+/// Registration order defines id values, so identical add-tenant sequences
+/// produce identical ids — part of the determinism contract.
+class TenantRegistry {
+ public:
+  /// Returns the id of `name`, interning it on first sight.
+  TenantId intern(std::string_view name);
+
+  /// Id of `name` if already interned; invalid id otherwise.
+  [[nodiscard]] TenantId find(std::string_view name) const;
+
+  /// Name of an interned id; throws std::out_of_range on an unknown id.
+  [[nodiscard]] const std::string& name(TenantId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>>
+      index_;
+  std::vector<std::string> names_;
+};
+
+/// Metric-series path of a per-tenant observable in a cluster-level store:
+/// "tenant.<tenant>.<metric>". Keeps cross-job series queryable by tenant
+/// without a second keying scheme.
+[[nodiscard]] std::string tenant_series(std::string_view tenant_name,
+                                        std::string_view metric);
+
+}  // namespace autra::runtime

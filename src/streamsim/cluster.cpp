@@ -38,7 +38,23 @@ ClusterSpec uniform_cluster(std::size_t num_machines,
   return spec;
 }
 
+const ClusterSpec& ClusterRef::spec() const {
+  if (spec_ == nullptr) {
+    throw std::logic_error("ClusterRef::spec: empty handle (JobSpec.cluster "
+                           "was never assigned)");
+  }
+  return *spec_;
+}
+
 Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  build(0, 0);
+}
+
+Cluster::Cluster(const ClusterRef& ref) : spec_(ref.spec()) {
+  build(ref.slot_offset(), ref.slot_limit());
+}
+
+void Cluster::build(int slot_offset, int slot_limit) {
   if (spec_.machines.empty()) {
     throw std::invalid_argument("Cluster: no machines");
   }
@@ -69,6 +85,23 @@ Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
       --remaining[m];
     }
     m = (m + 1) % spec_.machines.size();
+  }
+  // A leased view (ClusterRef): rotate the round-robin map so co-located
+  // tenants start on different machines, then truncate to the lease size.
+  // offset 0 / limit 0 leaves the map untouched — the single-tenant
+  // identity path.
+  if (slot_offset < 0 || slot_offset >= total_slots_ || slot_limit < 0 ||
+      slot_limit > total_slots_) {
+    throw std::invalid_argument("Cluster: slot lease out of range");
+  }
+  if (slot_offset > 0) {
+    std::rotate(slot_to_machine_.begin(),
+                slot_to_machine_.begin() + slot_offset,
+                slot_to_machine_.end());
+  }
+  if (slot_limit > 0 && slot_limit < total_slots_) {
+    slot_to_machine_.resize(static_cast<std::size_t>(slot_limit));
+    total_slots_ = slot_limit;
   }
   // Rack groups: dense indices in order of first appearance; rack == -1
   // machines are singletons.

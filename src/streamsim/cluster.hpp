@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,10 +70,64 @@ struct ClusterSpec {
                                           int cores = 8,
                                           int slots_per_machine = 0);
 
+/// Handle through which a job references cluster inventory. A JobSpec no
+/// longer embeds its own ClusterSpec: it holds a ClusterRef, which either
+/// wraps a private spec (the single-tenant convenience path — implicit
+/// conversion keeps existing call sites compiling and behaving exactly as
+/// before) or points at the shared spec owned by a mt::SharedCluster,
+/// carrying the tenant's slot lease:
+///
+///   - slot_offset rotates the round-robin slot -> machine map, so
+///     co-located tenants start placing instances on different machines;
+///   - slot_limit caps the slots visible to the job (its P_max); 0 means
+///     every slot.
+///
+/// offset 0 + limit 0 is bit-identical to building a Cluster from the
+/// spec directly — the single-tenant identity contract (DESIGN.md §12).
+class ClusterRef {
+ public:
+  /// Empty handle; spec() throws until assigned.
+  ClusterRef() = default;
+
+  /// Single-tenant convenience: the job owns a private copy of `spec`.
+  /// Intentionally implicit so `spec.cluster = paper_cluster()` still
+  /// reads naturally.
+  ClusterRef(ClusterSpec spec)  // NOLINT(google-explicit-constructor)
+      : spec_(std::make_shared<const ClusterSpec>(std::move(spec))) {}
+
+  /// Multi-tenant lease of a slot region on a shared spec. Offset and
+  /// limit are validated when a Cluster is built from the handle.
+  ClusterRef(std::shared_ptr<const ClusterSpec> spec, int slot_offset,
+             int slot_limit)
+      : spec_(std::move(spec)), slot_offset_(slot_offset),
+        slot_limit_(slot_limit) {}
+
+  [[nodiscard]] bool empty() const noexcept { return spec_ == nullptr; }
+  /// The referenced spec; throws std::logic_error on an empty handle.
+  [[nodiscard]] const ClusterSpec& spec() const;
+  [[nodiscard]] int slot_offset() const noexcept { return slot_offset_; }
+  [[nodiscard]] int slot_limit() const noexcept { return slot_limit_; }
+  /// The shared spec pointer (null for an empty handle).
+  [[nodiscard]] const std::shared_ptr<const ClusterSpec>& share()
+      const noexcept {
+    return spec_;
+  }
+
+ private:
+  std::shared_ptr<const ClusterSpec> spec_;
+  int slot_offset_ = 0;
+  int slot_limit_ = 0;
+};
+
 /// Placement of a concrete parallelism configuration on a cluster.
 class Cluster {
  public:
   explicit Cluster(ClusterSpec spec);
+  /// Builds the leased view a ClusterRef describes: the slot -> machine
+  /// map is rotated by the ref's slot offset and truncated to its slot
+  /// limit. Throws std::invalid_argument on an out-of-range lease and
+  /// std::logic_error on an empty ref.
+  explicit Cluster(const ClusterRef& ref);
 
   [[nodiscard]] const ClusterSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::size_t num_machines() const noexcept {
@@ -114,6 +169,8 @@ class Cluster {
   [[nodiscard]] std::size_t rack_of(std::size_t m) const;
 
  private:
+  void build(int slot_offset, int slot_limit);
+
   ClusterSpec spec_;
   int total_slots_ = 0;
   std::vector<std::size_t> slot_to_machine_;

@@ -152,6 +152,44 @@ void Engine::set_external_metrics(runtime::MetricSink* sink) {
   external_ids_ = sink != nullptr ? resolve_metric_ids(*sink) : MetricIdSet{};
 }
 
+void Engine::set_external_machine_load(const std::vector<double>& load) {
+  std::vector<double> next;
+  bool all_zero = true;
+  for (const double l : load) {
+    if (l < 0.0) {
+      throw std::invalid_argument(
+          "Engine::set_external_machine_load: negative load");
+    }
+    if (l != 0.0) all_zero = false;
+  }
+  if (!all_zero) {
+    if (load.size() != cluster_.num_machines()) {
+      throw std::invalid_argument(
+          "Engine::set_external_machine_load: bad machine count");
+    }
+    next = load;
+  }
+  if (next == external_load_) return;
+  external_load_ = std::move(next);
+  // The cached machine loads are stale; force a refold at the next tick.
+  sb_drift_ = true;
+}
+
+void Engine::set_external_uplink_load(
+    const std::vector<double>& records_per_sec) {
+  network_.set_external_load(records_per_sec);
+}
+
+std::vector<double> Engine::machine_busy_load() const {
+  std::vector<double> load(cluster_.num_machines(), 0.0);
+  for (std::size_t m = 0; m < load.size(); ++m) {
+    for (const auto& [op, cnt] : machine_ops_[m]) {
+      load[m] += cnt * smoothed_busy_[op];
+    }
+  }
+  return load;
+}
+
 void Engine::inject_slowdown(std::size_t machine, double speed_factor,
                              double from_sec, double until_sec) {
   if (machine >= cluster_.num_machines() || speed_factor <= 0.0 ||
@@ -338,6 +376,9 @@ void Engine::full_refresh() {
   // factor it implies. Index-addressed: bit-identical at any thread count.
   exec::parallel_for(ctx, cluster_.num_machines(), [this](std::size_t m) {
     double load = machine_bg_[m];
+    // Dynamic co-tenant load (multi-tenant coupling). The branch keeps the
+    // decoupled sum bitwise identical to the pre-multi-tenant expression.
+    if (!external_load_.empty()) load += external_load_[m];
     for (const auto& [op, cnt] : machine_ops_[m]) {
       load += cnt * smoothed_busy_[op];
     }

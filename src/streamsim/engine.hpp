@@ -230,6 +230,25 @@ class Engine {
   /// are resolved once here, so the per-tick write path stays string-free.
   void set_external_metrics(runtime::MetricSink* sink);
 
+  /// Busy-core equivalents co-tenant jobs place on each machine
+  /// (multi-tenant coupling; the dynamic counterpart of
+  /// MachineSpec::background_load). Folded into the machine loads at the
+  /// next epoch refresh. An empty or all-zero vector detaches the
+  /// coupling; setting a bitwise-unchanged value is a strict no-op, so a
+  /// decoupled engine stays bit-identical to one that never saw this
+  /// call. Throws std::invalid_argument on a size mismatch or negative
+  /// entry.
+  void set_external_machine_load(const std::vector<double>& load);
+
+  /// Records-per-second co-tenant jobs push through each rack uplink;
+  /// forwarded to the NetworkModel (no-op when uplinks are unconstrained).
+  void set_external_uplink_load(const std::vector<double>& records_per_sec);
+
+  /// This job's own busy-core load per machine (what a co-simulation
+  /// harness publishes to the other tenants): sum over placed instances of
+  /// the operator's smoothed busy fraction.
+  [[nodiscard]] std::vector<double> machine_busy_load() const;
+
   /// Releases the Kafka log so a successor engine (job restart) can keep
   /// the accumulated lag. The engine must not be ticked afterwards.
   [[nodiscard]] std::unique_ptr<KafkaLog> release_kafka() noexcept {
@@ -391,6 +410,7 @@ class Engine {
   std::vector<double> hot_capacity_;   ///< Cached skew hot-instance cap.
   // SoA hot state, indexed by machine.
   std::vector<double> machine_bg_;     ///< Background load (static).
+  std::vector<double> external_load_;  ///< Co-tenant load; empty = decoupled.
   std::vector<double> machine_load_;   ///< Busy-core load at the last fold.
   std::vector<double> machine_factor_; ///< (speed*slow)/divisor, 0 if down.
 

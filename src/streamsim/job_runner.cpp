@@ -56,12 +56,10 @@ JobMetrics snapshot(const Engine& engine) {
   return m;
 }
 
-JobRunner::JobRunner(JobSpec spec, double warmup_sec, double measure_sec)
-    : spec_(std::move(spec)),
-      warmup_sec_(warmup_sec),
-      measure_sec_(measure_sec) {
+JobRunner::JobRunner(JobSpec spec, RunnerParams params)
+    : spec_(std::move(spec)), params_(params) {
   spec_.topology.validate();
-  if (warmup_sec_ < 0.0 || measure_sec_ <= 0.0) {
+  if (params_.warmup_sec < 0.0 || params_.measure_sec <= 0.0) {
     throw std::invalid_argument("JobRunner: bad window lengths");
   }
 }
@@ -73,27 +71,26 @@ int JobRunner::max_parallelism() const {
 JobMetrics JobRunner::measure(const Parallelism& p,
                               std::uint64_t seed_salt) const {
   auto engine = make_engine(spec_, p, 0.0, seed_salt);
-  engine->run_until(warmup_sec_);
+  engine->run_until(params_.warmup_sec);
   engine->reset_counters();
-  engine->run_until(warmup_sec_ + measure_sec_);
+  engine->run_until(params_.warmup_sec + params_.measure_sec);
   JobMetrics m = snapshot(*engine);
   ++evaluations_;
   return m;
 }
 
 ScalingSession::ScalingSession(JobSpec spec, Parallelism initial,
-                               double restart_downtime_sec,
-                               double hot_downtime_sec)
-    : spec_(std::move(spec)),
-      restart_downtime_sec_(restart_downtime_sec),
-      hot_downtime_sec_(hot_downtime_sec) {
+                               SessionParams params)
+    : spec_(std::move(spec)), params_(params) {
   spec_.topology.validate();
   engine_ = make_engine(spec_, initial, 0.0, 0);
   engine_->set_external_metrics(&history_);
 }
 
-void ScalingSession::run_for(double sec) {
-  const double target = engine_->now() + sec;
+void ScalingSession::run_for(double sec) { run_to(engine_->now() + sec); }
+
+void ScalingSession::run_to(double until_sec) {
+  const double target = until_sec;
   // Machine and rack crashes force framework-style restarts: run up to the
   // moment the crash is detected, then rebuild the engine at the current
   // parallelism with the full restart downtime. A rack crash costs ONE
@@ -125,7 +122,7 @@ void ScalingSession::run_for(double sec) {
     *pending = true;
     ++failure_restarts_;
     const Parallelism p = engine_->parallelism();
-    rebuild_engine(p, restart_downtime_sec_);
+    rebuild_engine(p, params_.restart_downtime_sec);
   }
   engine_->run_until(target);
 }
@@ -141,12 +138,43 @@ void ScalingSession::reconfigure(const Parallelism& p, RescaleMode mode) {
       }
     }
   }
-  rebuild_engine(p, mode == RescaleMode::kHotScaleOut ? hot_downtime_sec_
-                                                      : restart_downtime_sec_);
+  rebuild_engine(p, mode == RescaleMode::kHotScaleOut
+                        ? params_.hot_downtime_sec
+                        : params_.restart_downtime_sec);
+}
+
+void ScalingSession::set_external_machine_load(
+    const std::vector<double>& load) {
+  engine_->set_external_machine_load(load);  // validates
+  external_machine_load_ = load;
+}
+
+void ScalingSession::set_external_uplink_load(
+    const std::vector<double>& records_per_sec) {
+  engine_->set_external_uplink_load(records_per_sec);  // validates
+  external_uplink_load_ = records_per_sec;
+}
+
+std::vector<double> ScalingSession::uplink_consumed_records() const {
+  std::vector<double> total = engine_->network().consumed_records();
+  for (std::size_t r = 0;
+       r < total.size() && r < uplink_consumed_base_.size(); ++r) {
+    total[r] += uplink_consumed_base_[r];
+  }
+  return total;
 }
 
 void ScalingSession::rebuild_engine(const Parallelism& p, double downtime) {
   const double t = engine_->now();
+  // Uplink consumption accounting survives the rebuild: fold the outgoing
+  // engine's cumulative counters into the base before discarding it.
+  const std::vector<double>& consumed = engine_->network().consumed_records();
+  if (!consumed.empty()) {
+    uplink_consumed_base_.resize(consumed.size(), 0.0);
+    for (std::size_t r = 0; r < consumed.size(); ++r) {
+      uplink_consumed_base_[r] += consumed[r];
+    }
+  }
   std::unique_ptr<KafkaLog> kafka = engine_->release_kafka();
 
   EngineParams params = spec_.engine;
@@ -161,6 +189,14 @@ void ScalingSession::rebuild_engine(const Parallelism& p, double downtime) {
   }
   apply_faults_to(*next);
   next->set_external_metrics(&history_);
+  // Co-tenant interference survives the rebuild too (empty vectors are
+  // no-ops, so the single-tenant path is untouched).
+  if (!external_machine_load_.empty()) {
+    next->set_external_machine_load(external_machine_load_);
+  }
+  if (!external_uplink_load_.empty()) {
+    next->set_external_uplink_load(external_uplink_load_);
+  }
   next->suspend_until(t + downtime);
   engine_ = std::move(next);
   ++restarts_;
@@ -269,9 +305,9 @@ runtime::Evaluator SimTrialService::evaluator_at(double rate,
                                                  double measure_sec) const {
   JobSpec trial_spec = spec_;
   trial_spec.schedule = std::make_shared<ConstantRate>(rate);
-  auto runner =
-      std::make_shared<JobRunner>(std::move(trial_spec), warmup_sec,
-                                  measure_sec);
+  auto runner = std::make_shared<JobRunner>(
+      std::move(trial_spec),
+      RunnerParams{.warmup_sec = warmup_sec, .measure_sec = measure_sec});
   // Noise seeds derive from the configuration itself (plus a mutex-guarded
   // rerun counter), never from a shared call counter: concurrent or
   // reordered evaluations see the same noise a serial run would, which the

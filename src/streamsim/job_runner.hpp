@@ -34,7 +34,10 @@ struct ExternalServiceSpec {
 /// Everything needed to instantiate a job, independent of parallelism.
 struct JobSpec {
   Topology topology;
-  ClusterSpec cluster;
+  /// Cluster inventory handle: a private spec for the single-tenant path
+  /// (`spec.cluster = paper_cluster()` still works — ClusterRef converts
+  /// implicitly), or a slot lease on a mt::SharedCluster.
+  ClusterRef cluster;
   std::shared_ptr<const RateSchedule> schedule;
   std::vector<ExternalServiceSpec> services;
   EngineParams engine;
@@ -56,12 +59,25 @@ using JobMetrics = runtime::JobMetrics;
 /// Collects a JobMetrics snapshot from an engine's current window.
 [[nodiscard]] JobMetrics snapshot(const Engine& engine);
 
+/// Evaluation windows of a fresh-start JobRunner measurement (aggregate
+/// with defaulted members, like ResilienceParams — designated initializers
+/// keep call sites self-describing).
+struct RunnerParams {
+  /// The paper's policy running time: metrics are ignored while the
+  /// freshly started job stabilises.
+  double warmup_sec = 60.0;
+  /// Metric aggregation window measured after warm-up.
+  double measure_sec = 60.0;
+};
+
 /// Fresh-start evaluation: one configuration, one measurement.
 class JobRunner {
  public:
-  /// `warmup_sec` is the policy running time; `measure_sec` the metric
-  /// aggregation window.
-  JobRunner(JobSpec spec, double warmup_sec = 60.0, double measure_sec = 60.0);
+  explicit JobRunner(JobSpec spec, RunnerParams params = {});
+
+  [[deprecated("use JobRunner(JobSpec, RunnerParams{...})")]]
+  JobRunner(JobSpec spec, double warmup_sec, double measure_sec = 60.0)
+      : JobRunner(std::move(spec), RunnerParams{warmup_sec, measure_sec}) {}
 
   /// Runs the job from a cold start with parallelism `p` and returns the
   /// post-warm-up window metrics. `seed_salt` perturbs measurement noise so
@@ -76,8 +92,12 @@ class JobRunner {
   [[nodiscard]] std::size_t num_operators() const noexcept {
     return spec_.topology.num_operators();
   }
-  [[nodiscard]] double warmup_sec() const noexcept { return warmup_sec_; }
-  [[nodiscard]] double measure_sec() const noexcept { return measure_sec_; }
+  [[nodiscard]] double warmup_sec() const noexcept {
+    return params_.warmup_sec;
+  }
+  [[nodiscard]] double measure_sec() const noexcept {
+    return params_.measure_sec;
+  }
 
   /// Total evaluations performed so far (each is one job restart in the
   /// paper's terms — the cost the transfer-learning method saves).
@@ -87,13 +107,22 @@ class JobRunner {
 
  private:
   JobSpec spec_;
-  double warmup_sec_;
-  double measure_sec_;
+  RunnerParams params_;
   mutable std::atomic<int> evaluations_{0};
 };
 
 /// How a reconfiguration is applied (backend-neutral runtime type).
 using RescaleMode = runtime::RescaleMode;
+
+/// Restart-cost knobs of a long-running ScalingSession (aggregate with
+/// defaulted members; see RunnerParams).
+struct SessionParams {
+  /// Savepoint + redeploy window of a cold restart, during which nothing
+  /// is processed but Kafka keeps producing.
+  double restart_downtime_sec = 15.0;
+  /// The much smaller pause of an in-place (hot) scale-out.
+  double hot_downtime_sec = 1.0;
+};
 
 /// A long-running job that can be rescaled in place — the fluid
 /// simulator's implementation of the backend-agnostic runtime interface.
@@ -107,15 +136,25 @@ using RescaleMode = runtime::RescaleMode;
 class ScalingSession final : public runtime::StreamingBackend,
                              public fault::FaultHost {
  public:
-  /// `restart_downtime_sec` is the savepoint + redeploy window during which
-  /// nothing is processed but Kafka keeps producing;
-  /// `hot_downtime_sec` is the much smaller pause of an in-place scale-out.
   ScalingSession(JobSpec spec, Parallelism initial,
-                 double restart_downtime_sec = 15.0,
-                 double hot_downtime_sec = 1.0);
+                 SessionParams params = {});
+
+  [[deprecated("use ScalingSession(JobSpec, Parallelism, SessionParams{...})")]]
+  ScalingSession(JobSpec spec, Parallelism initial,
+                 double restart_downtime_sec, double hot_downtime_sec = 1.0)
+      : ScalingSession(std::move(spec), std::move(initial),
+                       SessionParams{restart_downtime_sec,
+                                     hot_downtime_sec}) {}
 
   /// Advances the session by `sec` simulated seconds.
   void run_for(double sec) override;
+
+  /// Advances to the absolute session time `until_sec` (at or before now()
+  /// is a no-op). run_for(sec) == run_to(now() + sec); co-simulation
+  /// harnesses advance every tenant through shared absolute targets so
+  /// their slicing cannot perturb the float arithmetic of the engine's
+  /// whole-tick run_until loop.
+  void run_to(double until_sec);
 
   /// Applies `p`, preserving the Kafka log and the wall clock. No-op if
   /// `p` equals the current config. kHotScaleOut throws
@@ -141,6 +180,25 @@ class ScalingSession final : public runtime::StreamingBackend,
   [[nodiscard]] int failure_restarts() const noexcept {
     return failure_restarts_;
   }
+
+  // --- Multi-tenant coupling (driven by mt::MultiTenantHarness) ----------
+  // Stored on the session — not just on the engine — so engine rebuilds
+  // (rescales, crash restarts) re-apply them to the successor engine.
+
+  /// Busy-core equivalents co-tenant jobs place on each machine. An empty
+  /// or all-zero vector detaches the coupling (the single-tenant runs stay
+  /// bit-identical).
+  void set_external_machine_load(const std::vector<double>& load);
+  /// Records-per-second co-tenant jobs push through each rack uplink.
+  void set_external_uplink_load(const std::vector<double>& records_per_sec);
+  /// This job's own busy-core load per machine (what it publishes).
+  [[nodiscard]] std::vector<double> machine_busy_load() const {
+    return engine_->machine_busy_load();
+  }
+  /// Cumulative records this job's shuffles pushed through each rack
+  /// uplink, summed across engine rebuilds. Empty when uplinks are
+  /// unconstrained.
+  [[nodiscard]] std::vector<double> uplink_consumed_records() const;
 
   // fault::FaultHost — events are kept on the session so they survive
   // engine rebuilds. All may be called at any time; events entirely in the
@@ -204,13 +262,17 @@ class ScalingSession final : public runtime::StreamingBackend,
   void rebuild_engine(const Parallelism& p, double downtime);
 
   JobSpec spec_;
-  double restart_downtime_sec_;
-  double hot_downtime_sec_;
+  SessionParams params_;
   std::unique_ptr<Engine> engine_;
   MetricsDb history_;
   int restarts_ = 0;
   int failure_restarts_ = 0;
   std::uint64_t reconfig_salt_ = 0;
+  /// Co-tenant loads, re-applied to every successor engine.
+  std::vector<double> external_machine_load_;
+  std::vector<double> external_uplink_load_;
+  /// Uplink records consumed by engines already torn down.
+  std::vector<double> uplink_consumed_base_;
   std::vector<MachineDownFault> machine_down_faults_;
   std::vector<SlowNodeFault> slow_node_faults_;
   std::vector<ServiceOutageFault> service_outage_faults_;

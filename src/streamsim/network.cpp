@@ -23,6 +23,7 @@ NetworkModel::NetworkModel(const Topology& topology, const Cluster& cluster,
 
   const std::size_t num_racks = cluster_->racks().size();
   budget_.assign(num_racks, 0.0);
+  consumed_.assign(num_racks, 0.0);
 
   // Instances of each operator per rack — the placement is fixed for the
   // engine's lifetime, so the per-edge weights are too.
@@ -79,11 +80,39 @@ std::size_t NetworkModel::add_partition(const std::vector<char>& on_island) {
   return partition_cut_.size() - 1;
 }
 
+void NetworkModel::set_external_load(
+    const std::vector<double>& records_per_sec) {
+  if (!constrained_) return;
+  bool all_zero = true;
+  for (const double r : records_per_sec) {
+    if (r < 0.0) {
+      throw std::invalid_argument(
+          "NetworkModel::set_external_load: negative rate");
+    }
+    if (r != 0.0) all_zero = false;
+  }
+  if (all_zero) {
+    external_.clear();
+    return;
+  }
+  if (records_per_sec.size() != budget_.size()) {
+    throw std::invalid_argument(
+        "NetworkModel::set_external_load: bad rack count");
+  }
+  external_ = records_per_sec;
+}
+
 void NetworkModel::begin_tick(
     double dt, const std::vector<std::size_t>& active_partitions) {
   active_ = &active_partitions;
   if (constrained_) {
-    std::fill(budget_.begin(), budget_.end(), uplink_per_sec_ * dt);
+    if (external_.empty()) {
+      std::fill(budget_.begin(), budget_.end(), uplink_per_sec_ * dt);
+    } else {
+      for (std::size_t r = 0; r < budget_.size(); ++r) {
+        budget_[r] = std::max(0.0, (uplink_per_sec_ - external_[r]) * dt);
+      }
+    }
   }
 }
 
@@ -110,6 +139,7 @@ void NetworkModel::consume(std::size_t op, std::size_t di, double mass) {
   if (!constrained_ || mass <= 0.0) return;
   for (const auto& [rack, w] : edge_racks_[flat_edge(op, di)]) {
     budget_[rack] = std::max(0.0, budget_[rack] - mass * w);
+    consumed_[rack] += mass * w;
   }
 }
 

@@ -66,6 +66,21 @@ class NetworkModel {
   /// partition semantics, preserved bit-for-bit).
   [[nodiscard]] bool edge_cut(std::size_t op, std::size_t di) const;
 
+  /// Records-per-second co-tenant jobs push through each rack uplink
+  /// (multi-tenant interference). Subtracted from every subsequent tick's
+  /// budget, clamped at zero. An empty or all-zero vector detaches the
+  /// coupling — the single-tenant budget arithmetic is then bit-identical
+  /// to a model that never saw this call. No-op when unconstrained.
+  /// Throws std::invalid_argument on a size mismatch or negative entry.
+  void set_external_load(const std::vector<double>& records_per_sec);
+
+  /// Cumulative records this job's shuffles have pushed through each rack
+  /// uplink (the counterpart this tenant publishes to the others). Empty
+  /// when unconstrained.
+  [[nodiscard]] const std::vector<double>& consumed_records() const noexcept {
+    return consumed_;
+  }
+
   /// Whether finite rack uplinks are configured at all. When false the
   /// model costs nothing per tick beyond the cut-mask checks.
   [[nodiscard]] bool constrained() const noexcept { return constrained_; }
@@ -108,6 +123,10 @@ class NetworkModel {
   std::vector<std::vector<std::pair<std::size_t, double>>> edge_racks_;
   /// Per-rack records budget for the current tick.
   std::vector<double> budget_;
+  /// Per-rack records/sec claimed by co-tenants; empty when decoupled.
+  std::vector<double> external_;
+  /// Per-rack cumulative records consumed by this job's shuffles.
+  std::vector<double> consumed_;
 
   /// partition_cut_[p][flat_edge] — does partition p cut the edge?
   std::vector<std::vector<char>> partition_cut_;

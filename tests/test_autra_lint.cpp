@@ -80,6 +80,7 @@ INSTANTIATE_TEST_SUITE_P(
                       RulePair{"D3", "d3_good.cpp", "d3_bad.cpp"},
                       RulePair{"A1", "a1_good.cpp", "a1_bad.cpp"},
                       RulePair{"A2", "a2_good.hpp", "a2_bad.hpp"},
+                      RulePair{"A3", "a3_good.hpp", "a3_bad.hpp"},
                       RulePair{"H1", "h1_good.hpp", "h1_bad.hpp"}),
     [](const ::testing::TestParamInfo<RulePair>& info) {
       return info.param.rule;
@@ -91,6 +92,7 @@ TEST(FixtureCounts, BadFixturesFireTheExpectedFindingCounts) {
   EXPECT_EQ(lint_fixture("d3_bad.cpp").size(), 2u);  // literal, clock
   EXPECT_EQ(lint_fixture("a1_bad.cpp").size(), 2u);  // record, mean
   EXPECT_EQ(lint_fixture("a2_bad.hpp").size(), 2u);  // two floats
+  EXPECT_EQ(lint_fixture("a3_bad.hpp").size(), 2u);  // member, parameter
   EXPECT_EQ(lint_fixture("h1_bad.hpp").size(), 2u);  // pragma, using
 }
 

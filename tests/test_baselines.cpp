@@ -122,7 +122,8 @@ TEST(Ds2, WordCountConverges) {
   auto spec = autra::workloads::word_count(
       std::make_shared<ConstantRate>(350000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 40.0, 40.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   const Evaluator eval = core::make_runner_evaluator(runner);
   const Ds2Policy policy(runner.spec().topology,
                          {.target_throughput = 350000.0,
@@ -257,7 +258,8 @@ TEST(Drs, ModelErrorVisibleOnRealJob) {
   auto spec = autra::workloads::word_count(
       std::make_shared<ConstantRate>(350000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 40.0, 40.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   const Evaluator eval = core::make_runner_evaluator(runner);
   const DrsPolicy policy(runner.spec().topology,
                          {.target_latency_ms = 30.0,

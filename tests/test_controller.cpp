@@ -82,7 +82,8 @@ TEST(Controller, ScalesUpUnderProvisionedJob) {
   // must detect the throughput violation and rescale to meet the rate.
   auto spec = quiet(autra::workloads::synthetic_chain(
       3, std::make_shared<ConstantRate>(220000.0), 10.0));
-  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
                                    small_controller_params(400.0, 220000.0));
   const auto decisions = controller.run(session, 400.0);
@@ -103,7 +104,8 @@ TEST(Controller, ScalesDownOverProvisionedJob) {
   // Grossly over-provisioned start: 30 instances per op for a 30k rate.
   auto spec = quiet(autra::workloads::synthetic_chain(
       3, std::make_shared<ConstantRate>(30000.0), 10.0));
-  sim::ScalingSession session(spec, {30, 30, 30}, 10.0);
+  sim::ScalingSession session(spec, {30, 30, 30},
+      {.restart_downtime_sec = 10.0});
   AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
                                    small_controller_params(200.0, 30000.0));
   const auto decisions = controller.run(session, 400.0);
@@ -130,7 +132,8 @@ TEST(Controller, RateChangeUsesTransferWhenModelExists) {
           std::vector<std::pair<double, double>>{{0.0, 220000.0},
                                                  {300.0, 330000.0}}),
       10.0));
-  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   ControllerParams params = small_controller_params(400.0, 0.0);
   params.steady.target_throughput = 0.0;  // track the input rate
   AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
@@ -154,7 +157,8 @@ TEST(Controller, StableJobNeverActs) {
       3, std::make_shared<ConstantRate>(30000.0), 10.0));
   // One instance handles 100k/s; 30k with one instance is util 0.3 and the
   // base configuration is (1,1,1): nothing to improve.
-  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
                                    small_controller_params(400.0, 30000.0));
   const auto decisions = controller.run(session, 300.0);

@@ -145,7 +145,8 @@ std::vector<core::ControlDecision> controller_run(int threads) {
   // come from the per-configuration seed salt, not from a quiet engine.
   auto spec = workloads::synthetic_chain(
       3, std::make_shared<sim::ConstantRate>(220000.0), 10.0);
-  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   core::ControllerParams p;
   p.steady.target_latency_ms = 400.0;
   p.steady.target_throughput = 220000.0;

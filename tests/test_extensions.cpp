@@ -92,7 +92,8 @@ TEST(Dhalion, EndToEndOnWordCountReachesInputRate) {
   auto spec = autra::workloads::word_count(
       std::make_shared<ConstantRate>(350000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 60.0, 60.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 60.0, .measure_sec = 60.0});
   const Evaluator eval = core::make_runner_evaluator(runner);
   const baselines::DhalionPolicy policy(runner.spec().topology,
                                         {.max_parallelism = 60});
@@ -260,7 +261,8 @@ TEST(RateAware, EndToEndOnNexmarkQ5) {
   auto runner_at = [](double rate) {
     auto spec = workloads::nexmark_q5(std::make_shared<ConstantRate>(rate));
     spec.engine.measurement_noise = 0.0;
-    return sim::JobRunner(std::move(spec), 40.0, 40.0);
+    return sim::JobRunner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   };
   core::RateAwareModel model;
   core::SteadyRateParams sp;

@@ -30,14 +30,17 @@ TEST(JobMetrics, TotalParallelism) {
 }
 
 TEST(JobRunner, Validation) {
-  EXPECT_THROW(JobRunner(small_job(100.0), -1.0, 10.0),
+  EXPECT_THROW(JobRunner(small_job(100.0),
+      {.warmup_sec = -1.0, .measure_sec = 10.0}),
                std::invalid_argument);
-  EXPECT_THROW(JobRunner(small_job(100.0), 10.0, 0.0),
+  EXPECT_THROW(JobRunner(small_job(100.0),
+      {.warmup_sec = 10.0, .measure_sec = 0.0}),
                std::invalid_argument);
 }
 
 TEST(JobRunner, MeasureReturnsConsistentSnapshot) {
-  JobRunner runner(small_job(30000.0), 20.0, 30.0);
+  JobRunner runner(small_job(30000.0),
+      {.warmup_sec = 20.0, .measure_sec = 30.0});
   const JobMetrics m = runner.measure({1, 1, 1});
   EXPECT_EQ(m.parallelism, (Parallelism{1, 1, 1}));
   EXPECT_NEAR(m.throughput, 30000.0, 600.0);
@@ -52,7 +55,8 @@ TEST(JobRunner, MeasureReturnsConsistentSnapshot) {
 
 TEST(JobRunner, LagGrowthDetectsUnderProvisioning) {
   // 10 us ops -> 100k/s capacity; feed 220k so one instance cannot keep up.
-  JobRunner runner(small_job(220000.0), 20.0, 30.0);
+  JobRunner runner(small_job(220000.0),
+      {.warmup_sec = 20.0, .measure_sec = 30.0});
   const JobMetrics starved = runner.measure({1, 1, 1});
   EXPECT_GT(starved.lag_growth_per_sec, 50000.0);
   const JobMetrics ok = runner.measure({3, 3, 3});
@@ -62,7 +66,8 @@ TEST(JobRunner, LagGrowthDetectsUnderProvisioning) {
 TEST(JobRunner, SeedSaltChangesNoiseOnly) {
   JobSpec spec = small_job(30000.0);
   spec.engine.measurement_noise = 0.05;
-  JobRunner runner(std::move(spec), 10.0, 20.0);
+  JobRunner runner(std::move(spec),
+      {.warmup_sec = 10.0, .measure_sec = 20.0});
   const JobMetrics a = runner.measure({1, 1, 1}, 1);
   const JobMetrics b = runner.measure({1, 1, 1}, 2);
   // Same physics; throughput identical because it is not noise-derived in
@@ -77,7 +82,8 @@ TEST(JobRunner, EvaluatorSaltsDecorrelateMetricNoise) {
   // is what keeps the GP's noise handling honest.
   JobSpec spec = small_job(30000.0);
   spec.engine.measurement_noise = 0.05;
-  JobRunner runner(std::move(spec), 10.0, 20.0);
+  JobRunner runner(std::move(spec),
+      {.warmup_sec = 10.0, .measure_sec = 20.0});
   const autra::core::Evaluator eval =
       autra::core::make_runner_evaluator(runner);
   const JobMetrics a = eval({1, 1, 1});
@@ -109,7 +115,8 @@ TEST(ScalingSession, ReconfigureSameConfigIsNoOp) {
 
 TEST(ScalingSession, ReconfigurePreservesLagAndClock) {
   // Under-provisioned: lag builds up, then a restart must carry it over.
-  ScalingSession session(small_job(220000.0), {1, 1, 1}, 10.0);
+  ScalingSession session(small_job(220000.0), {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   session.run_for(30.0);
   const double lag_before = session.engine().kafka().lag();
   EXPECT_GT(lag_before, 1e5);
@@ -144,8 +151,8 @@ TEST(ScalingSession, HotScaleOutHasMuchLessDowntime) {
   // up during a cold restart vs a hot scale-out to the same target.
   const auto lag_after = [&](RescaleMode mode) {
     ScalingSession session(small_job(150000.0), {1, 1, 1},
-                           /*restart_downtime_sec=*/20.0,
-                           /*hot_downtime_sec=*/1.0);
+                           {.restart_downtime_sec = 20.0,
+                            .hot_downtime_sec = 1.0});
     session.run_for(10.0);
     session.reconfigure({2, 2, 2}, mode);
     session.run_for(25.0);  // spans the cold downtime fully
@@ -157,7 +164,8 @@ TEST(ScalingSession, HotScaleOutHasMuchLessDowntime) {
 }
 
 TEST(ScalingSession, HistorySpansRestarts) {
-  ScalingSession session(small_job(1000.0), {1, 1, 1}, 2.0);
+  ScalingSession session(small_job(1000.0), {1, 1, 1},
+      {.restart_downtime_sec = 2.0});
   session.run_for(5.0);
   session.reconfigure({2, 2, 2});
   session.run_for(5.0);

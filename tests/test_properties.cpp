@@ -63,7 +63,8 @@ double default_rate(const std::string& name) {
 TEST_P(EngineInvariants, ConservationAndBounds) {
   const auto [workload, p] = GetParam();
   const std::string name = workload;
-  sim::JobRunner runner(spec_for(name, default_rate(name)), 30.0, 30.0);
+  sim::JobRunner runner(spec_for(name, default_rate(name)),
+      {.warmup_sec = 30.0, .measure_sec = 30.0});
   const JobMetrics m =
       runner.measure(Parallelism(runner.num_operators(), p));
 
@@ -110,7 +111,8 @@ class ThroughputMonotonicity
 
 TEST_P(ThroughputMonotonicity, NonDecreasingUpToSaturation) {
   const std::string name = GetParam();
-  sim::JobRunner runner(spec_for(name, default_rate(name)), 30.0, 30.0);
+  sim::JobRunner runner(spec_for(name, default_rate(name)),
+      {.warmup_sec = 30.0, .measure_sec = 30.0});
   double prev = 0.0;
   for (int p : {1, 2, 4, 8}) {
     const JobMetrics m =
@@ -191,7 +193,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BootstrapInSpace,
 // ---------------------------------------------------------------------------
 
 TEST(ScaleStepProperty, MonotoneInTargetRate) {
-  sim::JobRunner runner(spec_for("wordcount", 200000.0), 30.0, 30.0);
+  sim::JobRunner runner(spec_for("wordcount", 200000.0),
+      {.warmup_sec = 30.0, .measure_sec = 30.0});
   const JobMetrics m = runner.measure(Parallelism(4, 4));
   const auto& topo = runner.spec().topology;
   Parallelism prev(4, 1);
@@ -213,7 +216,8 @@ TEST(InterferenceAblation, LinearWithoutInterference) {
   auto measure_scaling = [](bool enabled) {
     sim::JobSpec spec = spec_for("wordcount", 1e9);  // never input-limited
     spec.engine.interference.enabled = enabled;
-    sim::JobRunner runner(std::move(spec), 20.0, 20.0);
+    sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 20.0, .measure_sec = 20.0});
     const double t1 =
         runner.measure(Parallelism(4, 1)).throughput;
     const double t4 =

@@ -43,7 +43,8 @@ TEST(Soak, MultiStepRateScheduleKeepsQos) {
                                              {300.0, 300000.0},
                                              {600.0, 450000.0},
                                              {900.0, 250000.0}}));
-  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   AuTraScaleController controller(spec.topology, sim::make_trial_service(spec),
                                    controller_params());
   const auto decisions = controller.run(session, 1200.0);
@@ -66,7 +67,8 @@ TEST(Soak, RestartedControllerReusesPersistedLibrary) {
   // controller starts fresh with the restored library and must answer a
   // nearby new rate with Algorithm 2 (transfer), not from scratch.
   auto spec1 = chain_spec(std::make_shared<sim::ConstantRate>(220000.0));
-  sim::ScalingSession session1(spec1, {1, 1, 1}, 10.0);
+  sim::ScalingSession session1(spec1, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   AuTraScaleController first(spec1.topology, sim::make_trial_service(spec1),
                              controller_params());
   const auto d1 = first.run(session1, 300.0);
@@ -77,7 +79,8 @@ TEST(Soak, RestartedControllerReusesPersistedLibrary) {
   core::save_library(first.library(), storage);
 
   auto spec2 = chain_spec(std::make_shared<sim::ConstantRate>(300000.0));
-  sim::ScalingSession session2(spec2, {1, 1, 1}, 10.0);
+  sim::ScalingSession session2(spec2, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   AuTraScaleController second(spec2.topology, sim::make_trial_service(spec2),
                               controller_params());
   second.set_library(core::load_library(storage));
@@ -96,7 +99,8 @@ TEST(Soak, RecoversAfterTransientSlowdown) {
   // 0) suffers a 10x slowdown of that machine for two minutes; the backlog
   // must drain once the injection ends.
   auto spec = chain_spec(std::make_shared<sim::ConstantRate>(80000.0));
-  sim::ScalingSession session(spec, {1, 1, 1}, 10.0);
+  sim::ScalingSession session(spec, {1, 1, 1},
+      {.restart_downtime_sec = 10.0});
   session.engine().inject_slowdown(0, 0.1, 120.0, 240.0);
 
   session.run_for(120.0);

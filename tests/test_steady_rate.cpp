@@ -221,7 +221,8 @@ TEST(RunSteadyRate, WordCountEndToEnd) {
   auto spec = autra::workloads::word_count(
       std::make_shared<ConstantRate>(350000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 40.0, 40.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   const Evaluator eval = make_runner_evaluator(runner);
   SteadyRateParams params;
   params.target_latency_ms = 180.0;

@@ -110,7 +110,8 @@ TEST(ThroughputOptimizer, WordCountReachesTargetInFewIterations) {
   auto spec = autra::workloads::word_count(
       std::make_shared<ConstantRate>(350000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 40.0, 40.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   const Evaluator eval = make_runner_evaluator(runner);
   const ThroughputOptimizer opt(
       runner.spec().topology, {.max_parallelism = runner.max_parallelism()});
@@ -129,7 +130,8 @@ TEST(ThroughputOptimizer, YahooTerminatesViaRepeatedConfig) {
   auto spec = autra::workloads::yahoo_streaming(
       std::make_shared<ConstantRate>(60000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 40.0, 40.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   const Evaluator eval = make_runner_evaluator(runner);
   const ThroughputOptimizer opt(
       runner.spec().topology, {.max_parallelism = runner.max_parallelism()});
@@ -181,7 +183,8 @@ TEST(ThroughputOptimizer, BaseConfigMinimisesEventTimeLatency) {
   auto spec = autra::workloads::word_count(
       std::make_shared<ConstantRate>(350000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 40.0, 40.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   const Evaluator eval = make_runner_evaluator(runner);
   const ThroughputOptimizer opt(
       runner.spec().topology, {.max_parallelism = runner.max_parallelism()});
@@ -200,7 +203,8 @@ TEST(ThroughputOptimizer, OverProvisionedStartScalesDownToMinimal) {
   auto spec = autra::workloads::word_count(
       std::make_shared<ConstantRate>(100000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 30.0, 30.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 30.0, .measure_sec = 30.0});
   const Evaluator eval = make_runner_evaluator(runner);
   const ThroughputOptimizer opt(
       runner.spec().topology, {.max_parallelism = runner.max_parallelism()});

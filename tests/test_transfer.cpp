@@ -244,7 +244,8 @@ TEST(RunTransfer, NexmarkQ11EndToEnd) {
     auto spec = autra::workloads::nexmark_q11(
         std::make_shared<ConstantRate>(rate));
     spec.engine.measurement_noise = 0.0;
-    return sim::JobRunner(std::move(spec), 40.0, 40.0);
+    return sim::JobRunner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   };
   auto base_for = [](sim::JobRunner& runner) {
     const Evaluator eval = make_runner_evaluator(runner);

@@ -93,7 +93,8 @@ TEST(NexmarkQ1, FullyChainableStatelessPipeline) {
   // Cheap: a single pipeline sustains well over 100k rec/s.
   sim::JobSpec run = nexmark_q1(std::make_shared<ConstantRate>(150000.0));
   run.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(run), 20.0, 30.0);
+  sim::JobRunner runner(std::move(run),
+      {.warmup_sec = 20.0, .measure_sec = 30.0});
   EXPECT_NEAR(runner.measure(sim::Parallelism(3, 1)).throughput, 150000.0,
               3000.0);
 }
@@ -110,7 +111,8 @@ TEST(NexmarkQ8, SplitStreamDiamond) {
 TEST(NexmarkQ8, JoinReceivesBothStreams) {
   sim::JobSpec spec = nexmark_q8(std::make_shared<ConstantRate>(20000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 30.0, 30.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 30.0, .measure_sec = 30.0});
   const sim::JobMetrics m = runner.measure({1, 1, 1, 3});
   // The filters pass 0.2x and 0.8x of the stream; the join sees their sum.
   EXPECT_NEAR(m.operators[3].total_input_rate, 20000.0, 1000.0);
@@ -144,7 +146,7 @@ TEST(Workloads, AllUsePaperCluster) {
         yahoo_streaming(std::make_shared<ConstantRate>(1.0)),
         nexmark_q5(std::make_shared<ConstantRate>(1.0)),
         nexmark_q11(std::make_shared<ConstantRate>(1.0))}) {
-    EXPECT_EQ(spec.cluster.machines.size(), 3u);
+    EXPECT_EQ(spec.cluster.spec().machines.size(), 3u);
     EXPECT_DOUBLE_EQ(spec.initial_rate(), 1.0);
   }
 }
@@ -154,7 +156,8 @@ TEST(Workloads, AllUsePaperCluster) {
 TEST(Yahoo, RedisCapsThroughput) {
   sim::JobSpec spec = yahoo_streaming(std::make_shared<ConstantRate>(60000.0));
   spec.engine.measurement_noise = 0.0;
-  sim::JobRunner runner(std::move(spec), 40.0, 40.0);
+  sim::JobRunner runner(std::move(spec),
+      {.warmup_sec = 40.0, .measure_sec = 40.0});
   const sim::JobMetrics m = runner.measure(sim::Parallelism(5, 40));
   EXPECT_LT(m.throughput, 45000.0);
   EXPECT_NEAR(m.throughput, kYahooRedisCallsPerSec, 4000.0);

@@ -56,7 +56,7 @@ void collect(const fs::path& root, std::vector<fs::path>& out) {
 int usage(std::ostream& os, int code) {
   os << "usage: autra_lint [--list-rules] <file-or-dir>...\n"
      << "Project static analysis: determinism (D1-D3) and API hygiene\n"
-     << "(A1, A2, H1) contracts; see DESIGN.md section 10.\n";
+     << "(A1-A3, H1) contracts; see DESIGN.md section 10.\n";
   return code;
 }
 

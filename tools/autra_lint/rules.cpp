@@ -40,6 +40,26 @@ constexpr std::array<std::string_view, 16> kCastIdents = {
 constexpr std::array<std::string_view, 6> kIdKeyedMetricApis = {
     "record", "sum", "mean", "last", "series", "range"};
 
+/// Integer type spellings a raw tenant id could hide behind (A3).
+constexpr std::array<std::string_view, 9> kRawIntTypes = {
+    "int",      "long",     "short",   "unsigned", "size_t",
+    "uint32_t", "uint64_t", "int32_t", "int64_t"};
+
+/// A3's notion of "this identifier names a tenant id". Deliberately
+/// narrow: `tenant_count`/`tenant_names` are legitimate integers/containers,
+/// while `tenant`, `dst_tenant` and anything spelling out `tenant_id` are
+/// identities and must be runtime::TenantId.
+bool names_a_tenant_id(std::string_view ident) {
+  std::string lower(ident);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  const std::string_view v = lower;
+  return v == "tenant" || v == "tenantid" ||
+         v.find("tenant_id") != std::string_view::npos ||
+         (v.size() > 7 && v.substr(v.size() - 7) == "_tenant");
+}
+
 template <std::size_t N>
 bool one_of(std::string_view s, const std::array<std::string_view, N>& set) {
   return std::find(set.begin(), set.end(), s) != set.end();
@@ -162,6 +182,7 @@ class Matcher {
     rule_d3();
     rule_a1();
     if (scope_.numeric_header) rule_a2();
+    if (scope_.header && scope_.library_code) rule_a3();
     if (scope_.header) rule_h1(all);
   }
 
@@ -345,6 +366,20 @@ class Matcher {
     }
   }
 
+  // A3 — raw integer tenant ids in library public headers.
+  void rule_a3() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!is_ident(i) || !one_of(at(i).text, kRawIntTypes)) continue;
+      std::size_t j = i + 1;
+      while (is(j, "const") || is(j, "*") || is(j, "&") || is(j, "&&")) ++j;
+      if (!is_ident(j) || !names_a_tenant_id(at(j).text)) continue;
+      flag(at(i).line, "A3",
+           "raw integer tenant id '" + std::string(at(j).text) +
+               "' in a public header; tenant identity is the interned "
+               "runtime::TenantId");
+    }
+  }
+
   // H1 — header hygiene.
   void rule_h1(const std::vector<Token>& all) {
     const Token* first = nullptr;
@@ -383,8 +418,8 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 }  // namespace
 
 const std::vector<std::string>& known_rules() {
-  static const std::vector<std::string> kRules = {"D1", "D2", "D3",
-                                                  "A1", "A2", "H1"};
+  static const std::vector<std::string> kRules = {"D1", "D2", "D3", "A1",
+                                                  "A2", "A3", "H1"};
   return kRules;
 }
 
@@ -395,7 +430,8 @@ FileScope classify_path(std::string_view path) {
   scope.decision_path =
       contains(path, "src/core/") || contains(path, "src/gp/") ||
       contains(path, "src/bayesopt/") || contains(path, "src/streamsim/") ||
-      contains(path, "src/fault/") || contains(path, "src/runtime/");
+      contains(path, "src/fault/") || contains(path, "src/runtime/") ||
+      contains(path, "src/multitenant/");
   scope.numeric_header =
       scope.header && (contains(path, "src/linalg/") ||
                        contains(path, "src/gp/") ||

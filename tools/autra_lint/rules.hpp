@@ -10,6 +10,8 @@
 //       APIs — series names go through resolve()/intern() once
 //   A2  no `float` in public headers of the numeric layers (double is the
 //       GP contract)
+//   A3  no raw integer tenant ids in library public headers — tenant
+//       identity is the interned runtime::TenantId
 //   H1  header hygiene: `#pragma once` before anything else, no
 //       `using namespace` at header scope
 //   S1  malformed suppression (missing reason, unknown rule) — emitted by

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct PerTenantQos {
+  int tenant = -1;  // raw int identity leaks interning details
+  double throughput = 0.0;
+};
+
+void bind_tenant(std::uint32_t tenant_id, double weight);
+
+}  // namespace fixture

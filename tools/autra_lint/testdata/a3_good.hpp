@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/tenant.hpp"
+
+namespace fixture {
+
+struct PerTenantQos {
+  autra::runtime::TenantId tenant;   // interned identity — the contract
+  std::string tenant_name;           // display name, not an id
+  int tenant_count = 0;              // a count of tenants, not an identity
+  double throughput = 0.0;
+};
+
+void bind(autra::runtime::TenantId tenant_id, double weight);
+
+}  // namespace fixture
