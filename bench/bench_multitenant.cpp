@@ -12,14 +12,20 @@
 // The run is fully deterministic (seeded engines, lockstep coupling).
 //
 // --smoke runs tenants {1, 4} over a shorter horizon for CI; --json PATH
-// writes the table as a bench::JsonReport artifact.
+// writes the table as a bench::JsonReport artifact. --arrival NAME
+// [--arrival-seed S] drives every tenant with a generative arrival
+// process (src/arrival/, same 180k mean) instead of the constant rate;
+// the committed BENCH_multitenant.json baseline is for the default
+// (constant).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "arrival/arrival.hpp"
 #include "bench_util.hpp"
 #include "core/controller.hpp"
 #include "multitenant/harness.hpp"
@@ -45,9 +51,11 @@ core::ControllerParams controller_params() {
   return p;
 }
 
-sim::JobSpec tenant_job() {
+sim::JobSpec tenant_job(const std::string& arrival,
+                        std::uint64_t arrival_seed, double horizon_sec) {
   return workloads::synthetic_chain(
-      3, std::make_shared<sim::ConstantRate>(kRate), 10.0);
+      3, arrival::make_arrival(arrival, kRate, arrival_seed, horizon_sec),
+      10.0);
 }
 
 struct TenantRow {
@@ -76,7 +84,9 @@ double p95_since(const runtime::MetricStore& store, runtime::MetricId id,
   return sample[std::min(rank, sample.size() - 1)];
 }
 
-std::vector<TenantRow> run_fleet(int tenants, double horizon_sec) {
+std::vector<TenantRow> run_fleet(int tenants, double horizon_sec,
+                                 const std::string& arrival,
+                                 std::uint64_t arrival_seed) {
   auto shared = std::make_shared<mt::SharedCluster>(
       // 4 machines x 2 slots = 8 slots over 2 racks; 8 cores per machine
       // so capacity is slot-bound, not core-bound.
@@ -97,7 +107,7 @@ std::vector<TenantRow> run_fleet(int tenants, double horizon_sec) {
   for (int i = 0; i < tenants; ++i) {
     static_cast<void>(harness.add_tenant({
         .name = "tenant" + std::to_string(i),
-        .job = tenant_job(),
+        .job = tenant_job(arrival, arrival_seed, horizon_sec),
         .initial = {initial, initial, initial},
         .session = {.restart_downtime_sec = 10.0},
         .controller = controller_params(),
@@ -145,13 +155,23 @@ std::vector<TenantRow> run_fleet(int tenants, double horizon_sec) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
+  std::string arrival = "constant";
+  std::uint64_t arrival_seed = 7;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--arrival") == 0 && i + 1 < argc) {
+      arrival = argv[++i];
+    } else if (std::strcmp(argv[i], "--arrival-seed") == 0 && i + 1 < argc) {
+      arrival_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json PATH]\n"
+                   "          [--arrival constant|mmpp|hawkes|diurnal|"
+                   "trace:<path>] [--arrival-seed S]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -163,6 +183,11 @@ int main(int argc, char** argv) {
   bench::header(
       "multi-tenant QoS — synthetic chains @180k on an 8-slot shared "
       "cluster, weighted-fair arbiter");
+  if (arrival != "constant") {
+    std::printf("arrival=%s arrival-seed=%llu (mean 180k/s)\n",
+                arrival.c_str(),
+                static_cast<unsigned long long>(arrival_seed));
+  }
   bench::JsonReport report("bench_multitenant");
 
   for (const int tenants : fleet_sizes) {
@@ -171,7 +196,8 @@ int main(int argc, char** argv) {
     std::printf("%-9s %9s %10s %7s %4s %5s %5s %5s %5s %5s\n", "tenant",
                 "thr [/s]", "lagp95[k]", "slo%", "par", "admit", "clip",
                 "deny", "retry", "abort");
-    const std::vector<TenantRow> rows = run_fleet(tenants, horizon);
+    const std::vector<TenantRow> rows =
+        run_fleet(tenants, horizon, arrival, arrival_seed);
     for (const TenantRow& r : rows) {
       std::printf("%-9s %9.0f %10.1f %6.1f%% %4d %5d %5d %5d %5d %5d\n",
                   r.name.c_str(), r.throughput, r.lag_p95 / 1e3,

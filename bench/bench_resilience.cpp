@@ -18,13 +18,20 @@
 // chaos-generated schedules per policy (seeds 1..N over the same
 // ChaosProfile, so every policy faces the identical schedule set) and
 // reports QoS-violation percentiles instead of single-run numbers.
+//
+// --arrival NAME [--arrival-seed S] drives WordCount with a generative
+// arrival process (src/arrival/) instead of the constant 250k rate —
+// faults on top of bursty input. The committed BENCH_resilience.json
+// baseline is for the default (constant).
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "arrival/arrival.hpp"
 #include "bench_util.hpp"
 #include "fault/chaos.hpp"
 #include "fault/fault_schedule.hpp"
@@ -58,7 +65,7 @@ void report_row(bench::JsonReport& report, const char* schedule,
       .num("decisions", r.decisions);
 }
 
-void run_schedule(const char* name, double horizon,
+void run_schedule(const char* name, double horizon, const sim::JobSpec& spec,
                   const std::vector<std::string>& policies,
                   bench::JsonReport& report) {
   bench::header(name);
@@ -70,8 +77,6 @@ void run_schedule(const char* name, double horizon,
         fault::FaultSchedule::canned(name, /*seed=*/1, horizon);
     fault::ResilienceOptions opt;
     opt.horizon_sec = horizon;
-    sim::JobSpec spec = workloads::word_count(
-        std::make_shared<sim::ConstantRate>(250e3));
     const fault::ResilienceReport r =
         fault::run_resilience(policy, spec, schedule, opt);
     print(r);
@@ -87,13 +92,12 @@ double percentile(const std::vector<double>& sorted, double q) {
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
-void run_chaos(int schedules, bool smoke, bench::JsonReport& report) {
+void run_chaos(int schedules, bool smoke, const sim::JobSpec& spec,
+               bench::JsonReport& report) {
   const double horizon = smoke ? 600.0 : 1800.0;
   const std::vector<std::string> policies =
       smoke ? std::vector<std::string>{"autrascale", "threshold"}
             : fault::resilience_policies();
-  const sim::JobSpec spec =
-      workloads::word_count(std::make_shared<sim::ConstantRate>(250e3));
   // Full-taxonomy mix: crash groups, partitions, metric corruption and
   // rescale failures all drawn from the default weights.
   const fault::ChaosGenerator gen(
@@ -166,6 +170,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   int chaos = 0;
   std::string json_path;
+  std::string arrival = "constant";
+  std::uint64_t arrival_seed = 7;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -177,17 +183,33 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--arrival") == 0 && i + 1 < argc) {
+      arrival = argv[++i];
+    } else if (std::strcmp(argv[i], "--arrival-seed") == 0 && i + 1 < argc) {
+      arrival_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--chaos N] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--chaos N] [--json PATH]\n"
+                   "          [--arrival constant|mmpp|hawkes|diurnal|"
+                   "trace:<path>] [--arrival-seed S]\n",
                    argv[0]);
       return 2;
     }
   }
 
   bench::JsonReport report("bench_resilience");
+  const double horizon =
+      chaos > 0 ? (smoke ? 600.0 : 1800.0) : (smoke ? 900.0 : 1800.0);
+  const sim::JobSpec spec = workloads::word_count(
+      arrival::make_arrival(arrival, 250e3, arrival_seed, horizon));
+  if (arrival != "constant") {
+    std::printf("arrival=%s arrival-seed=%llu (mean 250k/s)\n",
+                arrival.c_str(),
+                static_cast<unsigned long long>(arrival_seed));
+  }
 
   if (chaos > 0) {
-    run_chaos(chaos, smoke, report);
+    run_chaos(chaos, smoke, spec, report);
     if (!json_path.empty()) {
       if (!report.write(json_path)) return 1;
       std::printf("wrote %s\n", json_path.c_str());
@@ -195,15 +217,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const double horizon = smoke ? 900.0 : 1800.0;
   const std::vector<std::string> policies =
       smoke ? std::vector<std::string>{"autrascale", "threshold"}
             : fault::resilience_policies();
 
-  run_schedule("machine-crash", horizon, policies, report);
+  run_schedule("machine-crash", horizon, spec, policies, report);
   if (!smoke) {
-    run_schedule("metric-chaos", horizon, policies, report);
-    run_schedule("degraded-cluster", horizon, policies, report);
+    run_schedule("metric-chaos", horizon, spec, policies, report);
+    run_schedule("degraded-cluster", horizon, spec, policies, report);
   }
 
   std::printf(

@@ -4,8 +4,14 @@
 //   autrascale_cli --workload wordcount --rate 350000
 //                  --policy autrascale --latency-ms 40
 //
-//   --workload   wordcount | yahoo | q1 | q5 | q8 | q11   (default wordcount)
-//   --rate       input records/s                (default 350000)
+//   --workload   wordcount | yahoo | q1 | q5 | q8 | q11 | join | session |
+//                fanin                           (default wordcount)
+//   --rate       mean input records/s           (default 350000)
+//   --arrival    constant | mmpp | hawkes | diurnal | trace:<path>
+//                generative arrival process for the input rate; the
+//                generative ones are calibrated to a long-run mean of
+//                --rate over --horizon seconds   (default constant)
+//   --arrival-seed  seed for the arrival process (default 7)
 //   --policy     autrascale | ds2 | drs-true | drs-observed | threshold |
 //                dhalion                        (default autrascale)
 //   --latency-ms target latency                 (default 100)
@@ -21,6 +27,9 @@
 //   --fault-seed seed for the schedule's randomised placements (default 1)
 //   --horizon    simulated seconds for the faulted run   (default 1800)
 //   --intensity  chaos mode only: expected events per 300 s (default 1.0)
+//   --burst-clustering  chaos mode only: Hawkes branching ratio in [0, 1)
+//                for time-correlated fault storms; 0 = independent
+//                placements (default 0)
 //
 // `--faults chaos` samples a full-taxonomy schedule (crashes, rack
 // crash groups, partitions, metric corruption, rescale failures) from
@@ -32,6 +41,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "arrival/arrival.hpp"
 #include "baselines/dhalion.hpp"
 #include "baselines/drs.hpp"
 #include "baselines/ds2.hpp"
@@ -51,6 +61,8 @@ using namespace autra;
 struct Options {
   std::string workload = "wordcount";
   std::string policy = "autrascale";
+  std::string arrival = "constant";
+  std::uint64_t arrival_seed = 7;
   double rate = 350000.0;
   double latency_ms = 100.0;
   double throughput = 0.0;
@@ -61,11 +73,16 @@ struct Options {
   std::uint64_t fault_seed = 1;
   double horizon_sec = 1800.0;
   double intensity = 1.0;  ///< Chaos mode: expected events per 300 s.
+  double burst_clustering = 0.0;  ///< Chaos mode: Hawkes branching ratio.
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workload wordcount|yahoo|q1|q5|q8|q11] [--rate R]\n"
+               "usage: %s [--workload wordcount|yahoo|q1|q5|q8|q11|join|"
+               "session|fanin]\n"
+               "          [--rate R] [--arrival constant|mmpp|hawkes|diurnal|"
+               "trace:<path>]\n"
+               "          [--arrival-seed S]\n"
                "          [--policy autrascale|ds2|drs-true|drs-observed|"
                "threshold|dhalion]\n"
                "          [--latency-ms L] [--throughput T]\n"
@@ -73,7 +90,8 @@ struct Options {
                " [--seed S]\n"
                "          [--faults machine-crash|metric-chaos|"
                "degraded-cluster|chaos]\n"
-               "          [--fault-seed S] [--horizon SEC] [--intensity I]\n",
+               "          [--fault-seed S] [--horizon SEC] [--intensity I]\n"
+               "          [--burst-clustering B]\n",
                argv0);
   std::exit(2);
 }
@@ -117,25 +135,42 @@ Options parse(int argc, char** argv) {
       opt.horizon_sec = std::atof(value());
     } else if (flag == "--intensity") {
       opt.intensity = std::atof(value());
+    } else if (flag == "--arrival") {
+      opt.arrival = value();
+    } else if (flag == "--arrival-seed") {
+      opt.arrival_seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--burst-clustering") {
+      opt.burst_clustering = std::atof(value());
     } else {
       usage(argv[0]);
     }
   }
   if (opt.rate <= 0.0 || opt.latency_ms <= 0.0 || opt.horizon_sec <= 0.0 ||
-      opt.intensity < 0.0) {
+      opt.intensity < 0.0 || opt.burst_clustering < 0.0 ||
+      opt.burst_clustering >= 1.0) {
     usage(argv[0]);
   }
   return opt;
 }
 
 sim::JobSpec make_spec(const Options& opt) {
-  auto schedule = std::make_shared<sim::ConstantRate>(opt.rate);
+  std::shared_ptr<const sim::RateSchedule> schedule;
+  try {
+    schedule = arrival::make_arrival(opt.arrival, opt.rate, opt.arrival_seed,
+                                     opt.horizon_sec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
   if (opt.workload == "wordcount") return workloads::word_count(schedule);
   if (opt.workload == "yahoo") return workloads::yahoo_streaming(schedule);
   if (opt.workload == "q1") return workloads::nexmark_q1(schedule);
   if (opt.workload == "q5") return workloads::nexmark_q5(schedule);
   if (opt.workload == "q8") return workloads::nexmark_q8(schedule);
   if (opt.workload == "q11") return workloads::nexmark_q11(schedule);
+  if (opt.workload == "join") return workloads::stream_stream_join(schedule);
+  if (opt.workload == "session") return workloads::sessionization(schedule);
+  if (opt.workload == "fanin") return workloads::fanin_tree(schedule);
   std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
   std::exit(2);
 }
@@ -146,8 +181,10 @@ int run_faulted(const Options& opt) {
   fault::FaultSchedule schedule;
   try {
     if (opt.faults == "chaos") {
-      const fault::ChaosGenerator gen(fault::ChaosProfile::for_job(
-          make_spec(opt), opt.horizon_sec, opt.intensity));
+      fault::ChaosProfile profile = fault::ChaosProfile::for_job(
+          make_spec(opt), opt.horizon_sec, opt.intensity);
+      profile.burst_clustering = opt.burst_clustering;
+      const fault::ChaosGenerator gen(std::move(profile));
       schedule = gen.generate(opt.fault_seed);
     } else {
       schedule = fault::FaultSchedule::canned(opt.faults, opt.fault_seed,

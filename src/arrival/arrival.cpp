@@ -1,0 +1,74 @@
+#include "arrival/arrival.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autra::arrival {
+
+const std::vector<std::string>& arrival_names() {
+  static const std::vector<std::string> kNames = {"constant", "mmpp",
+                                                  "hawkes", "diurnal"};
+  return kNames;
+}
+
+std::shared_ptr<const sim::RateSchedule> make_arrival(const std::string& name,
+                                                      double mean_rate,
+                                                      std::uint64_t seed,
+                                                      double horizon_sec) {
+  if (!(mean_rate >= 0.0)) {
+    throw std::invalid_argument("make_arrival: mean_rate must be >= 0");
+  }
+  if (!(horizon_sec >= 1.0)) {
+    throw std::invalid_argument("make_arrival: horizon_sec must be >= 1");
+  }
+
+  if (name == "constant") {
+    return std::make_shared<sim::ConstantRate>(mean_rate);
+  }
+  if (name == "mmpp") {
+    // ~15 expected regime shifts over the horizon, capped at 2-minute
+    // sojourns so long horizons still look piecewise-stable.
+    const double holding = std::min(120.0, horizon_sec / 15.0);
+    return std::make_shared<MmppRate>(
+        MmppRate::ladder(mean_rate, /*states=*/4, /*spread=*/0.6, holding,
+                         horizon_sec),
+        seed);
+  }
+  if (name == "hawkes") {
+    // Half the mean as steady base load, half as self-exciting bursts:
+    // onsets every ~60s on average, each cascade doubling its mass
+    // (branching 0.5), drained over ~30s.
+    HawkesParams p;
+    p.base_rate = 0.5 * mean_rate;
+    p.burst_onsets_per_sec = 1.0 / 60.0;
+    p.branching = 0.5;
+    p.decay_per_sec = 1.0 / 30.0;
+    p.records_per_burst =
+        0.5 * mean_rate * (1.0 - p.branching) / p.burst_onsets_per_sec;
+    p.horizon_sec = horizon_sec;
+    return std::make_shared<HawkesRate>(p, seed);
+  }
+  if (name == "diurnal") {
+    // Compress three "days" into the horizon so a bench-length run sees
+    // full daily cycles; weekends only matter on multi-week horizons.
+    DiurnalParams p;
+    p.base_rate = mean_rate;
+    p.day_sec = std::max(300.0, horizon_sec / 3.0);
+    p.flash_duration_sec = std::max(60.0, p.day_sec / 24.0);
+    p.horizon_sec = horizon_sec;
+    return std::make_shared<DiurnalRate>(p, seed);
+  }
+  if (name.rfind("trace:", 0) == 0) {
+    return std::make_shared<TraceRate>(TraceRate::load(name.substr(6)));
+  }
+
+  std::string known;
+  for (const std::string& n : arrival_names()) {
+    if (!known.empty()) known += "|";
+    known += n;
+  }
+  throw std::invalid_argument("make_arrival: unknown process '" + name +
+                              "' (expected " + known + "|trace:<path>)");
+}
+
+}  // namespace autra::arrival

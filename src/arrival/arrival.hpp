@@ -1,0 +1,39 @@
+// Umbrella header + factory for the generative arrival processes.
+// make_arrival() is the single entry point the CLI and benches share:
+// every named process is calibrated so its long-run mean is ~mean_rate,
+// which keeps QoS numbers comparable across processes for one job.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arrival/diurnal.hpp"
+#include "arrival/hawkes.hpp"
+#include "arrival/mmpp.hpp"
+#include "arrival/tabulated.hpp"
+#include "arrival/trace.hpp"
+#include "streamsim/rates.hpp"
+
+namespace autra::arrival {
+
+/// Builds a RateSchedule by name:
+///   "constant"      — sim::ConstantRate(mean_rate); seed unused
+///   "mmpp"          — 4-state ladder around mean_rate, ~15 regime
+///                     shifts over the horizon
+///   "hawkes"        — half base load, half self-exciting burst mass
+///   "diurnal"       — 3 compressed "days" over the horizon with one
+///                     flash crowd per day
+///   "trace:<path>"  — TraceRate::load(path); mean_rate and seed unused
+/// Throws std::invalid_argument on an unknown name (listing the valid
+/// ones) and propagates loader errors for traces.
+[[nodiscard]] std::shared_ptr<const sim::RateSchedule> make_arrival(
+    const std::string& name, double mean_rate, std::uint64_t seed,
+    double horizon_sec);
+
+/// The generative process names accepted by make_arrival() (excludes
+/// the "trace:<path>" form, which needs an argument).
+[[nodiscard]] const std::vector<std::string>& arrival_names();
+
+}  // namespace autra::arrival

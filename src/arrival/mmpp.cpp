@@ -1,0 +1,105 @@
+#include "arrival/mmpp.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+namespace autra::arrival {
+
+namespace {
+
+/// Adds `rate` records/sec over simulated [t0, t1) into the per-second
+/// table (bucket s covers [s, s+1), so a partial overlap contributes
+/// rate * overlap_seconds to that bucket's integral == average rate).
+void add_segment(std::vector<double>& table, double t0, double t1,
+                 double rate) {
+  const double horizon = static_cast<double>(table.size());
+  t0 = std::max(t0, 0.0);
+  t1 = std::min(t1, horizon);
+  if (t0 >= t1) return;
+  std::size_t s = static_cast<std::size_t>(t0);
+  while (s < table.size() && static_cast<double>(s) < t1) {
+    const double lo = std::max(t0, static_cast<double>(s));
+    const double hi = std::min(t1, static_cast<double>(s + 1));
+    table[s] += rate * (hi - lo);
+    ++s;
+  }
+}
+
+std::vector<double> materialise(const MmppParams& p, std::uint64_t seed) {
+  if (p.state_rates.empty()) {
+    throw std::invalid_argument("MmppRate: state ladder is empty");
+  }
+  for (double r : p.state_rates) {
+    if (!std::isfinite(r) || r < 0.0) {
+      throw std::invalid_argument(
+          "MmppRate: state rates must be finite and non-negative");
+    }
+  }
+  if (!(p.mean_holding_sec > 0.0)) {
+    throw std::invalid_argument("MmppRate: mean_holding_sec must be > 0");
+  }
+  if (!(p.horizon_sec >= 1.0)) {
+    throw std::invalid_argument("MmppRate: horizon_sec must be >= 1");
+  }
+
+  const std::size_t n = p.state_rates.size();
+  std::vector<double> table(static_cast<std::size_t>(p.horizon_sec), 0.0);
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> sojourn(1.0 / p.mean_holding_sec);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+
+  std::size_t state = pick(rng);
+  double t = 0.0;
+  while (t < p.horizon_sec) {
+    const double hold = sojourn(rng);
+    add_segment(table, t, t + hold, p.state_rates[state]);
+    t += hold;
+    if (n > 1) {
+      // Jump to a uniformly chosen different state: draw from the n-1
+      // others by skipping the current index.
+      std::uniform_int_distribution<std::size_t> jump(0, n - 2);
+      const std::size_t j = jump(rng);
+      state = j < state ? j : j + 1;
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+MmppRate::MmppRate(MmppParams params, std::uint64_t seed)
+    : TabulatedRate(materialise(params, seed)), params_(std::move(params)) {}
+
+double MmppRate::stationary_rate() const noexcept {
+  double sum = 0.0;
+  for (double r : params_.state_rates) sum += r;
+  return sum / static_cast<double>(params_.state_rates.size());
+}
+
+MmppParams MmppRate::ladder(double mean_rate, std::size_t states,
+                            double spread, double mean_holding_sec,
+                            double horizon_sec) {
+  if (!(mean_rate >= 0.0) || states == 0 || !(spread >= 0.0) ||
+      spread > 1.0) {
+    throw std::invalid_argument(
+        "MmppRate::ladder: need mean_rate >= 0, states >= 1, "
+        "spread in [0, 1]");
+  }
+  MmppParams p;
+  p.mean_holding_sec = mean_holding_sec;
+  p.horizon_sec = horizon_sec;
+  if (states == 1) {
+    p.state_rates.push_back(mean_rate);
+    return p;
+  }
+  for (std::size_t i = 0; i < states; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(states - 1);
+    p.state_rates.push_back(mean_rate * (1.0 - spread + 2.0 * spread * frac));
+  }
+  return p;
+}
+
+}  // namespace autra::arrival

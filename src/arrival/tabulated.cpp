@@ -1,0 +1,21 @@
+#include "arrival/tabulated.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autra::arrival {
+
+TabulatedRate::TabulatedRate(std::vector<double> table) {
+  if (table.empty()) {
+    throw std::invalid_argument("TabulatedRate: empty rate table");
+  }
+  for (double r : table) {
+    if (!std::isfinite(r) || r < 0.0) {
+      throw std::invalid_argument(
+          "TabulatedRate: rates must be finite and non-negative");
+    }
+  }
+  table_ = std::make_shared<const std::vector<double>>(std::move(table));
+}
+
+}  // namespace autra::arrival

@@ -1,0 +1,60 @@
+// Base class for the generative arrival processes (DESIGN.md §13).
+//
+// Every process in src/arrival/ is sampled ONCE, at construction, into a
+// per-second rate table; rate_at() is then a pure table lookup. This is
+// the discretisation-and-determinism contract of the subsystem: the RNG
+// lives and dies inside the constructor (seeded with a named seed, per
+// lint rule D3), so rate_at() is const, thread-safe, and bit-identical
+// across clone() copies (clones share the immutable table), across exec
+// thread counts, and across engine cores — the engine only ever sees a
+// fixed function of time, exactly like the hand-built schedules in
+// streamsim/rates.hpp.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "streamsim/rates.hpp"
+
+namespace autra::arrival {
+
+/// A RateSchedule backed by an immutable per-second table: entry s is the
+/// average rate (records/second) over simulated time [s, s+1). Queries
+/// before t=0 return the first entry; queries at or beyond the horizon
+/// hold the last entry (a long-lived session outliving the materialised
+/// horizon sees a constant tail, never a discontinuity to zero).
+class TabulatedRate : public sim::RateSchedule {
+ public:
+  [[nodiscard]] double rate_at(double t) const final {
+    const std::vector<double>& tab = *table_;
+    if (t <= 0.0) return tab.front();
+    std::size_t s = static_cast<std::size_t>(t);
+    if (s >= tab.size()) s = tab.size() - 1;
+    return tab[s];
+  }
+
+  /// The materialised per-second table (one entry per second of horizon).
+  [[nodiscard]] const std::vector<double>& table() const noexcept {
+    return *table_;
+  }
+
+  /// Seconds of materialised horizon (== table().size()).
+  [[nodiscard]] double horizon_sec() const noexcept {
+    return static_cast<double>(table_->size());
+  }
+
+ protected:
+  /// Validates and adopts the table: non-empty, every entry finite and
+  /// >= 0. Throws std::invalid_argument otherwise.
+  explicit TabulatedRate(std::vector<double> table);
+
+  TabulatedRate(const TabulatedRate&) = default;
+  TabulatedRate& operator=(const TabulatedRate&) = default;
+
+ private:
+  /// Shared so clone() is O(1) and trivially bit-identical.
+  std::shared_ptr<const std::vector<double>> table_;
+};
+
+}  // namespace autra::arrival

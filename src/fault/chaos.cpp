@@ -1,6 +1,8 @@
 #include "fault/chaos.hpp"
 
 #include <algorithm>
+
+#include "arrival/hawkes.hpp"
 #include <cmath>
 #include <random>
 #include <stdexcept>
@@ -112,6 +114,8 @@ ChaosGenerator::ChaosGenerator(ChaosProfile profile)
   require(profile_.max_duration_frac > 0.0 &&
               profile_.max_duration_frac <= kLastEndFrac,
           "max duration fraction must be in (0, 0.9]");
+  require(profile_.burst_clustering >= 0.0 && profile_.burst_clustering < 1.0,
+          "burst_clustering must be in [0, 1)");
   for (const std::vector<std::size_t>& rack : profile_.racks) {
     require(!rack.empty(), "empty rack group");
     for (std::size_t m : rack) {
@@ -167,6 +171,24 @@ FaultSchedule ChaosGenerator::generate(std::uint64_t seed) const {
   std::uniform_int_distribution<std::size_t> machine_dist(
       0, profile_.num_machines - 1);
 
+  // Time-correlated mode: pre-sample clustered onset times from the
+  // arrival subsystem's Hawkes sampler. mu is calibrated so the expected
+  // cascade total (mu * span / (1 - branching)) matches `count`; any
+  // shortfall falls back to the legacy uniform placement below. Only the
+  // burst_clustering > 0 path touches the RNG here, so clustering-off
+  // schedules stay bit-identical to the golden corpus.
+  std::vector<double> onsets;
+  if (profile_.burst_clustering > 0.0) {
+    const double span = kLastEndFrac * h;
+    const double mu =
+        static_cast<double>(count) * (1.0 - profile_.burst_clustering) / span;
+    // Burst memory ~ the shortest event: storms tighter than a single
+    // fault's duration still read as distinct events.
+    const double decay = 1.0 / profile_.min_duration_sec;
+    onsets = arrival::sample_hawkes_event_times(
+        mu, profile_.burst_clustering, decay, span, rng);
+  }
+
   for (int n = 0; n < count; ++n) {
     const double pick = unit(rng) * cumulative_.back();
     const std::size_t k = static_cast<std::size_t>(
@@ -184,7 +206,10 @@ FaultSchedule ChaosGenerator::generate(std::uint64_t seed) const {
         crash ? std::uniform_real_distribution<double>(5.0, 20.0)(rng) : 0.0;
     const double footprint = std::max(duration, detect);
     const double latest = std::max(0.0, kLastEndFrac * h - footprint);
-    const double at = unit(rng) * latest;
+    const double at = static_cast<std::size_t>(n) < onsets.size()
+                          ? std::min(onsets[static_cast<std::size_t>(n)],
+                                     latest)
+                          : unit(rng) * latest;
 
     switch (kind) {
       case FaultKind::kMachineDown:

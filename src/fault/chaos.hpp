@@ -74,6 +74,14 @@ struct ChaosProfile {
   /// max_duration_frac * horizon_sec].
   double min_duration_sec = 20.0;
   double max_duration_frac = 0.12;
+  /// Time correlation of event onsets, in [0, 1). 0 (the default) keeps
+  /// the legacy independent-uniform placements — and the legacy RNG
+  /// stream, so existing golden schedules are untouched. > 0 draws
+  /// onsets from the arrival subsystem's Hawkes sampler with this
+  /// branching ratio: each fault raises the odds of another right
+  /// behind it, so faults land in storms separated by calm (the
+  /// "everything pages at once" incident shape).
+  double burst_clustering = 0.0;
 
   /// Profile for a cluster: machine count, rack groups, default mix.
   [[nodiscard]] static ChaosProfile for_cluster(const sim::Cluster& cluster,

@@ -26,7 +26,7 @@ std::unique_ptr<Engine> make_engine(const JobSpec& spec, const Parallelism& p,
   params.seed += seed_salt * 7919;  // decorrelate reruns
   auto engine = std::make_unique<Engine>(
       spec.topology, Cluster(spec.cluster), p,
-      std::make_unique<KafkaLog>(spec.schedule->clone()), params);
+      std::make_unique<KafkaLog>(spec.schedule), params);
   for (const ExternalServiceSpec& svc : spec.services) {
     engine->add_external_service(
         ExternalService(svc.name, svc.max_calls_per_sec, svc.burst_sec,

@@ -4,12 +4,15 @@
 
 namespace autra::sim {
 
-KafkaLog::KafkaLog(std::unique_ptr<RateSchedule> schedule)
+KafkaLog::KafkaLog(std::shared_ptr<const RateSchedule> schedule)
     : schedule_(std::move(schedule)) {
   if (!schedule_) {
     throw std::invalid_argument("KafkaLog: null schedule");
   }
 }
+
+KafkaLog::KafkaLog(std::unique_ptr<RateSchedule> schedule)
+    : KafkaLog(std::shared_ptr<const RateSchedule>(std::move(schedule))) {}
 
 void KafkaLog::produce(double t, double dt) {
   const double mass = schedule_->rate_at(t) * dt;

@@ -22,7 +22,13 @@ struct LogCohort {
 
 class KafkaLog {
  public:
-  explicit KafkaLog(std::unique_ptr<RateSchedule> schedule);
+  /// The log only reads the schedule, so it shares ownership with the
+  /// JobSpec/workload that built it — no clone at engine construction.
+  explicit KafkaLog(std::shared_ptr<const RateSchedule> schedule);
+
+  [[deprecated(
+      "pass a shared_ptr<const RateSchedule>; KafkaLog never mutates the "
+      "schedule")]] explicit KafkaLog(std::unique_ptr<RateSchedule> schedule);
 
   /// Appends `schedule.rate_at(t) * dt` records produced during [t, t+dt).
   void produce(double t, double dt);
@@ -46,7 +52,7 @@ class KafkaLog {
   void clear() noexcept;
 
  private:
-  std::unique_ptr<RateSchedule> schedule_;
+  std::shared_ptr<const RateSchedule> schedule_;
   std::deque<LogCohort> cohorts_;
   double lag_ = 0.0;
   double total_produced_ = 0.0;

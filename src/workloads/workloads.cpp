@@ -225,6 +225,157 @@ sim::JobSpec nexmark_q8(std::shared_ptr<const sim::RateSchedule> schedule) {
   return spec;
 }
 
+sim::JobSpec stream_stream_join(
+    std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  const auto clicks = t.add_operator({.name = "clicks-source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 4.0,
+                                      .process_us = 3.0,
+                                      .serialize_us = 1.0,
+                                      .state_mb = 16.0});
+  const auto impressions =
+      t.add_operator({.name = "impressions-source",
+                      .kind = sim::OperatorKind::kSource,
+                      .selectivity = 1.0,
+                      .deserialize_us = 4.0,
+                      .process_us = 3.0,
+                      .serialize_us = 1.0,
+                      .state_mb = 16.0});
+  // Both join sides live in one keyed operator: every record probes the
+  // other side's window and appends to its own, so per-record cost and
+  // state are both high.
+  const auto join = t.add_operator({.name = "interval-join",
+                                    .kind = sim::OperatorKind::kKeyedAggregate,
+                                    .selectivity = 0.8,
+                                    .deserialize_us = 3.0,
+                                    .process_us = 18.0,
+                                    .serialize_us = 3.0,
+                                    .state_mb = 384.0});
+  const auto project = t.add_operator({.name = "project",
+                                       .kind = sim::OperatorKind::kStateless,
+                                       .selectivity = 1.0,
+                                       .deserialize_us = 0.5,
+                                       .process_us = 2.0,
+                                       .serialize_us = 0.5,
+                                       .state_mb = 8.0});
+  const auto sink = t.add_operator({.name = "sink",
+                                    .kind = sim::OperatorKind::kSink,
+                                    .selectivity = 0.0,
+                                    .deserialize_us = 0.5,
+                                    .process_us = 1.5,
+                                    .serialize_us = 0.5,
+                                    .state_mb = 8.0});
+  t.connect(clicks, join);
+  t.connect(impressions, join);
+  t.connect(join, project);
+  t.connect(project, sink);
+  return spec;
+}
+
+sim::JobSpec sessionization(
+    std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  const auto source = t.add_operator({.name = "events-source",
+                                      .kind = sim::OperatorKind::kSource,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 5.0,
+                                      .process_us = 3.0,
+                                      .serialize_us = 1.0,
+                                      .state_mb = 16.0});
+  // Keyed by user, hot users make it skew-prone; ~20 events per closed
+  // session gives selectivity 0.05.
+  const auto sessionize =
+      t.add_operator({.name = "sessionize",
+                      .kind = sim::OperatorKind::kSessionWindow,
+                      .selectivity = 0.05,
+                      .deserialize_us = 8.0,
+                      .process_us = 56.0,
+                      .serialize_us = 8.0,
+                      .state_mb = 256.0,
+                      .key_skew = 0.6});
+  const auto enrich = t.add_operator({.name = "enrich",
+                                      .kind = sim::OperatorKind::kStateless,
+                                      .selectivity = 1.0,
+                                      .deserialize_us = 2.0,
+                                      .process_us = 6.0,
+                                      .serialize_us = 2.0,
+                                      .state_mb = 16.0});
+  const auto sink = t.add_operator({.name = "sink",
+                                    .kind = sim::OperatorKind::kSink,
+                                    .selectivity = 0.0,
+                                    .deserialize_us = 1.0,
+                                    .process_us = 2.0,
+                                    .serialize_us = 1.0,
+                                    .state_mb = 8.0});
+  t.connect(source, sessionize);
+  t.connect(sessionize, enrich);
+  t.connect(enrich, sink);
+  return spec;
+}
+
+sim::JobSpec fanin_tree(std::shared_ptr<const sim::RateSchedule> schedule) {
+  sim::JobSpec spec = base_spec(std::move(schedule));
+  sim::Topology& t = spec.topology;
+  // 4 sharded sources -> 4 local pre-aggregates -> 2 combiners -> root
+  // aggregate -> sink: every level is a shuffle that can cross racks.
+  std::size_t sources[4];
+  std::size_t preaggs[4];
+  for (int i = 0; i < 4; ++i) {
+    sources[i] =
+        t.add_operator({.name = "shard-source-" + std::to_string(i),
+                        .kind = sim::OperatorKind::kSource,
+                        .selectivity = 1.0,
+                        .deserialize_us = 3.0,
+                        .process_us = 2.0,
+                        .serialize_us = 1.0,
+                        .state_mb = 8.0});
+    preaggs[i] =
+        t.add_operator({.name = "pre-agg-" + std::to_string(i),
+                        .kind = sim::OperatorKind::kKeyedAggregate,
+                        .selectivity = 0.25,
+                        .deserialize_us = 1.0,
+                        .process_us = 6.0,
+                        .serialize_us = 1.0,
+                        .state_mb = 64.0});
+    t.connect(sources[i], preaggs[i]);
+  }
+  std::size_t combiners[2];
+  for (int i = 0; i < 2; ++i) {
+    combiners[i] =
+        t.add_operator({.name = "combine-" + std::to_string(i),
+                        .kind = sim::OperatorKind::kKeyedAggregate,
+                        .selectivity = 0.5,
+                        .deserialize_us = 1.0,
+                        .process_us = 8.0,
+                        .serialize_us = 2.0,
+                        .state_mb = 96.0});
+    t.connect(preaggs[2 * i], combiners[i]);
+    t.connect(preaggs[2 * i + 1], combiners[i]);
+  }
+  const auto root = t.add_operator({.name = "root-agg",
+                                    .kind = sim::OperatorKind::kKeyedAggregate,
+                                    .selectivity = 0.1,
+                                    .deserialize_us = 2.0,
+                                    .process_us = 12.0,
+                                    .serialize_us = 2.0,
+                                    .state_mb = 128.0});
+  t.connect(combiners[0], root);
+  t.connect(combiners[1], root);
+  const auto sink = t.add_operator({.name = "sink",
+                                    .kind = sim::OperatorKind::kSink,
+                                    .selectivity = 0.0,
+                                    .deserialize_us = 0.5,
+                                    .process_us = 1.5,
+                                    .serialize_us = 0.5,
+                                    .state_mb = 8.0});
+  t.connect(root, sink);
+  return spec;
+}
+
 sim::JobSpec synthetic_chain(std::size_t n,
                              std::shared_ptr<const sim::RateSchedule> schedule,
                              double cost_us) {

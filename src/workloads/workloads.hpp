@@ -57,6 +57,32 @@ inline constexpr double kYahooRedisCallsPerSec = 40000.0;
 [[nodiscard]] sim::JobSpec nexmark_q8(
     std::shared_ptr<const sim::RateSchedule> schedule);
 
+/// Stream-stream join (ad attribution): two sources (Clicks and
+/// Impressions) feeding one state-heavy keyed join —
+///   {Clicks, Impressions} -> Join -> Project -> Sink
+/// Both sources pull from the shared ingest log in topology order, so
+/// their capacities gate each other; the join holds both sides' windows
+/// (384 MB/instance), making rescales expensive to move.
+[[nodiscard]] sim::JobSpec stream_stream_join(
+    std::shared_ptr<const sim::RateSchedule> schedule);
+
+/// Sessionization pipeline: Source -> Sessionize -> Enrich -> Sink.
+/// The session-window stage is keyed by user and deliberately skewed
+/// (key_skew = 0.6: a hot user keeps one instance at 1.6x the uniform
+/// share), so policies that assume uniform keys overestimate its
+/// capacity; sessions close at ~1/20th the record rate (selectivity
+/// 0.05).
+[[nodiscard]] sim::JobSpec sessionization(
+    std::shared_ptr<const sim::RateSchedule> schedule);
+
+/// Fan-in aggregation tree: four sharded sources each pre-aggregate
+/// locally, pairs combine, and a root aggregate feeds the sink —
+/// 12 operators in a 4 -> 4 -> 2 -> 1 -> 1 tree. The deep fan-in is the
+/// worst case for the rack/uplink network model: every tree level is a
+/// shuffle that can cross racks.
+[[nodiscard]] sim::JobSpec fanin_tree(
+    std::shared_ptr<const sim::RateSchedule> schedule);
+
 /// A synthetic linear chain of `n` operators with uniform costs — used by
 /// the Table-IV overhead benchmark and the property-test suites, where the
 /// topology's size matters but its content does not.

@@ -86,10 +86,23 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.rule;
     });
 
+TEST(FixtureCorpusArrival, ArrivalThemedD3PairCoversTheNewSubsystem) {
+  // Same contract as the parameterised corpus, for the arrival-flavoured
+  // pair (a thinning sampler): clean when the seed is a named parameter,
+  // D3 on both the literal and the clock seed otherwise.
+  const std::vector<Finding> good = lint_fixture("d3_arrival_good.cpp");
+  EXPECT_TRUE(good.empty())
+      << "first: " << (good.empty() ? "" : good.front().message);
+  const std::vector<Finding> bad = lint_fixture("d3_arrival_bad.cpp");
+  ASSERT_FALSE(bad.empty());
+  for (const Finding& f : bad) EXPECT_EQ(f.rule, "D3") << f.message;
+}
+
 TEST(FixtureCounts, BadFixturesFireTheExpectedFindingCounts) {
   EXPECT_EQ(lint_fixture("d1_bad.cpp").size(), 4u);  // device, srand, time, rand
   EXPECT_EQ(lint_fixture("d2_bad.cpp").size(), 2u);  // range-for, begin()
   EXPECT_EQ(lint_fixture("d3_bad.cpp").size(), 2u);  // literal, clock
+  EXPECT_EQ(lint_fixture("d3_arrival_bad.cpp").size(), 2u);  // same pair
   EXPECT_EQ(lint_fixture("a1_bad.cpp").size(), 2u);  // record, mean
   EXPECT_EQ(lint_fixture("a2_bad.hpp").size(), 2u);  // two floats
   EXPECT_EQ(lint_fixture("a3_bad.hpp").size(), 2u);  // member, parameter
@@ -132,6 +145,13 @@ TEST(PathClassification, RepoLayoutMapsToTheDocumentedScopes) {
   const FileScope bench_file = lint::classify_path("bench/bench_util.hpp");
   EXPECT_FALSE(bench_file.library_code);
   EXPECT_TRUE(bench_file.header);
+
+  // The arrival subsystem is decision-path: its construction-time RNG
+  // falls under D1/D3 like the chaos generator's.
+  const FileScope arrival = lint::classify_path("src/arrival/hawkes.cpp");
+  EXPECT_TRUE(arrival.decision_path);
+  EXPECT_TRUE(arrival.library_code);
+  EXPECT_FALSE(lint::classify_path("src/arrival/mmpp.hpp").numeric_header);
 
   const FileScope linalg = lint::classify_path("src/linalg/matrix.hpp");
   EXPECT_TRUE(linalg.numeric_header);

@@ -121,7 +121,7 @@ TEST(Chaining, ChainedJobSameThroughputLowerLatency) {
   auto run = [&](const Topology& topo, const Parallelism& p) {
     Engine e(topo, Cluster(paper_cluster()), p,
              std::make_unique<KafkaLog>(
-                 std::make_unique<ConstantRate>(250000.0)),
+                 std::make_shared<ConstantRate>(250000.0)),
              params);
     e.run_until(30.0);
     e.reset_counters();

@@ -42,19 +42,19 @@ std::unique_ptr<Engine> make_engine_with(Topology t, Parallelism p,
                                          EngineParams params = quiet_params()) {
   return std::make_unique<Engine>(
       std::move(t), Cluster(paper_cluster()), std::move(p),
-      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(rate)),
+      std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(rate)),
       params);
 }
 
 TEST(Engine, ConstructorValidation) {
   EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1},
                       std::make_unique<KafkaLog>(
-                          std::make_unique<ConstantRate>(10.0)),
+                          std::make_shared<ConstantRate>(10.0)),
                       quiet_params()),
                std::invalid_argument);  // parallelism size mismatch
   EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1, 100},
                       std::make_unique<KafkaLog>(
-                          std::make_unique<ConstantRate>(10.0)),
+                          std::make_shared<ConstantRate>(10.0)),
                       quiet_params()),
                std::invalid_argument);  // infeasible parallelism
   EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1, 1},
@@ -64,7 +64,7 @@ TEST(Engine, ConstructorValidation) {
   bad.tick_sec = 0.0;
   EXPECT_THROW(Engine(simple_chain(), Cluster(paper_cluster()), {1, 1, 1},
                       std::make_unique<KafkaLog>(
-                          std::make_unique<ConstantRate>(10.0)),
+                          std::make_shared<ConstantRate>(10.0)),
                       bad),
                std::invalid_argument);
 }
@@ -178,7 +178,7 @@ TEST(Engine, ExternalServiceCapsThroughput) {
   t.op(2).external_calls_per_record = 1.0;
   auto e = std::make_unique<Engine>(
       std::move(t), Cluster(paper_cluster()), Parallelism{4, 4, 4},
-      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(50000.0)),
+      std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(50000.0)),
       quiet_params());
   e->add_external_service(ExternalService("redis", 10000.0));
   e->run_until(30.0);
@@ -192,7 +192,7 @@ TEST(Engine, UnknownExternalServiceThrowsOnTick) {
   t.op(1).external_service = "ghost";
   auto e = std::make_unique<Engine>(
       std::move(t), Cluster(paper_cluster()), Parallelism{1, 1, 1},
-      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(100.0)),
+      std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(100.0)),
       quiet_params());
   EXPECT_THROW(e->run_until(1.0), std::logic_error);
 }
@@ -225,7 +225,7 @@ TEST(Engine, MemoryAccountsStateAndSlots) {
   cs.slot_overhead_mb = 100.0;
   auto e = std::make_unique<Engine>(
       std::move(t), Cluster(cs), Parallelism{1, 2, 1},
-      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(100.0)),
+      std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(100.0)),
       quiet_params());
   // 10*1 + 20*2 + 30*1 + 100*max(k)=2 slots -> 280 MB.
   EXPECT_DOUBLE_EQ(e->memory_mb(), 280.0);
@@ -332,7 +332,7 @@ TEST(Engine, BackgroundLoadReducesThroughputAtSaturation) {
   for (MachineSpec& m : busy.machines) m.background_load = 15.0;
   const auto throughput_on = [&](const ClusterSpec& cs) {
     Engine e(simple_chain(2.0, 20.0, 2.0), Cluster(cs), {4, 4, 4},
-             std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(1e6)),
+             std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(1e6)),
              quiet_params());
     e.run_until(20.0);
     e.reset_counters();
@@ -356,7 +356,7 @@ TEST(Engine, ExternalServiceCallLatencyRaisesFloor) {
   with_latency.op(1).external_calls_per_record = 2.0;
   auto e = std::make_unique<Engine>(
       std::move(with_latency), Cluster(paper_cluster()), Parallelism{1, 1, 1},
-      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(1000.0)),
+      std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(1000.0)),
       quiet_params());
   e->add_external_service(ExternalService("redis", 1e6, 0.5, 5.0));
   auto plain = make_engine_with(simple_chain(), {1, 1, 1}, 1000.0);
@@ -376,7 +376,7 @@ TEST(Engine, HeterogeneousMachineSpeedScalesCapacity) {
   const auto throughput_on = [&](const ClusterSpec& cs) {
     Engine e(simple_chain(2.0, 20.0, 2.0), Cluster(cs), {1, 1, 1},
              std::make_unique<KafkaLog>(
-                 std::make_unique<ConstantRate>(1e6)),  // saturating
+                 std::make_shared<ConstantRate>(1e6)),  // saturating
              quiet_params());
     e.run_until(20.0);
     e.reset_counters();

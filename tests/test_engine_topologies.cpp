@@ -18,7 +18,7 @@ EngineParams quiet() {
 std::unique_ptr<Engine> engine_for(Topology t, Parallelism p, double rate) {
   return std::make_unique<Engine>(
       std::move(t), Cluster(paper_cluster()), std::move(p),
-      std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(rate)),
+      std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(rate)),
       quiet());
 }
 

@@ -53,7 +53,7 @@ std::unique_ptr<sim::Engine> paper_engine(double rate,
       simple_chain(), sim::Cluster(sim::paper_cluster()),
       sim::Parallelism{2, 2, 2},
       std::make_unique<sim::KafkaLog>(
-          std::make_unique<sim::ConstantRate>(rate)),
+          std::make_shared<sim::ConstantRate>(rate)),
       params);
 }
 
@@ -167,7 +167,7 @@ TEST(EventEngine, BitIdenticalUnderRackUplinkContention) {
         simple_chain(), sim::Cluster(std::move(spec)),
         sim::Parallelism{4, 4, 4},
         std::make_unique<sim::KafkaLog>(
-            std::make_unique<sim::ConstantRate>(100e3)),
+            std::make_shared<sim::ConstantRate>(100e3)),
         quiet(core));
     e->inject_slowdown(3, 0.5, 15.0, 30.0);
     e->inject_network_partition({0, 1}, 40.0, 50.0);
@@ -196,7 +196,7 @@ TEST(EventEngine, ShardedRefreshIsBitIdenticalAcrossThreadCounts) {
         simple_chain(), sim::Cluster(sim::uniform_cluster(520, 40)),
         sim::Parallelism{520, 520, 520},
         std::make_unique<sim::KafkaLog>(
-            std::make_unique<sim::ConstantRate>(3e5)),
+            std::make_shared<sim::ConstantRate>(3e5)),
         p);
     e->inject_slowdown(7, 0.5, 3.0, 8.0);
     e->inject_machine_down(100, 5.0, 10.0);

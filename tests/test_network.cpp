@@ -208,7 +208,7 @@ TEST(NetworkModel, UplinkCapsEngineThroughput) {
     params.measurement_noise = 0.0;
     auto e = std::make_unique<Engine>(
         chain2(), Cluster(std::move(spec)), Parallelism{2, 2},
-        std::make_unique<KafkaLog>(std::make_unique<ConstantRate>(50000.0)),
+        std::make_unique<KafkaLog>(std::make_shared<ConstantRate>(50000.0)),
         params);
     e->run_until(20.0);
     e->reset_counters();

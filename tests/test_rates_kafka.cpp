@@ -54,11 +54,12 @@ TEST(RateSchedule, CloneIsDeep) {
 }
 
 TEST(KafkaLog, NullScheduleThrows) {
-  EXPECT_THROW(KafkaLog(nullptr), std::invalid_argument);
+  EXPECT_THROW(KafkaLog(std::shared_ptr<const RateSchedule>()),
+               std::invalid_argument);
 }
 
 TEST(KafkaLog, ProduceAccumulatesLag) {
-  KafkaLog log(std::make_unique<ConstantRate>(1000.0));
+  KafkaLog log(std::make_shared<ConstantRate>(1000.0));
   log.produce(0.0, 1.0);
   log.produce(1.0, 1.0);
   EXPECT_DOUBLE_EQ(log.lag(), 2000.0);
@@ -67,7 +68,7 @@ TEST(KafkaLog, ProduceAccumulatesLag) {
 }
 
 TEST(KafkaLog, ConsumePartialCohort) {
-  KafkaLog log(std::make_unique<ConstantRate>(1000.0));
+  KafkaLog log(std::make_shared<ConstantRate>(1000.0));
   log.produce(0.0, 1.0);
   const auto taken = log.consume(300.0);
   ASSERT_EQ(taken.size(), 1u);
@@ -78,7 +79,7 @@ TEST(KafkaLog, ConsumePartialCohort) {
 }
 
 TEST(KafkaLog, ConsumeSpansCohortsFifo) {
-  KafkaLog log(std::make_unique<ConstantRate>(100.0));
+  KafkaLog log(std::make_shared<ConstantRate>(100.0));
   log.produce(0.0, 1.0);   // 100 @ t=0.5
   log.produce(1.0, 1.0);   // 100 @ t=1.5
   const auto taken = log.consume(150.0);
@@ -91,7 +92,7 @@ TEST(KafkaLog, ConsumeSpansCohortsFifo) {
 }
 
 TEST(KafkaLog, ConsumeMoreThanAvailable) {
-  KafkaLog log(std::make_unique<ConstantRate>(100.0));
+  KafkaLog log(std::make_shared<ConstantRate>(100.0));
   log.produce(0.0, 1.0);
   const auto taken = log.consume(500.0);
   double total = 0.0;
@@ -102,13 +103,13 @@ TEST(KafkaLog, ConsumeMoreThanAvailable) {
 }
 
 TEST(KafkaLog, ZeroRateProducesNothing) {
-  KafkaLog log(std::make_unique<ConstantRate>(0.0));
+  KafkaLog log(std::make_shared<ConstantRate>(0.0));
   log.produce(0.0, 10.0);
   EXPECT_DOUBLE_EQ(log.lag(), 0.0);
 }
 
 TEST(KafkaLog, ClearDropsPending) {
-  KafkaLog log(std::make_unique<ConstantRate>(100.0));
+  KafkaLog log(std::make_shared<ConstantRate>(100.0));
   log.produce(0.0, 1.0);
   log.clear();
   EXPECT_DOUBLE_EQ(log.lag(), 0.0);
@@ -118,7 +119,7 @@ TEST(KafkaLog, ClearDropsPending) {
 }
 
 TEST(KafkaLog, RateAtDelegatesToSchedule) {
-  KafkaLog log(std::make_unique<StaircaseRate>(10.0, 10.0, 1.0));
+  KafkaLog log(std::make_shared<StaircaseRate>(10.0, 10.0, 1.0));
   EXPECT_DOUBLE_EQ(log.rate_at(0.0), 10.0);
   EXPECT_DOUBLE_EQ(log.rate_at(1.5), 20.0);
 }

@@ -431,7 +431,7 @@ FileScope classify_path(std::string_view path) {
       contains(path, "src/core/") || contains(path, "src/gp/") ||
       contains(path, "src/bayesopt/") || contains(path, "src/streamsim/") ||
       contains(path, "src/fault/") || contains(path, "src/runtime/") ||
-      contains(path, "src/multitenant/");
+      contains(path, "src/multitenant/") || contains(path, "src/arrival/");
   scope.numeric_header =
       scope.header && (contains(path, "src/linalg/") ||
                        contains(path, "src/gp/") ||

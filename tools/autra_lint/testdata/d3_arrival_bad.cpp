@@ -1,0 +1,19 @@
+// D3 bad, arrival-themed: a thinning sampler whose RNG is seeded with a
+// hidden literal and a wall-clock value — either one makes the sampled
+// rate table unreplayable.
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+std::vector<double> sample_onsets(double mu, double horizon_sec) {
+  std::mt19937_64 fixed(987654321);
+  std::mt19937_64 clocked(static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count()));
+  std::exponential_distribution<double> gap(mu);
+  std::vector<double> out;
+  for (double t = gap(fixed); t < horizon_sec; t += gap(clocked)) {
+    out.push_back(t);
+  }
+  return out;
+}

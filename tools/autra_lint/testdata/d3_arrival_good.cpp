@@ -1,0 +1,17 @@
+// D3 good, arrival-themed: the sampler's RNG comes from a named seed
+// parameter, so the whole rate table replays from (params, seed) — the
+// src/arrival/ construction-time contract.
+#include <cstdint>
+#include <random>
+#include <vector>
+
+std::vector<double> sample_onsets(double mu, double horizon_sec,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(mu);
+  std::vector<double> out;
+  for (double t = gap(rng); t < horizon_sec; t += gap(rng)) {
+    out.push_back(t);
+  }
+  return out;
+}
