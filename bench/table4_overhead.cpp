@@ -12,10 +12,23 @@
 // Absolute times depend on hardware; the paper's shape to check is
 // near-linear growth with the operator count, all far below the policy
 // interval.
+//
+// The incremental-GP section (--smoke / --json, DESIGN.md §14) measures
+// the always-on Plan path instead: a full O(n^3) refit vs the O(n^2)
+// GpRegressor::observe() factor extension at n in {64, 256, 1024}, with a
+// posterior-parity check (incremental vs from-scratch <= 1e-9) whose
+// verdict — together with the FitStats counters — is the deterministic,
+// bench_compare-gated part of the committed BENCH_overhead.json; the
+// timing columns carry noise and are skipped by the CI gate.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstring>
 #include <random>
+#include <string>
 
+#include "bench_util.hpp"
 #include "core/bootstrap.hpp"
 #include "core/steady_rate.hpp"
 #include "core/transfer.hpp"
@@ -147,6 +160,172 @@ BENCHMARK(Alg1Train)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(Alg1Use)->DenseRange(2, 10, 2)->Unit(benchmark::kMicrosecond);
 BENCHMARK(Alg2Step)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Incremental-GP section: full refit vs cached-factor observe().
+
+constexpr std::size_t kGpDims = 4;
+
+/// Deterministic in-box data: rows 0 and 1 pin the exact corners of
+/// [1, 20]^d (so the normalisation box frozen by any >= 2-point prefix fit
+/// covers every later point), the rest is a Weyl low-discrepancy fill. No
+/// RNG, no clock — the parity verdict must be reproducible bit-for-bit.
+void gp_point(std::size_t i, double* x) {
+  constexpr double kWeyl[kGpDims] = {0.6180339887498949, 0.4142135623730951,
+                                     0.7320508075688772, 0.2360679774997897};
+  for (std::size_t j = 0; j < kGpDims; ++j) {
+    if (i == 0) {
+      x[j] = 1.0;
+    } else if (i == 1) {
+      x[j] = 20.0;
+    } else {
+      const double f = static_cast<double>(i) * kWeyl[j];
+      x[j] = 1.0 + 19.0 * (f - std::floor(f));
+    }
+  }
+}
+
+double gp_target(const double* x) {
+  double s = 1.0;
+  for (std::size_t j = 0; j < kGpDims; ++j) {
+    const double d = (x[j] - 8.0) / 10.0;
+    s -= d * d / static_cast<double>(kGpDims);
+  }
+  return s;
+}
+
+gp::GpConfig incremental_gp_config() {
+  gp::GpConfig cfg;
+  // Frozen hyper-parameters: the section measures the factor paths, not
+  // the grid search, and observe() keeps them frozen anyway.
+  cfg.optimize_hyperparams = false;
+  cfg.length_scale = 0.3;
+  cfg.noise_variance = 1e-3;
+  return cfg;
+}
+
+void run_incremental_section(bool smoke, const std::string& json_path) {
+  bench::header(
+      "incremental GP — O(n^2) observe() vs O(n^3) refit (DESIGN.md §14)");
+  std::printf("%8s %4s %12s %12s %9s %8s %7s\n", "n", "d", "refit [ms]",
+              "observe[us]", "speedup", "parity", "inc/full");
+
+  bench::JsonReport report("table4_overhead");
+  const std::vector<std::size_t> grid =
+      smoke ? std::vector<std::size_t>{64, 256}
+            : std::vector<std::size_t>{64, 256, 1024};
+
+  for (const std::size_t n : grid) {
+    linalg::Matrix x(n, kGpDims);
+    linalg::Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      gp_point(i, x.row(i).data());
+      y[i] = gp_target(x.row(i).data());
+    }
+
+    // Full-refit cost at n (the legacy per-round Plan cost).
+    gp::GpRegressor full(incremental_gp_config());
+    const auto t0 = std::chrono::steady_clock::now();
+    full.fit(x, y);
+    const double refit_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+    // Parity: fit on the first half, observe() the rest, and compare the
+    // posterior against the from-scratch fit at a probe grid.
+    gp::GpRegressor inc(incremental_gp_config());
+    const std::size_t n_seed = n / 2;
+    linalg::Matrix x_seed(n_seed, kGpDims);
+    linalg::Vector y_seed(n_seed);
+    for (std::size_t i = 0; i < n_seed; ++i) {
+      for (std::size_t j = 0; j < kGpDims; ++j) x_seed(i, j) = x(i, j);
+      y_seed[i] = y[i];
+    }
+    inc.fit(x_seed, y_seed);
+    for (std::size_t i = n_seed; i < n; ++i) inc.observe(x.row(i), y[i]);
+
+    double max_diff = 0.0;
+    for (std::size_t p = 0; p < 64; ++p) {
+      double probe[kGpDims];
+      gp_point(2 + p * 7, probe);
+      const gp::Prediction a = full.predict(probe);
+      const gp::Prediction b = inc.predict(probe);
+      max_diff = std::max(max_diff, std::abs(a.mean - b.mean));
+      max_diff = std::max(max_diff, std::abs(a.variance - b.variance));
+    }
+    const bool parity_ok = max_diff <= 1e-9;
+    const gp::FitStats& stats = inc.fit_stats();
+
+    // Steady-state observe() cost at window size n: a windowed model full
+    // at n pays one eviction + one extension per observation.
+    gp::GpConfig windowed = incremental_gp_config();
+    windowed.max_observations = static_cast<int>(n);
+    gp::GpRegressor window(windowed);
+    window.fit(x, y);
+    constexpr int kReps = 32;
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r) {
+      double nx[kGpDims];
+      gp_point(n + static_cast<std::size_t>(r) + 2, nx);
+      window.observe(nx, gp_target(nx));
+    }
+    const double observe_us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - t1)
+                                  .count() /
+                              kReps;
+    const double speedup =
+        observe_us > 0.0 ? refit_ms * 1000.0 / observe_us : 0.0;
+
+    std::printf("%8zu %4zu %12.2f %12.1f %8.1fx %8s %4llu/%llu\n", n, kGpDims,
+                refit_ms, observe_us, speedup, parity_ok ? "ok" : "FAIL",
+                static_cast<unsigned long long>(stats.incremental_updates),
+                static_cast<unsigned long long>(stats.full_fits));
+
+    report.row()
+        .num("n", static_cast<double>(n))
+        .num("d", static_cast<double>(kGpDims))
+        .num("incremental_updates",
+             static_cast<double>(stats.incremental_updates))
+        .num("full_fits", static_cast<double>(stats.full_fits))
+        .num("parity_ok", parity_ok ? 1.0 : 0.0)
+        .num("refit_ms", refit_ms)
+        .num("observe_us", observe_us)
+        .num("speedup", speedup);
+  }
+
+  std::printf(
+      "\nShape check: observe() stays microsecond-range while the refit "
+      "grows O(n^3) — >= 10x at n = 1024 — and the incremental posterior "
+      "matches the from-scratch fit to <= 1e-9.\n");
+
+  if (!json_path.empty()) {
+    if (!report.write(json_path)) std::exit(1);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool flags = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = flags = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+      flags = true;
+    }
+  }
+
+  if (!flags) {
+    // Plain invocation: the google-benchmark Table IV rows, then the full
+    // incremental section (this is what regenerates BENCH_overhead.json
+    // when combined with --json).
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  run_incremental_section(smoke, json_path);
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 #include "exec/exec.hpp"
@@ -34,6 +35,9 @@ void BayesOpt::observe(const Config& config, double score) {
   for (Observation& o : observations_) {
     if (o.config == config) {
       o.score = score;
+      // A score rewrite on an already-incorporated point cannot be
+      // expressed as a factor extension; force the next refit to be full.
+      needs_full_refit_ = true;
       dirty_ = true;
       return;
     }
@@ -47,6 +51,19 @@ void BayesOpt::refit_if_dirty() {
   if (observations_.empty()) {
     throw std::logic_error("BayesOpt: no observations");
   }
+  if (config_.incremental && !needs_full_refit_ && surrogate_.is_fitted() &&
+      surrogate_obs_ > 0 && observations_.size() > surrogate_obs_) {
+    // Feed only the new suffix through the O(n^2) incremental path; the
+    // regressor itself falls back to a full fit when it must (point outside
+    // the normalisation box, jittered factor, reoptimisation cadence).
+    for (std::size_t i = surrogate_obs_; i < observations_.size(); ++i) {
+      surrogate_.observe(to_features(observations_[i].config),
+                         observations_[i].score);
+    }
+    surrogate_obs_ = observations_.size();
+    dirty_ = false;
+    return;
+  }
   linalg::Matrix x(observations_.size(), space_.dims());
   linalg::Vector y(observations_.size());
   for (std::size_t i = 0; i < observations_.size(); ++i) {
@@ -55,7 +72,45 @@ void BayesOpt::refit_if_dirty() {
     y[i] = observations_[i].score;
   }
   surrogate_.fit(x, y);
+  surrogate_obs_ = observations_.size();
+  needs_full_refit_ = false;
   dirty_ = false;
+}
+
+BayesOptSnapshot BayesOpt::snapshot() const {
+  BayesOptSnapshot s;
+  s.observations = observations_;
+  s.surrogate_fitted = surrogate_.is_fitted();
+  if (s.surrogate_fitted) s.surrogate = surrogate_.snapshot();
+  s.surrogate_observations = surrogate_obs_;
+  std::ostringstream rng_out;
+  rng_out << rng_;
+  s.rng_state = rng_out.str();
+  s.dirty = dirty_;
+  s.needs_full_refit = needs_full_refit_;
+  return s;
+}
+
+void BayesOpt::restore(const BayesOptSnapshot& snap) {
+  for (const Observation& o : snap.observations) {
+    if (!space_.contains(o.config)) {
+      throw std::invalid_argument(
+          "BayesOpt::restore: observation outside space");
+    }
+  }
+  std::mt19937_64 rng;
+  std::istringstream rng_in(snap.rng_state);
+  rng_in >> rng;
+  if (rng_in.fail()) {
+    throw std::invalid_argument("BayesOpt::restore: malformed RNG state");
+  }
+  observations_ = snap.observations;
+  surrogate_ = gp::GpRegressor(config_.gp);
+  if (snap.surrogate_fitted) surrogate_.restore(snap.surrogate);
+  surrogate_obs_ = snap.surrogate_observations;
+  rng_ = rng;
+  dirty_ = snap.dirty;
+  needs_full_refit_ = snap.needs_full_refit;
 }
 
 Suggestion BayesOpt::suggest() {

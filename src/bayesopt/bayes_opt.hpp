@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "bayesopt/search_space.hpp"
@@ -22,6 +23,12 @@ struct BayesOptConfig {
   /// Max candidate points evaluated per suggest() call.
   std::size_t candidate_budget = 4096;
   std::uint64_t seed = 42;
+  /// When true, new observations reach the surrogate through
+  /// GpRegressor::observe() (O(n^2) cached-factor extension) instead of a
+  /// from-scratch fit per suggest(). Off by default: the incremental factor
+  /// differs from a refit in the low bits, which would perturb committed
+  /// golden decision streams.
+  bool incremental = false;
 };
 
 /// One evaluated sample.
@@ -40,6 +47,21 @@ enum class SuggestionSource {
 };
 
 [[nodiscard]] const char* to_string(SuggestionSource source) noexcept;
+
+/// Everything needed to reconstruct a BayesOpt mid-run in a fresh process
+/// such that its future suggest()/observe() trajectory is bit-identical to
+/// the uninterrupted original: observations, the surrogate's fitted state,
+/// and the acquisition RNG stream position (serialised via the standard
+/// mt19937_64 stream operators).
+struct BayesOptSnapshot {
+  std::vector<Observation> observations;
+  bool surrogate_fitted = false;
+  gp::GpSnapshot surrogate;  ///< Valid only when surrogate_fitted.
+  std::size_t surrogate_observations = 0;
+  std::string rng_state;
+  bool dirty = true;
+  bool needs_full_refit = false;
+};
 
 /// The result of one acquisition step.
 struct Suggestion {
@@ -76,6 +98,16 @@ class BayesOpt {
   /// Refits lazily if observations changed since the last fit.
   [[nodiscard]] gp::Prediction predict(const Config& config);
 
+  /// Captures the optimiser's full mutable state; restore() on a BayesOpt
+  /// built over the same space and config reproduces the future decision
+  /// stream bit-for-bit (see BayesOptSnapshot).
+  [[nodiscard]] BayesOptSnapshot snapshot() const;
+
+  /// Reinstates a snapshot. Throws std::invalid_argument when an
+  /// observation lies outside this optimiser's space or the RNG state
+  /// string does not parse.
+  void restore(const BayesOptSnapshot& snap);
+
   [[nodiscard]] const std::vector<Observation>& observations() const noexcept {
     return observations_;
   }
@@ -91,6 +123,12 @@ class BayesOpt {
   BayesOptConfig config_;
   gp::GpRegressor surrogate_;
   std::vector<Observation> observations_;
+  /// How many observations_ (a prefix) the surrogate was trained on; the
+  /// incremental path feeds only the suffix through observe().
+  std::size_t surrogate_obs_ = 0;
+  /// Set when an existing observation's score was replaced — a rewrite the
+  /// factor extension cannot express, so the next refit must be full.
+  bool needs_full_refit_ = false;
   std::mt19937_64 rng_;
   bool dirty_ = true;
 };

@@ -235,17 +235,35 @@ ControlDecision AuTraScaleController::plan_and_execute(
     model.base = base_;
     model.kernel = sp.gp_kernel;
     model.threads = sp.threads;
+    model.max_observations = sp.max_observations;
     model.samples = std::move(r.real_samples);
     model.fit();
     library_.add(std::move(model));
   } else {
     decision.algorithm = "algorithm1";
-    const SteadyRateResult r = run_steady_rate(evaluate, base_, sp);
-    decision.evaluations += r.bootstrap_evaluations + r.bo_iterations;
-    decision.applied = r.best;
-    if (!library_.has_model_for(rate)) {
-      library_.add(make_benefit_model(rate, base_, r, sp.gp_kernel,
-                                      sp.threads));
+    // Always-on mode: when a model already covers this rate, seed
+    // Algorithm 1 from it instead of re-paying the bootstrap, then fold
+    // the new real samples back into it through the incremental GP path.
+    BenefitModel* warm =
+        params_.steady.incremental ? library_.find_for(rate) : nullptr;
+    if (warm != nullptr && warm->base.size() != base_.size()) warm = nullptr;
+    if (warm != nullptr) {
+      const std::size_t n_seeds = warm->samples.size();
+      const SteadyRateResult r = run_steady_rate(
+          evaluate, base_, sp, warm->samples, /*skip_bootstrap=*/true);
+      decision.evaluations += r.bootstrap_evaluations + r.bo_iterations;
+      decision.applied = r.best;
+      for (std::size_t i = n_seeds; i < r.history.size(); ++i) {
+        if (!r.history[i].estimated()) warm->observe(r.history[i]);
+      }
+    } else {
+      const SteadyRateResult r = run_steady_rate(evaluate, base_, sp);
+      decision.evaluations += r.bootstrap_evaluations + r.bo_iterations;
+      decision.applied = r.best;
+      if (!library_.has_model_for(rate)) {
+        library_.add(make_benefit_model(rate, base_, r, sp.gp_kernel,
+                                        sp.threads, sp.max_observations));
+      }
     }
   }
 

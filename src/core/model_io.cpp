@@ -1,12 +1,17 @@
 #include "core/model_io.hpp"
 
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
 namespace autra::core {
 
 void save_library(const ModelLibrary& library, std::ostream& out) {
+  // 17 significant digits round-trip IEEE doubles exactly; the restored
+  // library must reproduce the live controller's decisions bit-for-bit.
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "# AuTraScale benefit-model library v1\n";
   for (const BenefitModel& model : library.models()) {
     out << "model " << model.rate << " " << model.base.size();
@@ -17,6 +22,30 @@ void save_library(const ModelLibrary& library, std::ostream& out) {
       out << "sample";
       for (int k : s.config) out << " " << k;
       out << " " << s.score << "\n";
+    }
+    if (model.gp.is_fitted()) {
+      const gp::GpSnapshot snap = model.gp.snapshot();
+      const std::size_t n = snap.x.rows();
+      const std::size_t d = snap.x.cols();
+      out << "gp " << snap.signal_variance << " " << snap.length_scale << " "
+          << snap.noise_variance << " " << snap.jitter << " "
+          << model.max_observations << " " << snap.observe_count << " " << n
+          << " " << d << "\n";
+      out << "gplo";
+      for (double v : snap.x_lo) out << " " << v;
+      out << "\ngphi";
+      for (double v : snap.x_hi) out << " " << v;
+      out << "\n";
+      for (std::size_t i = 0; i < n; ++i) {
+        out << "gpo";
+        for (std::size_t j = 0; j < d; ++j) out << " " << snap.x(i, j);
+        out << " " << snap.y[i] << "\n";
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        out << "gpl";
+        for (std::size_t j = 0; j <= i; ++j) out << " " << snap.l(i, j);
+        out << "\n";
+      }
     }
     out << "end\n";
   }
@@ -38,6 +67,12 @@ ModelLibrary load_library(std::istream& in) {
   BenefitModel current;
   bool open = false;
 
+  // In-progress gp block of the current model (absent in older files).
+  std::optional<gp::GpSnapshot> snap;
+  std::size_t gp_n = 0, gp_d = 0;
+  std::size_t gp_obs_read = 0, gp_rows_read = 0;
+  bool gp_box_read = false;
+
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line.front() == '#') continue;
@@ -48,6 +83,7 @@ ModelLibrary load_library(std::istream& in) {
       if (open) fail(line_no, "nested model record");
       BenefitModel fresh;
       current = std::move(fresh);
+      snap.reset();
       std::size_t n = 0;
       if (!(ss >> current.rate >> n) || current.rate <= 0.0 || n == 0) {
         fail(line_no, "bad model header");
@@ -78,9 +114,69 @@ ModelLibrary load_library(std::istream& in) {
       // not persisted, so mark them with an empty snapshot.
       s.metrics = runtime::JobMetrics{};
       current.samples.push_back(std::move(s));
+    } else if (tag == "gp") {
+      if (!open) fail(line_no, "gp outside model record");
+      if (snap.has_value()) fail(line_no, "duplicate gp record");
+      snap.emplace();
+      snap->kernel = current.kernel;
+      int max_obs = 0;
+      if (!(ss >> snap->signal_variance >> snap->length_scale >>
+            snap->noise_variance >> snap->jitter >> max_obs >>
+            snap->observe_count >> gp_n >> gp_d) ||
+          gp_n == 0 || gp_d == 0 || max_obs < 0) {
+        fail(line_no, "bad gp header");
+      }
+      current.max_observations = max_obs;
+      snap->x = linalg::Matrix(gp_n, gp_d);
+      snap->y.assign(gp_n, 0.0);
+      snap->l = linalg::Matrix(gp_n, gp_n);
+      snap->x_lo.clear();
+      snap->x_hi.clear();
+      gp_obs_read = gp_rows_read = 0;
+      gp_box_read = false;
+    } else if (tag == "gplo" || tag == "gphi") {
+      if (!snap.has_value()) fail(line_no, tag + " outside gp record");
+      linalg::Vector& box = tag == "gplo" ? snap->x_lo : snap->x_hi;
+      if (!box.empty()) fail(line_no, "duplicate " + tag + " record");
+      box.resize(gp_d);
+      for (double& v : box) {
+        if (!(ss >> v)) fail(line_no, "bad " + tag + " record");
+      }
+      gp_box_read = !snap->x_lo.empty() && !snap->x_hi.empty();
+    } else if (tag == "gpo") {
+      if (!snap.has_value()) fail(line_no, "gpo outside gp record");
+      if (gp_obs_read >= gp_n) fail(line_no, "too many gpo records");
+      for (std::size_t j = 0; j < gp_d; ++j) {
+        if (!(ss >> snap->x(gp_obs_read, j))) fail(line_no, "bad gpo record");
+      }
+      if (!(ss >> snap->y[gp_obs_read])) fail(line_no, "bad gpo record");
+      ++gp_obs_read;
+    } else if (tag == "gpl") {
+      if (!snap.has_value()) fail(line_no, "gpl outside gp record");
+      if (gp_rows_read >= gp_n) fail(line_no, "too many gpl records");
+      for (std::size_t j = 0; j <= gp_rows_read; ++j) {
+        if (!(ss >> snap->l(gp_rows_read, j))) fail(line_no, "bad gpl record");
+      }
+      ++gp_rows_read;
     } else if (tag == "end") {
       if (!open) fail(line_no, "end without model");
       if (current.samples.empty()) fail(line_no, "model without samples");
+      if (snap.has_value()) {
+        if (!gp_box_read || gp_obs_read != gp_n || gp_rows_read != gp_n) {
+          fail(line_no, "incomplete gp record");
+        }
+        gp::GpConfig cfg = current.gp.config();
+        cfg.kernel = current.kernel;
+        cfg.threads = current.threads;
+        cfg.max_observations = current.max_observations;
+        current.gp = gp::GpRegressor(cfg);
+        try {
+          current.gp.restore(*snap);
+        } catch (const std::invalid_argument& e) {
+          fail(line_no, e.what());
+        }
+        snap.reset();
+      }
       library.add(std::move(current));
       open = false;
     } else {

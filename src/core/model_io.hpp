@@ -3,16 +3,26 @@
 // A long-running AuTraScale deployment accumulates benefit models at many
 // input rates; losing them on a controller restart means re-paying the
 // bootstrap cost at every rate. This module serialises a ModelLibrary to a
-// small line-oriented text format and restores it (the GPs are refitted
-// from the stored samples, so the format stays independent of kernel
-// internals).
+// small line-oriented text format and restores it. Models without a gp
+// block are refitted from the stored samples; models with one restore the
+// exact fitted state (GpRegressor::snapshot/restore), so a controller
+// restarted mid-run reproduces its future decisions bit-for-bit — all
+// numbers are written with 17 significant digits, which round-trips IEEE
+// doubles exactly.
 //
 // Format (one record per line, '#' comments ignored):
 //   model <rate> <num_base> <base...> [<kernel>]
 //   sample <config...> <score>
+//   gp <signal_var> <length_scale> <noise_var> <jitter> <max_obs>
+//      <observe_count> <n> <d>                                   [optional]
+//   gplo <d values>            normalisation-box lower corner
+//   gphi <d values>            normalisation-box upper corner
+//   gpo <x...> <y>             n raw observations (the GP window)
+//   gpl <i+1 values>           n rows of the lower Cholesky factor
 //   end
 // The kernel name is optional on load (older files omit it) and defaults
-// to matern52; unknown names fail at parse time.
+// to matern52; unknown names fail at parse time, as does any malformed or
+// incomplete gp block.
 #pragma once
 
 #include <iosfwd>

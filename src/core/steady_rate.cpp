@@ -23,8 +23,10 @@ bo::BayesOptConfig make_bo_config(const SteadyRateParams& params) {
   bo::BayesOptConfig cfg;
   cfg.gp.kernel = params.gp_kernel;
   cfg.gp.threads = params.threads;
+  cfg.gp.max_observations = params.max_observations;
   cfg.xi = params.xi;
   cfg.seed = params.seed;
+  cfg.incremental = params.incremental;
   return cfg;
 }
 

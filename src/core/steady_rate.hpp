@@ -51,6 +51,17 @@ struct SteadyRateParams {
   /// Hard budget on real evaluations (bootstrap included).
   int max_evaluations = 40;
   std::uint64_t seed = 42;
+  /// When true, the BO surrogate incorporates new samples through the
+  /// O(n^2) incremental factor update between rounds instead of refitting
+  /// from scratch, and the controller warm-starts Algorithm 1 from the
+  /// model library instead of re-bootstrapping. Off by default: the
+  /// incremental factor differs from a refit in the low bits, which would
+  /// perturb committed golden decision streams.
+  bool incremental = false;
+  /// Observation-window cap on the surrogate when incremental is set: once
+  /// full, the oldest sample is evicted (O(cap^2) downdate) before the new
+  /// one is appended, bounding always-on controller state. 0 = unbounded.
+  int max_observations = 0;
 };
 
 /// One evaluated (or estimated, in the transfer path) sample.

@@ -40,8 +40,23 @@ void BenefitModel::fit() {
   gp::GpConfig cfg = gp.config();
   cfg.kernel = kernel;
   cfg.threads = threads;
+  cfg.max_observations = max_observations;
   gp = gp::GpRegressor(cfg);
   gp.fit(x, y);
+}
+
+void BenefitModel::observe(const SamplePoint& sample) {
+  samples.push_back(sample);
+  if (!gp.is_fitted()) {
+    fit();
+    return;
+  }
+  gp.observe(config_features(sample.config), sample.score);
+  // The GP evicts its own window; mirror it so `samples` stays the exact
+  // training set (model I/O and refits rebuild from it).
+  while (samples.size() > gp.num_samples()) {
+    samples.erase(samples.begin());
+  }
 }
 
 double BenefitModel::predict_mean(const runtime::Parallelism& config) const {
@@ -50,12 +65,14 @@ double BenefitModel::predict_mean(const runtime::Parallelism& config) const {
 
 BenefitModel make_benefit_model(double rate, const runtime::Parallelism& base,
                                 const SteadyRateResult& result,
-                                gp::KernelKind kernel, int threads) {
+                                gp::KernelKind kernel, int threads,
+                                int max_observations) {
   BenefitModel model;
   model.rate = rate;
   model.base = base;
   model.kernel = kernel;
   model.threads = threads;
+  model.max_observations = max_observations;
   for (const SamplePoint& s : result.history) {
     if (!s.estimated()) model.samples.push_back(s);
   }
@@ -78,6 +95,21 @@ const BenefitModel* ModelLibrary::closest(double rate) const {
       best_d = d;
     }
   }
+  return best;
+}
+
+BenefitModel* ModelLibrary::find_for(double rate, double tolerance) {
+  if (rate <= 0.0) return nullptr;
+  BenefitModel* best = nullptr;
+  double best_d = 0.0;
+  for (BenefitModel& m : models_) {
+    const double d = std::abs(m.rate - rate);
+    if (best == nullptr || d < best_d) {
+      best = &m;
+      best_d = d;
+    }
+  }
+  if (best == nullptr || best_d / rate > tolerance) return nullptr;
   return best;
 }
 

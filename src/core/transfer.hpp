@@ -35,11 +35,20 @@ struct BenefitModel {
   gp::KernelKind kernel = gp::KernelKind::kMatern52;
   /// Worker threads for fit()'s hyper-parameter search (see GpConfig).
   int threads = 0;
+  /// Observation-window cap forwarded to the GP for observe(); 0 =
+  /// unbounded. When the GP evicts, `samples` is trimmed in lockstep.
+  int max_observations = 0;
   gp::GpRegressor gp;  ///< Fitted on (config, score).
 
   /// Rebuilds `gp` with `kernel` and fits it from `samples`; throws
   /// std::invalid_argument when empty.
   void fit();
+
+  /// Folds one new sample into the model through the GP's O(n^2)
+  /// incremental path (full fit when the model is not fitted yet), keeping
+  /// `samples` and the GP window in lockstep under max_observations.
+  void observe(const SamplePoint& sample);
+
   [[nodiscard]] double predict_mean(const runtime::Parallelism& config) const;
 };
 
@@ -47,7 +56,8 @@ struct BenefitModel {
 [[nodiscard]] BenefitModel make_benefit_model(
     double rate, const runtime::Parallelism& base,
     const SteadyRateResult& result,
-    gp::KernelKind kernel = gp::KernelKind::kMatern52, int threads = 0);
+    gp::KernelKind kernel = gp::KernelKind::kMatern52, int threads = 0,
+    int max_observations = 0);
 
 /// The Plan stage's model library: benefit models keyed by rate.
 class ModelLibrary {
@@ -56,6 +66,11 @@ class ModelLibrary {
 
   /// Model whose rate is closest to `rate`; nullptr when empty.
   [[nodiscard]] const BenefitModel* closest(double rate) const;
+
+  /// Mutable model within `tolerance` relative rate distance of `rate`;
+  /// nullptr when none qualifies. The warm-start path feeds new samples
+  /// into the returned model via BenefitModel::observe.
+  [[nodiscard]] BenefitModel* find_for(double rate, double tolerance = 0.05);
 
   /// True if a model exists within `tolerance` relative rate distance —
   /// the Scaling Manager's "is there a model suitable for the current

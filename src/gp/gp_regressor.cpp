@@ -23,27 +23,57 @@ double compute_log_ml(const linalg::Cholesky& chol, const linalg::Vector& y,
          0.5 * n * std::log(2.0 * std::numbers::pi);
 }
 
+/// FNV-1a over a byte range, chained through `h`.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Fingerprint of a training set: shape plus the raw bytes of X and y.
+/// Bitwise-equal inputs (the only case fit() may skip) hash equal.
+std::uint64_t fingerprint_of(const linalg::Matrix& x, const linalg::Vector& y) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const std::uint64_t shape[2] = {x.rows(), x.cols()};
+  h = fnv1a_bytes(shape, sizeof(shape), h);
+  h = fnv1a_bytes(x.data().data(), x.data().size() * sizeof(double), h);
+  h = fnv1a_bytes(y.data(), y.size() * sizeof(double), h);
+  return h;
+}
+
 }  // namespace
 
 double Prediction::stddev() const noexcept { return std::sqrt(variance); }
 
 GpRegressor::GpRegressor(GpConfig config)
     : config_(std::move(config)),
-      kernel_(make_kernel(config_.kernel)) {}
+      kernel_(make_kernel(config_.kernel, config_.signal_variance,
+                          config_.length_scale)) {}
 
 GpRegressor::GpRegressor(const GpRegressor& other)
     : config_(other.config_),
       kernel_(other.kernel_->clone()),
       fitted_(other.fitted_),
+      x_raw_(other.x_raw_),
+      y_raw_(other.y_raw_),
+      fingerprint_(other.fingerprint_),
+      observe_count_(other.observe_count_),
       x_(other.x_),
       y_(other.y_),
       x_offset_(other.x_offset_),
       x_scale_(other.x_scale_),
+      x_lo_(other.x_lo_),
+      x_hi_(other.x_hi_),
       y_mean_(other.y_mean_),
       y_std_(other.y_std_),
       chol_(other.chol_),
       alpha_(other.alpha_),
-      log_ml_(other.log_ml_) {}
+      log_ml_(other.log_ml_),
+      jitter_(other.jitter_),
+      stats_(other.stats_) {}
 
 GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   if (this != &other) {
@@ -60,42 +90,52 @@ void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
   if (x.rows() != y.size()) {
     throw std::invalid_argument("GpRegressor::fit: X/y size mismatch");
   }
+  const std::uint64_t fp = fingerprint_of(x, y);
+  if (fitted_ && fp == fingerprint_) {
+    ++stats_.fingerprint_hits;
+    return;
+  }
+  x_raw_ = x;
+  y_raw_ = y;
+  fingerprint_ = fp;
+  fit_from_raw();
+}
 
-  const std::size_t n = x.rows();
-  const std::size_t d = x.cols();
+void GpRegressor::fit_from_raw() {
+  const std::size_t n = x_raw_.rows();
+  const std::size_t d = x_raw_.cols();
 
   // Input normalisation to [0, 1] per dimension (constant dims map to 0).
+  // The data box is frozen here: observe() extends the factor only for
+  // points inside it, which is exactly the condition under which a batch
+  // refit would derive the same offset/scale.
   x_offset_.assign(d, 0.0);
   x_scale_.assign(d, 1.0);
+  x_lo_.assign(d, 0.0);
+  x_hi_.assign(d, 0.0);
   for (std::size_t j = 0; j < d; ++j) {
-    double lo = x(0, j), hi = x(0, j);
+    double lo = x_raw_(0, j), hi = x_raw_(0, j);
     for (std::size_t i = 1; i < n; ++i) {
-      lo = std::min(lo, x(i, j));
-      hi = std::max(hi, x(i, j));
+      lo = std::min(lo, x_raw_(i, j));
+      hi = std::max(hi, x_raw_(i, j));
     }
+    x_lo_[j] = lo;
+    x_hi_[j] = hi;
     x_offset_[j] = lo;
     x_scale_[j] = (hi > lo) ? (hi - lo) : 1.0;
   }
   x_ = linalg::Matrix(n, d);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < d; ++j) {
-      x_(i, j) = (x(i, j) - x_offset_[j]) / x_scale_[j];
+      x_(i, j) = (x_raw_(i, j) - x_offset_[j]) / x_scale_[j];
     }
   }
 
-  // Target standardisation.
-  double mean = 0.0;
-  for (double v : y) mean += v;
-  mean /= static_cast<double>(n);
-  double var = 0.0;
-  for (double v : y) var += (v - mean) * (v - mean);
-  var /= static_cast<double>(n);
-  y_mean_ = mean;
-  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
-  y_.assign(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) y_[i] = (y[i] - y_mean_) / y_std_;
+  refresh_targets();
 
   fitted_ = true;
+  observe_count_ = 0;
+  ++stats_.full_fits;
 
   if (!config_.optimize_hyperparams || n < 3) {
     refit_factorisation();
@@ -162,9 +202,156 @@ void GpRegressor::fit(const linalg::Matrix& x, const linalg::Vector& y) {
 void GpRegressor::refit_factorisation() {
   linalg::Matrix k = kernel_->gram(x_);
   k.add_diagonal(config_.noise_variance);
-  chol_ = linalg::Cholesky::factor_with_jitter(std::move(k));
+  chol_ = linalg::Cholesky::factor_with_jitter(std::move(k), 1e-10, 1e-2,
+                                               &jitter_);
   alpha_ = chol_->solve(y_);
   log_ml_ = compute_log_ml(*chol_, y_, alpha_);
+}
+
+void GpRegressor::refresh_targets() {
+  // Identical floating-point op order to the historical batch fit(): a
+  // posterior built through observe() must match a from-scratch fit on the
+  // same raw window bit-for-bit on the y side.
+  const std::size_t n = y_raw_.size();
+  double mean = 0.0;
+  for (double v : y_raw_) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : y_raw_) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n);
+  y_mean_ = mean;
+  y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  y_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) y_[i] = (y_raw_[i] - y_mean_) / y_std_;
+}
+
+void GpRegressor::observe(std::span<const double> x, double y) {
+  if (!fitted_) {
+    throw std::logic_error("GpRegressor::observe: model not fitted");
+  }
+  if (x.size() != x_raw_.cols()) {
+    throw std::invalid_argument("GpRegressor::observe: dimension mismatch");
+  }
+
+  x_raw_.append_row(x);
+  y_raw_.push_back(y);
+  bool evicted = false;
+  if (config_.max_observations > 0 &&
+      x_raw_.rows() > static_cast<std::size_t>(config_.max_observations)) {
+    x_raw_.drop_first_row();
+    y_raw_.erase(y_raw_.begin());
+    evicted = true;
+    ++stats_.window_evictions;
+  }
+  fingerprint_ = fingerprint_of(x_raw_, y_raw_);
+  ++observe_count_;
+
+  // Fallback ladder: conditions under which the cached factor cannot be
+  // extended exactly, each falling back to (and counted as) a full refit.
+  if (config_.optimize_hyperparams && config_.reoptimize_every > 0 &&
+      observe_count_ %
+              static_cast<std::uint64_t>(config_.reoptimize_every) ==
+          0) {
+    ++stats_.hyperparam_refits;
+    fit_from_raw();
+    return;
+  }
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] < x_lo_[j] || x[j] > x_hi_[j]) {
+      ++stats_.normalisation_refits;
+      fit_from_raw();
+      return;
+    }
+  }
+  if (jitter_ > 0.0) {
+    ++stats_.jitter_refits;
+    fit_from_raw();
+    return;
+  }
+
+  // Incremental path: O(n^2) factor surgery instead of the O(n^3) refit.
+  if (evicted) {
+    chol_->drop_first();
+    x_.drop_first_row();
+  }
+  const std::vector<double> z = normalize_point(x);
+  const linalg::Vector k_star = kernel_->cross(x_, z);
+  try {
+    chol_->append_row(k_star, kernel_->diagonal() + config_.noise_variance);
+  } catch (const std::runtime_error&) {
+    ++stats_.jitter_refits;
+    fit_from_raw();
+    return;
+  }
+  x_.append_row(z);
+  refresh_targets();
+  alpha_ = chol_->solve(y_);
+  log_ml_ = compute_log_ml(*chol_, y_, alpha_);
+  ++stats_.incremental_updates;
+}
+
+GpSnapshot GpRegressor::snapshot() const {
+  if (!fitted_) {
+    throw std::logic_error("GpRegressor::snapshot: model not fitted");
+  }
+  GpSnapshot s;
+  s.kernel = kernel_->kind();
+  s.signal_variance = kernel_->signal_variance();
+  s.length_scale = kernel_->length_scale();
+  s.noise_variance = config_.noise_variance;
+  s.jitter = jitter_;
+  s.observe_count = observe_count_;
+  s.x_lo = x_lo_;
+  s.x_hi = x_hi_;
+  s.x = x_raw_;
+  s.y = y_raw_;
+  s.l = chol_->lower();
+  return s;
+}
+
+void GpRegressor::restore(const GpSnapshot& snap) {
+  const std::size_t n = snap.x.rows();
+  const std::size_t d = snap.x.cols();
+  if (n == 0 || d == 0) {
+    throw std::invalid_argument("GpRegressor::restore: empty snapshot");
+  }
+  if (snap.y.size() != n || snap.l.rows() != n || snap.l.cols() != n ||
+      snap.x_lo.size() != d || snap.x_hi.size() != d) {
+    throw std::invalid_argument(
+        "GpRegressor::restore: inconsistent snapshot shapes");
+  }
+
+  config_.kernel = snap.kernel;
+  config_.noise_variance = snap.noise_variance;
+  kernel_ = make_kernel(snap.kernel, snap.signal_variance, snap.length_scale);
+
+  x_raw_ = snap.x;
+  y_raw_ = snap.y;
+  x_lo_ = snap.x_lo;
+  x_hi_ = snap.x_hi;
+  x_offset_.assign(d, 0.0);
+  x_scale_.assign(d, 1.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    x_offset_[j] = x_lo_[j];
+    x_scale_[j] = (x_hi_[j] > x_lo_[j]) ? (x_hi_[j] - x_lo_[j]) : 1.0;
+  }
+  x_ = linalg::Matrix(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      x_(i, j) = (x_raw_(i, j) - x_offset_[j]) / x_scale_[j];
+    }
+  }
+  refresh_targets();
+  // The serialised factor is adopted verbatim — an incrementally built L
+  // differs from a refactorisation in the low bits, and bit-identity of
+  // subsequent decisions depends on keeping exactly it.
+  chol_ = linalg::Cholesky::from_lower(snap.l);
+  alpha_ = chol_->solve(y_);
+  log_ml_ = compute_log_ml(*chol_, y_, alpha_);
+  jitter_ = snap.jitter;
+  observe_count_ = snap.observe_count;
+  fingerprint_ = fingerprint_of(x_raw_, y_raw_);
+  fitted_ = true;
 }
 
 std::vector<double> GpRegressor::normalize_point(

@@ -8,6 +8,7 @@
 // at new points.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -25,6 +26,41 @@ struct Prediction {
   double variance = 0.0;  ///< Always >= 0.
 
   [[nodiscard]] double stddev() const noexcept;
+};
+
+/// Counters reporting which model-update path ran — the observability
+/// contract of the incremental Plan path (an always-on controller asserts
+/// its rounds ran incremental_updates, not full_fits).
+struct FitStats {
+  std::uint64_t full_fits = 0;          ///< Batch fits (initial + fallbacks).
+  std::uint64_t fingerprint_hits = 0;   ///< fit() short-circuits on unchanged data.
+  std::uint64_t incremental_updates = 0;///< observe() reused the cached factor.
+  std::uint64_t window_evictions = 0;   ///< Oldest points dropped by the window.
+  /// observe() fallbacks to a full refit, by cause:
+  std::uint64_t hyperparam_refits = 0;    ///< reoptimize_every cadence hit.
+  std::uint64_t normalisation_refits = 0; ///< Point outside the frozen box.
+  std::uint64_t jitter_refits = 0;        ///< Jittered factor / extension failed.
+
+  friend bool operator==(const FitStats&, const FitStats&) = default;
+};
+
+/// The full fitted state of a regressor, round-trippable through the
+/// model-I/O text format: raw (original-unit) observations, kernel
+/// hyper-parameters, the frozen normalisation box and the cached Cholesky
+/// factor. Restoring a snapshot reproduces the live model bit-for-bit —
+/// including factors built by incremental updates, which a refit from the
+/// samples alone would not reproduce in the low bits.
+struct GpSnapshot {
+  KernelKind kernel = KernelKind::kMatern52;
+  double signal_variance = 1.0;
+  double length_scale = 1.0;
+  double noise_variance = 1e-4;
+  double jitter = 0.0;  ///< Jitter baked into the cached factor.
+  std::uint64_t observe_count = 0;  ///< Observes since the last full fit.
+  linalg::Vector x_lo, x_hi;  ///< Normalisation box frozen at the last fit.
+  linalg::Matrix x;  ///< Raw inputs, row per observation.
+  linalg::Vector y;  ///< Raw targets.
+  linalg::Matrix l;  ///< Cached lower Cholesky factor of K + noise I.
 };
 
 /// Configuration of the regressor.
@@ -48,6 +84,19 @@ struct GpConfig {
   /// process default (AUTRA_THREADS or hardware_concurrency); 1 forces the
   /// guaranteed-serial path. Results are bit-identical at any value.
   int threads = 0;
+  /// Initial kernel hyper-parameters (the fitted values when
+  /// optimize_hyperparams is off).
+  double signal_variance = 1.0;
+  double length_scale = 1.0;
+  /// Observation-window cap for observe(): when positive and the window is
+  /// full, the oldest observation is evicted (factor drop_first) before the
+  /// new one is appended, bounding every update at O(cap^2) for long-lived
+  /// daemons. 0 = unbounded. fit() itself never trims.
+  int max_observations = 0;
+  /// observe() re-runs the full fit (incl. hyper-parameter search when
+  /// optimize_hyperparams is on) every k-th observation since the last
+  /// full fit; 0 = never, the hyper-parameters stay frozen between fits.
+  int reoptimize_every = 0;
 };
 
 /// Exact GP regression with normalisation and marginal-likelihood
@@ -66,7 +115,33 @@ class GpRegressor {
 
   /// Fits the model to `x` (row per sample) and targets `y`.
   /// Throws std::invalid_argument on shape mismatch or empty data.
+  /// Fitting the exact same (x, y) as the previous fit is a no-op (an
+  /// input-fingerprint short-circuit; FitStats::fingerprint_hits counts
+  /// it) — the cached factor and hyper-parameters are already right.
   void fit(const linalg::Matrix& x, const linalg::Vector& y);
+
+  /// Appends one observation in original units, reusing the cached
+  /// Cholesky factor: an O(n^2) factor extension instead of the O(n^3)
+  /// refit, with the posterior identical (to rounding) to a from-scratch
+  /// fit() on the extended data. Falls back to a full refit — counted per
+  /// cause in FitStats — when the point lies outside the normalisation box
+  /// of the last fit, when the reoptimize_every cadence fires, or when the
+  /// factor cannot be extended (active jitter / lost positive
+  /// definiteness). With max_observations set, the oldest observation is
+  /// evicted first once the window is full. Throws std::logic_error before
+  /// fit() and std::invalid_argument on dimension mismatch.
+  void observe(std::span<const double> x, double y);
+
+  /// Captures the full fitted state (raw window, hyper-parameters, cached
+  /// factor) for persistence; restore() on a fresh regressor reproduces
+  /// the live model bit-for-bit. Throws std::logic_error before fit().
+  [[nodiscard]] GpSnapshot snapshot() const;
+
+  /// Rebuilds the fitted state from a snapshot (derived quantities —
+  /// normalised data, alpha, log-ML — are recomputed from it
+  /// deterministically). Throws std::invalid_argument on inconsistent
+  /// shapes or a non-positive factor diagonal.
+  void restore(const GpSnapshot& snap);
 
   /// Posterior mean/variance at a point in the original input space.
   /// Throws std::logic_error if called before fit().
@@ -83,12 +158,16 @@ class GpRegressor {
   [[nodiscard]] std::size_t input_dim() const noexcept { return x_.cols(); }
   [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
   [[nodiscard]] const GpConfig& config() const noexcept { return config_; }
+  /// Which update paths ran over this model's lifetime.
+  [[nodiscard]] const FitStats& fit_stats() const noexcept { return stats_; }
 
   /// Best (maximum) observed target value, in original units.
   [[nodiscard]] double best_observed() const;
 
  private:
+  void fit_from_raw();
   void refit_factorisation();
+  void refresh_targets();
   [[nodiscard]] std::vector<double> normalize_point(
       std::span<const double> x_star) const;
 
@@ -96,12 +175,23 @@ class GpRegressor {
   std::unique_ptr<Kernel> kernel_;
   bool fitted_ = false;
 
+  // Raw training window in original units (what fit()/observe() were given;
+  // the fallback refits and snapshots rebuild everything from it).
+  linalg::Matrix x_raw_;
+  linalg::Vector y_raw_;
+  std::uint64_t fingerprint_ = 0;   ///< FNV-1a over the raw window.
+  std::uint64_t observe_count_ = 0; ///< Observes since the last full fit.
+
   // Normalised training data.
   linalg::Matrix x_;
   linalg::Vector y_;
-  // Input normalisation: per-dimension offset and scale.
+  // Input normalisation: per-dimension offset and scale, plus the raw
+  // data box they were derived from (frozen until the next full fit; a
+  // point outside it forces a refit because it would change them).
   linalg::Vector x_offset_;
   linalg::Vector x_scale_;
+  linalg::Vector x_lo_;
+  linalg::Vector x_hi_;
   // Target standardisation.
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
@@ -109,6 +199,8 @@ class GpRegressor {
   std::optional<linalg::Cholesky> chol_;
   linalg::Vector alpha_;  // K^-1 y (normalised).
   double log_ml_ = 0.0;
+  double jitter_ = 0.0;  ///< Jitter baked into the cached factor.
+  FitStats stats_;
 };
 
 }  // namespace autra::gp

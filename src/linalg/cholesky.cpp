@@ -27,16 +27,131 @@ std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
 }
 
 Cholesky Cholesky::factor_with_jitter(Matrix a, double jitter,
-                                      double max_jitter) {
-  if (auto c = factor(a)) return std::move(*c);
+                                      double max_jitter,
+                                      double* applied_jitter) {
+  if (auto c = factor(a)) {
+    if (applied_jitter != nullptr) *applied_jitter = 0.0;
+    return std::move(*c);
+  }
   for (double j = jitter; j <= max_jitter; j *= 10.0) {
     Matrix jittered = a;
     jittered.add_diagonal(j);
-    if (auto c = factor(jittered)) return std::move(*c);
+    if (auto c = factor(jittered)) {
+      if (applied_jitter != nullptr) *applied_jitter = j;
+      return std::move(*c);
+    }
   }
   throw std::runtime_error(
       "Cholesky::factor_with_jitter: matrix not positive definite even with "
       "maximum jitter");
+}
+
+Cholesky Cholesky::from_lower(Matrix l) {
+  if (l.rows() != l.cols() || l.rows() == 0) {
+    throw std::invalid_argument(
+        "Cholesky::from_lower: factor must be square and non-empty");
+  }
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    if (!(l(i, i) > 0.0) || !std::isfinite(l(i, i))) {
+      throw std::invalid_argument(
+          "Cholesky::from_lower: diagonal must be positive and finite");
+    }
+    for (std::size_t j = i + 1; j < l.cols(); ++j) l(i, j) = 0.0;
+  }
+  return Cholesky(std::move(l));
+}
+
+namespace {
+
+/// In-place rank-1 update sweep shared by update() and drop_first():
+/// rewrites the lower-triangular `l` into the factor of L L^T + v v^T.
+/// Consumes `v` as scratch.
+void rank1_update_sweep(Matrix& l, Vector& v) {
+  const std::size_t n = l.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double r = std::hypot(l(k, k), v[k]);
+    const double c = r / l(k, k);
+    const double s = v[k] / l(k, k);
+    l(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      l(i, k) = (l(i, k) + s * v[i]) / c;
+      v[i] = c * v[i] - s * l(i, k);
+    }
+  }
+}
+
+}  // namespace
+
+void Cholesky::update(const Vector& v) {
+  if (v.size() != size()) {
+    throw std::invalid_argument("Cholesky::update: size mismatch");
+  }
+  Vector w = v;
+  rank1_update_sweep(l_, w);
+}
+
+void Cholesky::downdate(const Vector& v) {
+  const std::size_t n = size();
+  if (v.size() != n) {
+    throw std::invalid_argument("Cholesky::downdate: size mismatch");
+  }
+  // Dry-run the hyperbolic sweep on copies: the factor must be left
+  // untouched when A - v v^T loses positive definiteness.
+  Matrix l = l_;
+  Vector w = v;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double r2 = (l(k, k) - w[k]) * (l(k, k) + w[k]);
+    if (!(r2 > 0.0) || !std::isfinite(r2)) {
+      throw std::runtime_error(
+          "Cholesky::downdate: matrix would lose positive definiteness");
+    }
+    const double r = std::sqrt(r2);
+    const double c = r / l(k, k);
+    const double s = w[k] / l(k, k);
+    l(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      l(i, k) = (l(i, k) - s * w[i]) / c;
+      w[i] = c * w[i] - s * l(i, k);
+    }
+  }
+  l_ = std::move(l);
+}
+
+void Cholesky::append_row(const Vector& cross, double diag) {
+  const std::size_t n = size();
+  if (cross.size() != n) {
+    throw std::invalid_argument("Cholesky::append_row: size mismatch");
+  }
+  const Vector l_row = solve_lower(cross);
+  const double d2 = diag - dot(l_row, l_row);
+  if (!(d2 > 0.0) || !std::isfinite(d2)) {
+    throw std::runtime_error(
+        "Cholesky::append_row: extended matrix is not positive definite");
+  }
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = l_row[j];
+  grown(n, n) = std::sqrt(d2);
+  l_ = std::move(grown);
+}
+
+void Cholesky::drop_first() {
+  const std::size_t n = size();
+  if (n < 2) {
+    throw std::logic_error("Cholesky::drop_first: need at least two rows");
+  }
+  // With L = [[l00, 0], [l10, L11]], the trailing block of A satisfies
+  // A22 = l10 l10^T + L11 L11^T, so chol(A22) is L11 rank-1 updated by l10.
+  Vector v(n - 1);
+  for (std::size_t i = 1; i < n; ++i) v[i - 1] = l_(i, 0);
+  Matrix sub(n - 1, n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 1; j <= i; ++j) sub(i - 1, j - 1) = l_(i, j);
+  }
+  rank1_update_sweep(sub, v);
+  l_ = std::move(sub);
 }
 
 Vector Cholesky::solve_lower(const Vector& b) const {

@@ -20,10 +20,45 @@ class Cholesky {
   /// `max_jitter`) until the factorisation succeeds. Throws
   /// std::runtime_error if even the maximum jitter fails. This is the
   /// standard defence against nearly-singular GP kernel matrices built from
-  /// duplicated sample points.
-  [[nodiscard]] static Cholesky factor_with_jitter(Matrix a,
-                                                   double jitter = 1e-10,
-                                                   double max_jitter = 1e-2);
+  /// duplicated sample points. When `applied_jitter` is non-null it
+  /// receives the jitter that was actually added (0.0 when the plain
+  /// factorisation succeeded) — the incremental GP only extends factors it
+  /// knows to be jitter-free.
+  [[nodiscard]] static Cholesky factor_with_jitter(
+      Matrix a, double jitter = 1e-10, double max_jitter = 1e-2,
+      double* applied_jitter = nullptr);
+
+  /// Wraps an externally produced lower-triangular factor (e.g. one read
+  /// back from a model snapshot). Entries above the diagonal are forced to
+  /// zero. Throws std::invalid_argument unless `l` is square with strictly
+  /// positive, finite diagonal entries.
+  [[nodiscard]] static Cholesky from_lower(Matrix l);
+
+  /// Rank-1 update: after the call this is the factor of A + v v^T, in
+  /// O(n^2) (standard `cholupdate` Givens sweep). Throws
+  /// std::invalid_argument on size mismatch.
+  void update(const Vector& v);
+
+  /// Rank-1 downdate: after the call this is the factor of A - v v^T, in
+  /// O(n^2) (hyperbolic rotations). Throws std::invalid_argument on size
+  /// mismatch and std::runtime_error — leaving the factor untouched — when
+  /// A - v v^T is not positive definite (the result must never be a
+  /// silently NaN-poisoned factor).
+  void downdate(const Vector& v);
+
+  /// Factor extension: after the call this is the factor of the bordered
+  /// matrix [[A, cross], [cross^T, diag]] — a new observation appended
+  /// without refactorising, in O(n^2) (one triangular solve). Throws
+  /// std::invalid_argument on size mismatch and std::runtime_error when
+  /// the extended matrix is not positive definite (the factor is left
+  /// untouched so the caller can fall back to a full refactorisation).
+  void append_row(const Vector& cross, double diag);
+
+  /// Removes the first row/column of A (the oldest point of a sliding
+  /// observation window): the trailing (n-1)x(n-1) block is rank-1
+  /// *updated* with the first column's sub-diagonal entries, in O(n^2).
+  /// Throws std::logic_error when the factor has fewer than two rows.
+  void drop_first();
 
   /// Solves L x = b (forward substitution).
   [[nodiscard]] Vector solve_lower(const Vector& b) const;

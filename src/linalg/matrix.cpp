@@ -112,6 +112,25 @@ Matrix Matrix::operator-(const Matrix& rhs) const {
   return out;
 }
 
+void Matrix::append_row(std::span<const double> values) {
+  if (data_.empty() && rows_ == 0) {
+    cols_ = values.size();
+  } else if (values.size() != cols_) {
+    throw std::invalid_argument("Matrix::append_row: length mismatch");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+void Matrix::drop_first_row() {
+  if (rows_ == 0) {
+    throw std::logic_error("Matrix::drop_first_row: empty matrix");
+  }
+  data_.erase(data_.begin(),
+              data_.begin() + static_cast<std::ptrdiff_t>(cols_));
+  --rows_;
+}
+
 void Matrix::add_diagonal(double v) noexcept {
   const std::size_t n = rows_ < cols_ ? rows_ : cols_;
   for (std::size_t i = 0; i < n; ++i) (*this)(i, i) += v;

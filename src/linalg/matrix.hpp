@@ -76,6 +76,16 @@ class Matrix {
   /// Adds `v` to every diagonal element (used for jitter / noise terms).
   void add_diagonal(double v) noexcept;
 
+  /// Appends one row; `values` must match cols() (any length is accepted on
+  /// an empty matrix, which then adopts it as the column count). Throws
+  /// std::invalid_argument on mismatch. Used by the incremental GP to grow
+  /// its observation window in O(cols).
+  void append_row(std::span<const double> values);
+
+  /// Removes the first row (the oldest observation of a sliding window).
+  /// Throws std::logic_error on an empty matrix.
+  void drop_first_row();
+
   [[nodiscard]] bool operator==(const Matrix& rhs) const = default;
 
  private:

@@ -244,6 +244,30 @@ TEST(GpRegressor, TwoSamplesSkipHyperparameterSearch) {
   EXPECT_TRUE(std::isfinite(gp.predict(std::vector<double>{2.5}).mean));
 }
 
+TEST(GpRegressor, RefitWithIdenticalDataShortCircuits) {
+  Matrix x{{0.0}, {2.0}, {5.0}};
+  Vector y{1.0, -1.0, 0.5};
+  GpRegressor gp;
+  gp.fit(x, y);
+  ASSERT_EQ(gp.fit_stats().full_fits, 1u);
+  const Prediction before = gp.predict(std::vector<double>{1.5});
+
+  // Byte-identical inputs must be recognised and the cached factor reused.
+  gp.fit(x, y);
+  EXPECT_EQ(gp.fit_stats().fingerprint_hits, 1u);
+  EXPECT_EQ(gp.fit_stats().full_fits, 1u);
+  const Prediction cached = gp.predict(std::vector<double>{1.5});
+  EXPECT_EQ(cached.mean, before.mean);
+  EXPECT_EQ(cached.variance, before.variance);
+
+  // Any changed byte must defeat the short-circuit.
+  y[2] = 0.75;
+  gp.fit(x, y);
+  EXPECT_EQ(gp.fit_stats().fingerprint_hits, 1u);
+  EXPECT_EQ(gp.fit_stats().full_fits, 2u);
+  EXPECT_NE(gp.predict(std::vector<double>{5.0}).mean, before.mean);
+}
+
 TEST(GpRegressor, CopyIsDeepAndIndependent) {
   GpRegressor original;
   original.fit(Matrix{{0.0}, {1.0}, {2.0}}, Vector{1.0, 2.0, 3.0});

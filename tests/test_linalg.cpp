@@ -236,5 +236,201 @@ TEST_P(CholeskyProperty, RandomSpdSolveResidualSmall) {
 INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
 
+// --------------------------------------------------------------------------
+// Rank-1 surgery: update/downdate/append_row/drop_first against freshly
+// factored references on random SPD matrices.
+
+Matrix random_spd(std::mt19937_64& rng, std::size_t n, double ridge) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = dist(rng);
+  }
+  Matrix a = b * b.transposed();
+  a.add_diagonal(ridge);
+  return a;
+}
+
+Matrix rank1(const Vector& v) {
+  Matrix m(v.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t j = 0; j < v.size(); ++j) m(i, j) = v[i] * v[j];
+  }
+  return m;
+}
+
+void expect_lower_near(const Matrix& got, const Matrix& want, double tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(got(i, j), want(i, j), tol) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+class CholeskyRank1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyRank1Property, UpdateMatchesFreshFactorOfAPlusVvT) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  std::mt19937_64 rng(100 + n);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const Matrix a = random_spd(rng, n, 1.0);
+  Vector v(n);
+  for (double& x : v) x = dist(rng);
+
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol);
+  chol->update(v);
+
+  const auto fresh = Cholesky::factor(a + rank1(v));
+  ASSERT_TRUE(fresh);
+  expect_lower_near(chol->lower(), fresh->lower(), 1e-9);
+  EXPECT_NEAR(chol->log_determinant(), fresh->log_determinant(), 1e-9);
+}
+
+TEST_P(CholeskyRank1Property, DowndateMatchesFreshFactorOfAMinusVvT) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  std::mt19937_64 rng(200 + n);
+  std::uniform_real_distribution<double> dist(-0.3, 0.3);
+  // Strong diagonal keeps A - v v^T comfortably positive definite.
+  const Matrix a = random_spd(rng, n, 2.0);
+  Vector v(n);
+  for (double& x : v) x = dist(rng);
+
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol);
+  chol->downdate(v);
+
+  const auto fresh = Cholesky::factor(a - rank1(v));
+  ASSERT_TRUE(fresh);
+  expect_lower_near(chol->lower(), fresh->lower(), 1e-9);
+  EXPECT_NEAR(chol->log_determinant(), fresh->log_determinant(), 1e-9);
+}
+
+TEST_P(CholeskyRank1Property, AppendRowMatchesFullFactorOfBorderedMatrix) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  std::mt19937_64 rng(300 + n);
+  const Matrix big = random_spd(rng, n + 1, 1.0);
+  Matrix lead(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) lead(i, j) = big(i, j);
+  }
+  Vector cross(n);
+  for (std::size_t i = 0; i < n; ++i) cross[i] = big(n, i);
+
+  auto chol = Cholesky::factor(lead);
+  ASSERT_TRUE(chol);
+  chol->append_row(cross, big(n, n));
+  ASSERT_EQ(chol->size(), n + 1);
+
+  const auto fresh = Cholesky::factor(big);
+  ASSERT_TRUE(fresh);
+  expect_lower_near(chol->lower(), fresh->lower(), 1e-9);
+  EXPECT_NEAR(chol->log_determinant(), fresh->log_determinant(), 1e-9);
+}
+
+TEST_P(CholeskyRank1Property, DropFirstMatchesFactorOfTrailingBlock) {
+  const auto n = static_cast<std::size_t>(GetParam()) + 1;
+  std::mt19937_64 rng(400 + n);
+  const Matrix a = random_spd(rng, n, 1.0);
+  Matrix trailing(n - 1, n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 1; j < n; ++j) trailing(i - 1, j - 1) = a(i, j);
+  }
+
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol);
+  if (n < 2) return;
+  chol->drop_first();
+  ASSERT_EQ(chol->size(), n - 1);
+
+  const auto fresh = Cholesky::factor(trailing);
+  ASSERT_TRUE(fresh);
+  expect_lower_near(chol->lower(), fresh->lower(), 1e-9);
+  EXPECT_NEAR(chol->log_determinant(), fresh->log_determinant(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyRank1Property,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(CholeskyRank1, NonPositiveDowndateThrowsAndPreservesFactor) {
+  Matrix a = Matrix::identity(3);
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol);
+  const Matrix before = chol->lower();
+  // |v| > 1 in a coordinate direction destroys positive definiteness.
+  EXPECT_THROW(chol->downdate(Vector{2.0, 0.0, 0.0}), std::runtime_error);
+  // The factor is untouched — and in particular not NaN-poisoned.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(chol->lower()(i, j), before(i, j));
+      EXPECT_FALSE(std::isnan(chol->lower()(i, j)));
+    }
+  }
+  // Still usable for solves after the failed downdate.
+  const Vector x = chol->solve(Vector{1.0, 2.0, 3.0});
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(CholeskyRank1, NonPositiveAppendRowThrowsAndPreservesFactor) {
+  auto chol = Cholesky::factor(Matrix::identity(2));
+  ASSERT_TRUE(chol);
+  const Matrix before = chol->lower();
+  // diag <= |cross|^2 makes the Schur complement non-positive.
+  EXPECT_THROW(chol->append_row(Vector{1.0, 1.0}, 1.0), std::runtime_error);
+  EXPECT_EQ(chol->size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(chol->lower()(i, j), before(i, j));
+    }
+  }
+}
+
+TEST(CholeskyRank1, SizeAndStateValidation) {
+  auto chol = Cholesky::factor(Matrix::identity(2));
+  ASSERT_TRUE(chol);
+  EXPECT_THROW(chol->update(Vector{1.0}), std::invalid_argument);
+  EXPECT_THROW(chol->downdate(Vector{1.0, 2.0, 3.0}), std::invalid_argument);
+  EXPECT_THROW(chol->append_row(Vector{1.0}, 2.0), std::invalid_argument);
+
+  auto one = Cholesky::factor(Matrix::identity(1));
+  ASSERT_TRUE(one);
+  EXPECT_THROW(one->drop_first(), std::logic_error);
+
+  EXPECT_THROW(Cholesky::from_lower(Matrix(2, 3)), std::invalid_argument);
+  Matrix bad = Matrix::identity(2);
+  bad(1, 1) = 0.0;
+  EXPECT_THROW(Cholesky::from_lower(bad), std::invalid_argument);
+}
+
+TEST(CholeskyRank1, FromLowerZeroesUpperTriangleAndRoundTrips) {
+  Matrix l{{2.0, 7.0}, {1.0, 3.0}};  // Junk above the diagonal.
+  const Cholesky c = Cholesky::from_lower(l);
+  EXPECT_EQ(c.lower()(0, 1), 0.0);
+  EXPECT_EQ(c.lower()(0, 0), 2.0);
+  EXPECT_EQ(c.lower()(1, 0), 1.0);
+  EXPECT_EQ(c.lower()(1, 1), 3.0);
+  // Solves treat it as the factor of A = L L^T = [[4, 2], [2, 10]].
+  const Vector x = c.solve(Vector{4.0, 10.0});
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 4.0, 1e-12);
+  EXPECT_NEAR(2.0 * x[0] + 10.0 * x[1], 10.0, 1e-12);
+}
+
+TEST(Matrix, AppendAndDropRows) {
+  Matrix m;
+  m.append_row(Vector{1.0, 2.0});
+  m.append_row(Vector{3.0, 4.0});
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m.append_row(Vector{1.0}), std::invalid_argument);
+  m.drop_first_row();
+  ASSERT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m(0, 0), 3.0);
+  EXPECT_EQ(m(0, 1), 4.0);
+  m.drop_first_row();
+  EXPECT_THROW(m.drop_first_row(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace autra::linalg
