@@ -1,7 +1,5 @@
 #include "runtime/job_metrics.hpp"
 
-#include <numeric>
-
 namespace autra::runtime {
 
 std::uint64_t trial_seed_salt(const Parallelism& p) noexcept {
@@ -14,7 +12,9 @@ std::uint64_t trial_seed_salt(const Parallelism& p) noexcept {
 }
 
 int JobMetrics::total_parallelism() const {
-  return std::accumulate(parallelism.begin(), parallelism.end(), 0);
+  int total = 0;
+  for (int k : parallelism) total += k;
+  return total;
 }
 
 }  // namespace autra::runtime

@@ -1,0 +1,169 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <tuple>
+
+namespace autra::lint {
+
+namespace {
+
+constexpr std::array<std::string_view, 5> kRepoRoots = {
+    "src", "tools", "bench", "tests", "examples"};
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string normalize_path(std::string_view path) {
+  // Generic separators only — the CLI hands us generic_string() paths.
+  while (path.substr(0, 2) == "./") path.remove_prefix(2);
+  // Find the earliest segment that names a repo root and keep the tail
+  // from there: ".../repo/src/gp/kernel.hpp" -> "src/gp/kernel.hpp".
+  std::size_t best = std::string_view::npos;
+  for (const std::string_view root : kRepoRoots) {
+    // Segment match: preceded by start-of-string or '/', followed by '/'.
+    std::size_t from = 0;
+    while (from <= path.size()) {
+      const std::size_t at = path.find(root, from);
+      if (at == std::string_view::npos) break;
+      const bool starts = at == 0 || path[at - 1] == '/';
+      const bool segment = at + root.size() < path.size() &&
+                           path[at + root.size()] == '/';
+      if (starts && segment) {
+        best = std::min(best, at);
+        break;
+      }
+      from = at + 1;
+    }
+  }
+  if (best != std::string_view::npos) path.remove_prefix(best);
+  return std::string(path);
+}
+
+std::uint64_t fingerprint_of(const Finding& finding) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  h = fnv1a(h, finding.rule);
+  h = fnv1a(h, "\x1f");
+  h = fnv1a(h, normalize_path(finding.file));
+  h = fnv1a(h, "\x1f");
+  h = fnv1a(h, finding.context);
+  return h;
+}
+
+Baseline Baseline::from_findings(const std::vector<Finding>& findings) {
+  std::map<std::tuple<std::string, std::string, std::uint64_t>, int> counts;
+  for (const Finding& f : findings) {
+    ++counts[{normalize_path(f.file), f.rule, fingerprint_of(f)}];
+  }
+  Baseline out;
+  for (const auto& [key, count] : counts) {
+    const auto& [path, rule, fp] = key;
+    out.entries_.push_back({rule, fp, count, path});
+  }
+  out.consumed_.assign(out.entries_.size(), 0);
+  return out;
+}
+
+bool Baseline::parse(std::istream& in, std::string& error) {
+  entries_.clear();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    BaselineEntry entry;
+    std::string fp_hex;
+    if (!(fields >> entry.rule >> fp_hex >> entry.count >> entry.path) ||
+        entry.count <= 0) {
+      error = "baseline line " + std::to_string(lineno) +
+              ": expected `RULE FINGERPRINT COUNT PATH`";
+      return false;
+    }
+    char* end = nullptr;
+    entry.fingerprint = std::strtoull(fp_hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || fp_hex.empty()) {
+      error = "baseline line " + std::to_string(lineno) +
+              ": bad fingerprint '" + fp_hex + "'";
+      return false;
+    }
+    entries_.push_back(std::move(entry));
+  }
+  consumed_.assign(entries_.size(), 0);
+  return true;
+}
+
+void Baseline::write(std::ostream& out) const {
+  out << "# autra_lint findings baseline — tracked debt, not suppressions.\n"
+         "# Regenerate with `autra_lint --update-baseline <this file> "
+         "<roots>`;\n"
+         "# see CONTRIBUTING.md for when that is acceptable.\n"
+         "# RULE FINGERPRINT COUNT PATH\n";
+  std::vector<const BaselineEntry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const BaselineEntry& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const BaselineEntry* a, const BaselineEntry* b) {
+              return std::tie(a->path, a->rule, a->fingerprint) <
+                     std::tie(b->path, b->rule, b->fingerprint);
+            });
+  for (const BaselineEntry* e : sorted) {
+    out << e->rule << " " << hex16(e->fingerprint) << " " << e->count << " "
+        << e->path << "\n";
+  }
+}
+
+std::vector<Finding> Baseline::filter(std::vector<Finding> findings) {
+  std::vector<Finding> out;
+  out.reserve(findings.size());
+  for (Finding& f : findings) {
+    const std::string path = normalize_path(f.file);
+    const std::uint64_t fp = fingerprint_of(f);
+    bool absorbed = false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].fingerprint == fp && entries_[i].rule == f.rule &&
+          entries_[i].path == path && consumed_[i] < entries_[i].count) {
+        ++consumed_[i];
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<BaselineEntry> Baseline::stale() const {
+  std::vector<BaselineEntry> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (consumed_[i] < entries_[i].count) {
+      BaselineEntry e = entries_[i];
+      e.count -= consumed_[i];
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace autra::lint

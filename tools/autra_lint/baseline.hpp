@@ -1,0 +1,83 @@
+// Findings baseline for autra_lint: lets a new rule land in CI with the
+// pre-existing debt tracked explicitly instead of suppressed inline.
+//
+// A baseline entry identifies a finding by (rule, repo-relative path,
+// fingerprint, count). The fingerprint hashes the finding's *token
+// context* — the code tokens around the flagged one — never its line
+// number, so unrelated edits that shift lines don't churn the file; only
+// touching the flagged code itself retires or re-keys an entry. Two
+// identical findings in one file share a fingerprint and are carried as
+// count = 2.
+//
+// Workflow (CONTRIBUTING.md):
+//   autra_lint --baseline tools/autra_lint/baseline.txt <roots>   # gate
+//   autra_lint --update-baseline tools/autra_lint/baseline.txt <roots>
+// The committed baseline is empty; --update-baseline exists for landing
+// a new rule family over a tree with real debt, and every entry it
+// writes is a TODO with a paper trail, not a suppression.
+//
+// File format, one entry per line, sorted, '#' comments and blank lines
+// ignored:
+//   RULE  FINGERPRINT(hex16)  COUNT  PATH
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace autra::lint {
+
+/// Stable identity of one finding. `path` is normalized (normalize_path)
+/// so relative and absolute invocations agree.
+struct BaselineEntry {
+  std::string rule;
+  std::uint64_t fingerprint = 0;
+  int count = 0;
+  std::string path;
+};
+
+/// Path as fingerprinted: stripped to the repo-relative tail starting at
+/// the first `src/ tools/ bench/ tests/ examples/` segment, leading `./`
+/// dropped. "/root/repo/src/gp/kernel.hpp" and "src/gp/kernel.hpp" map
+/// to the same key.
+[[nodiscard]] std::string normalize_path(std::string_view path);
+
+/// FNV-1a over rule | normalized path | token context. Line numbers are
+/// deliberately not hashed.
+[[nodiscard]] std::uint64_t fingerprint_of(const Finding& finding);
+
+class Baseline {
+ public:
+  /// Builds the baseline that would make `findings` pass.
+  [[nodiscard]] static Baseline from_findings(
+      const std::vector<Finding>& findings);
+
+  /// Parses the committed format. Returns false (with `error` set) on a
+  /// malformed line; an empty or comment-only file is a valid, empty
+  /// baseline.
+  bool parse(std::istream& in, std::string& error);
+
+  /// Writes the committed format, sorted, with a header comment.
+  void write(std::ostream& out) const;
+
+  /// Removes findings covered by the baseline, consuming counts: an
+  /// entry with count N absorbs at most N findings with its fingerprint.
+  /// Order of surviving findings is preserved.
+  [[nodiscard]] std::vector<Finding> filter(std::vector<Finding> findings);
+
+  /// Entries with unconsumed count after filter(): debt that no longer
+  /// exists and should be dropped with --update-baseline.
+  [[nodiscard]] std::vector<BaselineEntry> stale() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<BaselineEntry> entries_;
+  /// Parallel to entries_: how many findings each entry has absorbed.
+  std::vector<int> consumed_;
+};
+
+}  // namespace autra::lint

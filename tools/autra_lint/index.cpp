@@ -1,0 +1,263 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+
+#include "lexer.hpp"
+
+namespace autra::lint {
+
+namespace {
+
+constexpr std::array<std::string_view, 4> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+/// Identifiers that can never be the type of a (type, name) declaration
+/// pair — keeps the typed_decls pool from swallowing statements.
+constexpr std::array<std::string_view, 24> kNotATypeName = {
+    "return",   "const",    "constexpr", "static",   "inline",  "struct",
+    "class",    "enum",     "union",     "using",    "typedef", "typename",
+    "template", "namespace", "public",   "private",  "protected", "virtual",
+    "explicit", "friend",   "mutable",   "operator", "new",      "delete"};
+
+template <std::size_t N>
+bool one_of(std::string_view s, const std::array<std::string_view, N>& set) {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+
+/// `#include "x/y.hpp"` -> "x/y.hpp"; empty for system or malformed
+/// includes.
+std::string quoted_include(std::string_view directive) {
+  const std::size_t hash = directive.find('#');
+  if (hash == std::string_view::npos) return {};
+  std::size_t i = hash + 1;
+  while (i < directive.size() &&
+         (directive[i] == ' ' || directive[i] == '\t')) {
+    ++i;
+  }
+  if (directive.substr(i, 7) != "include") return {};
+  const std::size_t open = directive.find('"', i + 7);
+  if (open == std::string_view::npos) return {};
+  const std::size_t close = directive.find('"', open + 1);
+  if (close == std::string_view::npos) return {};
+  return std::string(directive.substr(open + 1, close - open - 1));
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+bool unordered_container_type(std::string_view ident) {
+  return one_of(ident, kUnorderedTypes);
+}
+
+void SymbolIndex::add_file(std::string_view path, std::string_view source) {
+  FileEntry& entry = files_[std::string(path)];
+
+  const std::vector<Token> tokens = lex(source);
+  std::vector<const Token*> code;
+  code.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kDirective) {
+      std::string inc = quoted_include(t.text);
+      if (!inc.empty()) entry.includes.push_back(std::move(inc));
+      continue;
+    }
+    if (t.kind != TokenKind::kComment) code.push_back(&t);
+  }
+
+  const auto at = [&](std::size_t i) -> const Token& {
+    static const Token kEof{TokenKind::kPunct, {}, 0};
+    return i < code.size() ? *code[i] : kEof;
+  };
+  const auto is = [&](std::size_t i, std::string_view text) {
+    return at(i).text == text;
+  };
+  const auto is_ident = [&](std::size_t i) {
+    return at(i).kind == TokenKind::kIdentifier;
+  };
+  /// Index just past the closer matching the opener at `i`.
+  const auto skip_balanced = [&](std::size_t i, char open, char close) {
+    int depth = 0;
+    const std::string_view o(&open, 1);
+    const std::string_view c(&close, 1);
+    for (; i < code.size(); ++i) {
+      if (at(i).text == o) ++depth;
+      if (at(i).text == c && --depth == 0) return i + 1;
+    }
+    return code.size();
+  };
+
+  bool typedef_active = false;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (!is_ident(i)) {
+      if (is(i, ";")) typedef_active = false;
+      continue;
+    }
+    const std::string_view id = at(i).text;
+
+    if (id == "typedef") {
+      typedef_active = true;
+      continue;
+    }
+
+    // `using NAME = <rhs...> ;` — alias directly to an unordered type, or
+    // an alias-of-alias edge resolved in finalize().
+    if (id == "using" && is_ident(i + 1) && is(i + 2, "=")) {
+      const std::string name(at(i + 1).text);
+      std::vector<std::string> rhs;
+      bool direct = false;
+      std::size_t j = i + 3;
+      for (; j < code.size() && !is(j, ";"); ++j) {
+        if (!is_ident(j)) continue;
+        if (one_of(at(j).text, kUnorderedTypes)) direct = true;
+        rhs.emplace_back(at(j).text);
+      }
+      if (direct) {
+        entry.decls.unordered_aliases.insert(name);
+      } else if (!rhs.empty()) {
+        entry.alias_rhs.emplace_back(name, std::move(rhs));
+      }
+      i = j;
+      continue;
+    }
+
+    // `unordered_map<...> [cv/ref] NAME` — a declaration (member,
+    // variable, parameter), a function returning the container when NAME
+    // is followed by `(`, or an alias when the statement was a typedef.
+    if (one_of(id, kUnorderedTypes)) {
+      std::size_t j = i + 1;
+      if (is(j, "<")) j = skip_balanced(j, '<', '>');
+      while (is(j, "&") || is(j, "*") || is(j, "const")) ++j;
+      if (is_ident(j)) {
+        const std::string name(at(j).text);
+        if (typedef_active) {
+          entry.decls.unordered_aliases.insert(name);
+        } else if (is(j + 1, "(")) {
+          // `snapshot()` in a range expression and a same-named variable
+          // are both hash-ordered; record the name in both pools.
+          entry.decls.unordered_functions.insert(name);
+          entry.decls.unordered_names.insert(name);
+        } else {
+          entry.decls.unordered_names.insert(name);
+        }
+      }
+      continue;
+    }
+
+    // `TypeIdent [cv/ref] name <;={(,)>` — candidate alias-typed
+    // declaration; only promoted if TypeIdent resolves to an unordered
+    // alias after the fixpoint, so the noise here is harmless.
+    if (!one_of(id, kNotATypeName) && !is(i + 1, "::") &&
+        (i == 0 || (!is(i - 1, "::") && !is(i - 1, ".") &&
+                    !is(i - 1, "->")))) {
+      std::size_t j = i + 1;
+      while (is(j, "&") || is(j, "*") || is(j, "const")) ++j;
+      if (is_ident(j) &&
+          (is(j + 1, ";") || is(j + 1, "=") || is(j + 1, "{") ||
+           is(j + 1, "(") || is(j + 1, ",") || is(j + 1, ")"))) {
+        entry.typed_decls.emplace_back(std::string(id),
+                                       std::string(at(j).text));
+      }
+    }
+  }
+}
+
+void SymbolIndex::finalize() {
+  // 1. Alias fixpoint, project-wide: an alias whose RHS names another
+  //    unordered alias is itself unordered, chains included.
+  std::set<std::string, std::less<>> unordered_aliases;
+  for (const auto& [path, entry] : files_) {
+    unordered_aliases.insert(entry.decls.unordered_aliases.begin(),
+                             entry.decls.unordered_aliases.end());
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [path, entry] : files_) {
+      for (const auto& [name, rhs] : entry.alias_rhs) {
+        if (unordered_aliases.count(name) != 0) continue;
+        for (const std::string& ident : rhs) {
+          if (unordered_aliases.count(ident) != 0) {
+            entry.decls.unordered_aliases.insert(name);
+            unordered_aliases.insert(name);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // 2. Promote alias-typed declarations: `RateMap rates_;` declares an
+  //    unordered name once RateMap is known to be an unordered alias.
+  for (auto& [path, entry] : files_) {
+    for (const auto& [type, name] : entry.typed_decls) {
+      if (unordered_aliases.count(type) != 0) {
+        entry.decls.unordered_names.insert(name);
+      }
+    }
+  }
+
+  // 3. Include closure. An include spelling matches every indexed file
+  //    it is a path suffix of, so "runtime/tenant.hpp" resolves whether
+  //    the index was built from relative or absolute roots.
+  std::map<std::string, std::vector<const std::string*>, std::less<>>
+      by_include;
+  for (auto& [path, entry] : files_) {
+    for (const std::string& inc : entry.includes) {
+      auto& targets = by_include[inc];
+      if (!targets.empty()) continue;  // resolved once, shared
+      for (const auto& [other, other_entry] : files_) {
+        (void)other_entry;
+        if (other == inc || ends_with(other, "/" + inc)) {
+          targets.push_back(&other);
+        }
+      }
+    }
+  }
+  for (auto& [path, entry] : files_) {
+    std::set<std::string, std::less<>> seen{path};
+    std::deque<const std::string*> frontier{&path};
+    entry.visible = entry.decls;
+    while (!frontier.empty()) {
+      const std::string& cur = *frontier.front();
+      frontier.pop_front();
+      const auto it = files_.find(cur);
+      if (it == files_.end()) continue;
+      const FileEntry& cur_entry = it->second;
+      if (&cur_entry != &entry) {
+        entry.visible.unordered_names.insert(
+            cur_entry.decls.unordered_names.begin(),
+            cur_entry.decls.unordered_names.end());
+        entry.visible.unordered_aliases.insert(
+            cur_entry.decls.unordered_aliases.begin(),
+            cur_entry.decls.unordered_aliases.end());
+        entry.visible.unordered_functions.insert(
+            cur_entry.decls.unordered_functions.begin(),
+            cur_entry.decls.unordered_functions.end());
+      }
+      for (const std::string& inc : cur_entry.includes) {
+        const auto targets = by_include.find(inc);
+        if (targets == by_include.end()) continue;
+        for (const std::string* target : targets->second) {
+          if (seen.insert(*target).second) frontier.push_back(target);
+        }
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+const IndexView* SymbolIndex::view(std::string_view path) const {
+  if (!finalized_) return nullptr;
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second.visible;
+}
+
+}  // namespace autra::lint

@@ -1,0 +1,93 @@
+// Cross-TU symbol index for autra_lint (pass 1 of the two-pass engine).
+//
+// The per-file matchers in rules.cpp can only see names declared in the
+// translation unit they are looking at; the determinism rules care about
+// *types*, and in this codebase the type usually lives in another header
+// (an `std::unordered_map` member declared in foo.hpp, iterated in
+// foo.cpp — the exact D2 gap called out in ROADMAP). The index closes
+// that gap without an LLVM dependency:
+//
+//   pass 1  add_file() lexes every file under the linted roots and
+//           records, per file,
+//             - quoted #include spellings (header -> includer edges),
+//             - names declared with an unordered container type
+//               (variables, members, function parameters),
+//             - `using NAME = std::unordered_map<...>` type aliases
+//               (typedef spelling included), plus alias-of-alias edges
+//               resolved to a fixpoint in finalize(),
+//             - function names whose return type is unordered,
+//             - (type, name) declaration pairs whose type is a plain
+//               identifier — promoted to unordered names once the alias
+//               fixpoint shows the type was an unordered alias.
+//   finalize() resolves aliases, promotes alias-typed declarations, and
+//           walks the include graph so every file's view is the union of
+//           its own declarations and everything transitively included.
+//   pass 2  rules.cpp asks view(path) for the visible sets and matches
+//           against them.
+//
+// The index is deliberately scope-less (one namespace-flat name pool per
+// file): a false positive needs two same-named declarations with
+// different container types visible in one TU, which the baseline or an
+// allow() suppression absorbs; a false negative only needs the old
+// same-file behaviour, which the local half of the scan preserves.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autra::lint {
+
+/// True for the std::unordered_* container type names.
+[[nodiscard]] bool unordered_container_type(std::string_view ident);
+
+/// The name sets visible to one file after finalize(): its own
+/// declarations plus everything reachable through quoted includes.
+struct IndexView {
+  /// Variables / members / parameters with an unordered container type.
+  std::set<std::string, std::less<>> unordered_names;
+  /// Type aliases that resolve (transitively) to an unordered container.
+  std::set<std::string, std::less<>> unordered_aliases;
+  /// Functions whose return type is an unordered container.
+  std::set<std::string, std::less<>> unordered_functions;
+};
+
+class SymbolIndex {
+ public:
+  /// Pass 1: lex `source` and record `path`'s declarations and includes.
+  /// `path` is matched against include spellings by suffix, so relative
+  /// and absolute invocations both resolve.
+  void add_file(std::string_view path, std::string_view source);
+
+  /// Resolves alias chains, promotes alias-typed declarations and
+  /// computes every file's include-closure view. Call once, after the
+  /// last add_file().
+  void finalize();
+
+  /// The visible sets for `path` (as given to add_file), or nullptr for
+  /// a file the index has never seen. Valid only after finalize().
+  [[nodiscard]] const IndexView* view(std::string_view path) const;
+
+  /// Number of indexed files.
+  [[nodiscard]] std::size_t size() const { return files_.size(); }
+
+ private:
+  struct FileEntry {
+    std::vector<std::string> includes;  ///< quoted spellings, as written
+    IndexView decls;                    ///< this file's own declarations
+    /// `using NAME = <idents...>` where the RHS named no unordered type
+    /// directly — resolved against the alias fixpoint in finalize().
+    std::vector<std::pair<std::string, std::vector<std::string>>> alias_rhs;
+    /// (type-identifier, declared-name) pairs; promoted when the type
+    /// turns out to be an unordered alias.
+    std::vector<std::pair<std::string, std::string>> typed_decls;
+    IndexView visible;  ///< decls + include closure, filled by finalize()
+  };
+
+  std::map<std::string, FileEntry, std::less<>> files_;
+  bool finalized_ = false;
+};
+
+}  // namespace autra::lint

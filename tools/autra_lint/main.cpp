@@ -1,9 +1,23 @@
-// autra_lint CLI: walks the given files/directories, applies the
-// determinism and API-hygiene rules (rules.hpp) to every .cpp/.hpp, and
-// prints findings as `file:line: [rule] message`. Exits 1 when any
-// unsuppressed finding remains, 2 on usage/IO errors.
+// autra_lint CLI: the project-wide, two-pass static-analysis driver.
 //
-//   autra_lint src bench examples tests
+// Pass 1 lexes every .cpp/.hpp under the given roots and builds the
+// cross-TU symbol index (index.hpp): unordered-typed declarations,
+// `using` aliases, unordered-returning functions, and the include graph.
+// Pass 2 runs the determinism / API-hygiene rules (rules.hpp) against
+// that index, so D2 catches a range-for over an unordered_map member or
+// alias declared in a *different* header. Findings print as
+// `file:line: [rule] message`.
+//
+//   autra_lint [--baseline FILE] [--update-baseline FILE] <file-or-dir>...
+//
+// --baseline FILE         drop findings recorded in FILE (fingerprinted
+//                         by rule + path + token context, so line drift
+//                         doesn't churn entries); stale entries are
+//                         reported to stderr as a nudge to regenerate.
+// --update-baseline FILE  write the current findings to FILE and exit 0.
+//
+// Exits 1 when any unsuppressed, unbaselined finding remains, 2 on
+// usage/IO errors.
 //
 // Directories named testdata/, golden/ or build/ are skipped: fixtures
 // are deliberately dirty and generated trees are not ours to lint.
@@ -14,8 +28,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "baseline.hpp"
+#include "index.hpp"
 #include "rules.hpp"
 
 namespace fs = std::filesystem;
@@ -54,18 +71,24 @@ void collect(const fs::path& root, std::vector<fs::path>& out) {
 }
 
 int usage(std::ostream& os, int code) {
-  os << "usage: autra_lint [--list-rules] <file-or-dir>...\n"
-     << "Project static analysis: determinism (D1-D3) and API hygiene\n"
-     << "(A1-A3, H1) contracts; see DESIGN.md section 10.\n";
+  os << "usage: autra_lint [--list-rules] [--baseline FILE]\n"
+     << "                  [--update-baseline FILE] <file-or-dir>...\n"
+     << "Project static analysis: determinism (D1-D5) and API hygiene\n"
+     << "(A1-A4, H1) contracts; see DESIGN.md section 10.\n";
   return code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using autra::lint::Baseline;
+  using autra::lint::BaselineEntry;
   using autra::lint::Finding;
+  using autra::lint::SymbolIndex;
 
   std::vector<fs::path> roots;
+  std::string baseline_path;
+  std::string update_baseline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return usage(std::cout, 0);
@@ -75,9 +98,21 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (arg == "--baseline" || arg == "--update-baseline") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      (arg == "--baseline" ? baseline_path : update_baseline_path) =
+          argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg.front() == '-') return usage(std::cerr, 2);
     roots.emplace_back(arg);
   }
   if (roots.empty()) return usage(std::cerr, 2);
+  if (!baseline_path.empty() && !update_baseline_path.empty()) {
+    std::cerr << "autra_lint: --baseline and --update-baseline are "
+                 "mutually exclusive\n";
+    return 2;
+  }
 
   std::vector<fs::path> files;
   try {
@@ -89,7 +124,10 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::size_t findings = 0;
+  // Pass 1: read every file once and build the cross-TU symbol index.
+  std::vector<std::pair<std::string, std::string>> sources;  // (name, text)
+  sources.reserve(files.size());
+  SymbolIndex index;
   for (const fs::path& f : files) {
     std::ifstream in(f, std::ios::binary);
     if (!in) {
@@ -98,16 +136,63 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string source = buf.str();
-    const std::string name = f.generic_string();
-    for (const Finding& finding : autra::lint::lint_source(
-             source, name, autra::lint::classify_path(name))) {
-      std::cout << finding.file << ":" << finding.line << ": ["
-                << finding.rule << "] " << finding.message << "\n";
-      ++findings;
+    sources.emplace_back(f.generic_string(), buf.str());
+    index.add_file(sources.back().first, sources.back().second);
+  }
+  index.finalize();
+
+  // Pass 2: rule matchers against the index.
+  std::vector<Finding> findings;
+  for (const auto& [name, source] : sources) {
+    for (Finding& finding : autra::lint::lint_source(
+             source, name, autra::lint::classify_path(name), &index)) {
+      findings.push_back(std::move(finding));
     }
   }
-  std::cerr << "autra_lint: " << files.size() << " files, " << findings
-            << " finding" << (findings == 1 ? "" : "s") << "\n";
-  return findings == 0 ? 0 : 1;
+
+  if (!update_baseline_path.empty()) {
+    std::ofstream out(update_baseline_path);
+    if (!out) {
+      std::cerr << "autra_lint: cannot write " << update_baseline_path
+                << "\n";
+      return 2;
+    }
+    Baseline::from_findings(findings).write(out);
+    std::cerr << "autra_lint: wrote " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " to "
+              << update_baseline_path << "\n";
+    return 0;
+  }
+
+  std::vector<BaselineEntry> stale;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "autra_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    Baseline baseline;
+    std::string error;
+    if (!baseline.parse(in, error)) {
+      std::cerr << "autra_lint: " << baseline_path << ": " << error << "\n";
+      return 2;
+    }
+    findings = baseline.filter(std::move(findings));
+    stale = baseline.stale();
+  }
+
+  for (const Finding& finding : findings) {
+    std::cout << finding.file << ":" << finding.line << ": ["
+              << finding.rule << "] " << finding.message << "\n";
+  }
+  for (const BaselineEntry& e : stale) {
+    std::cerr << "autra_lint: stale baseline entry (" << e.rule << " x"
+              << e.count << " in " << e.path
+              << ") — debt repaid; regenerate with --update-baseline\n";
+  }
+  std::cerr << "autra_lint: " << files.size() << " files, "
+            << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
 }

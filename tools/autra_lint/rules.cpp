@@ -8,15 +8,12 @@
 #include <string>
 #include <tuple>
 
+#include "index.hpp"
 #include "lexer.hpp"
 
 namespace autra::lint {
 
 namespace {
-
-constexpr std::array<std::string_view, 4> kUnorderedTypes = {
-    "unordered_map", "unordered_set", "unordered_multimap",
-    "unordered_multiset"};
 
 constexpr std::array<std::string_view, 8> kRngTypes = {
     "mt19937",      "mt19937_64", "default_random_engine",
@@ -44,6 +41,14 @@ constexpr std::array<std::string_view, 6> kIdKeyedMetricApis = {
 constexpr std::array<std::string_view, 9> kRawIntTypes = {
     "int",      "long",     "short",   "unsigned", "size_t",
     "uint32_t", "uint64_t", "int32_t", "int64_t"};
+
+/// Clock types whose ::now() is a wall-clock read (D5).
+constexpr std::array<std::string_view, 3> kWallClockTypes = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+
+/// C-library wall-clock entry points (D5). time() is D1's when it seeds.
+constexpr std::array<std::string_view, 4> kWallClockCalls = {
+    "gettimeofday", "timespec_get", "ftime", "mktime"};
 
 /// A3's notion of "this identifier names a tenant id". Deliberately
 /// narrow: `tenant_count`/`tenant_names` are legitimate integers/containers,
@@ -119,8 +124,8 @@ Suppressions parse_suppressions(const std::vector<Token>& tokens,
     if (at == std::string_view::npos) continue;
 
     const auto s1 = [&](const std::string& msg) {
-      out.errors.push_back(
-          {std::string(file), t.line, "S1", msg});
+      out.errors.push_back({std::string(file), t.line, "S1", msg,
+                            std::string(trim(t.text))});
     };
 
     std::string_view rest = trim(t.text.substr(at + kMarker.size()));
@@ -162,13 +167,15 @@ Suppressions parse_suppressions(const std::vector<Token>& tokens,
 
 // ---------------------------------------------------------------------------
 // Rule matchers. All operate on the "code" view: comments and preprocessor
-// directives removed.
+// directives removed. Cross-TU name resolution comes from the IndexView
+// (pass 1); the view always at least covers this file's own declarations.
 
 class Matcher {
  public:
   Matcher(const std::vector<Token>& all, std::string_view file,
-          const FileScope& scope, std::vector<Finding>& out)
-      : file_(file), scope_(scope), out_(out) {
+          const FileScope& scope, const IndexView& view,
+          std::vector<Finding>& out)
+      : file_(file), scope_(scope), view_(view), out_(out) {
     for (const Token& t : all) {
       if (t.kind != TokenKind::kComment && t.kind != TokenKind::kDirective) {
         code_.push_back(&t);
@@ -178,11 +185,16 @@ class Matcher {
 
   void run(const std::vector<Token>& all) {
     rule_d1();
-    if (scope_.decision_path) rule_d2();
+    if (scope_.decision_path) {
+      rule_d2();
+      rule_d4();
+    }
     rule_d3();
+    if (scope_.wall_clock_banned) rule_d5();
     rule_a1();
     if (scope_.numeric_header) rule_a2();
     if (scope_.header && scope_.library_code) rule_a3();
+    if (scope_.container_api_header) rule_a4();
     if (scope_.header) rule_h1(all);
   }
 
@@ -201,9 +213,23 @@ class Matcher {
     return i > 0 && (is(i - 1, ".") || is(i - 1, "->"));
   }
 
-  void flag(int line, std::string_view rule, std::string message) {
-    out_.push_back({std::string(file_), line, std::string(rule),
-                    std::move(message)});
+  /// The baseline identity of a finding at token `i`: the surrounding
+  /// code tokens, space-joined. No line numbers — edits elsewhere in the
+  /// file must not re-key the finding (baseline.hpp).
+  [[nodiscard]] std::string context_at(std::size_t i) const {
+    const std::size_t from = i >= 2 ? i - 2 : 0;
+    const std::size_t to = std::min(i + 6, code_.size());
+    std::string out;
+    for (std::size_t k = from; k < to; ++k) {
+      if (!out.empty()) out += ' ';
+      out += at(k).text;
+    }
+    return out;
+  }
+
+  void flag(std::size_t i, std::string_view rule, std::string message) {
+    out_.push_back({std::string(file_), at(i).line, std::string(rule),
+                    std::move(message), context_at(i)});
   }
 
   /// Index just past the matching closer for the opener at `i`
@@ -220,25 +246,71 @@ class Matcher {
     return code_.size();
   }
 
+  /// True when the identifier at `j` names something hash-ordered: an
+  /// unordered container type, or a variable / alias / function the
+  /// index resolved to one — declared in this file or any transitively
+  /// included one.
+  [[nodiscard]] bool unordered_mention(std::size_t j) const {
+    if (!is_ident(j)) return false;
+    const std::string_view id = at(j).text;
+    return unordered_container_type(id) ||
+           view_.unordered_names.count(id) != 0 ||
+           view_.unordered_aliases.count(id) != 0 ||
+           view_.unordered_functions.count(id) != 0;
+  }
+
+  /// Parsed range-for at `i` (`at(i) == "for"`): token indices of the
+  /// head's `:` and closing `)`. close == 0 when this is not a range-for.
+  struct RangeFor {
+    std::size_t colon = 0;
+    std::size_t close = 0;
+  };
+  [[nodiscard]] RangeFor range_for(std::size_t i) const {
+    RangeFor out;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < code_.size(); ++j) {
+      if (is(j, "(")) ++depth;
+      if (is(j, ")") && --depth == 0) {
+        out.close = j;
+        break;
+      }
+      if (is(j, ":") && depth == 1 && out.colon == 0) out.colon = j;
+    }
+    if (out.colon == 0) out.close = 0;
+    return out;
+  }
+
+  /// First hash-ordered mention in the range expression of the range-for
+  /// at `i`; 0 when none (0 is never a range token).
+  [[nodiscard]] std::size_t range_for_unordered(std::size_t i) const {
+    const RangeFor rf = range_for(i);
+    if (rf.close == 0) return 0;
+    for (std::size_t j = rf.colon + 1; j < rf.close; ++j) {
+      if (unordered_mention(j)) return j;
+    }
+    return 0;
+  }
+
   // D1 — entropy and wall-clock sources.
   void rule_d1() {
     for (std::size_t i = 0; i < code_.size(); ++i) {
       if (!is_ident(i)) continue;
       const std::string_view id = at(i).text;
       if (id == "random_device") {
-        flag(at(i).line, "D1",
+        flag(i, "D1",
              "std::random_device is nondeterministic; thread a seeded "
              "mt19937_64 through instead");
       } else if ((id == "rand" || id == "srand") && is(i + 1, "(") &&
                  !member_access(i)) {
-        flag(at(i).line, "D1",
+        flag(i, "D1",
              std::string(id) + "() breaks seeded replay; use a "
              "mt19937_64 with a named seed");
-      } else if (id == "time" && is(i + 1, "(") && !member_access(i)) {
+      } else if (id == "time" && is(i + 1, "(") && !member_access(i) &&
+                 !declaration(i)) {
         const Token& arg = at(i + 2);
         if (arg.text == ")" || arg.text == "0" || arg.text == "NULL" ||
             arg.text == "nullptr") {
-          flag(at(i).line, "D1",
+          flag(i, "D1",
                "time()-based seed makes runs unreproducible; pass the seed "
                "explicitly");
         }
@@ -247,51 +319,30 @@ class Matcher {
   }
 
   // D2 — iteration order of unordered containers leaking into decisions.
+  // The IndexView supplies names declared in other headers: members,
+  // `using` aliases and unordered-returning functions (cross-TU).
   void rule_d2() {
-    std::set<std::string_view> names;
-    for (std::size_t i = 0; i < code_.size(); ++i) {
-      if (!is_ident(i) || !one_of(at(i).text, kUnorderedTypes)) continue;
-      std::size_t j = i + 1;
-      if (is(j, "<")) j = skip_balanced(j, '<', '>');
-      while (is(j, "&") || is(j, "*") || is(j, "const")) ++j;
-      if (is_ident(j)) names.insert(at(j).text);
-    }
     for (std::size_t i = 0; i < code_.size(); ++i) {
       // Range-for whose range expression mentions an unordered container.
       if (is_ident(i) && at(i).text == "for" && is(i + 1, "(")) {
-        int depth = 0;
-        std::size_t colon = 0;
-        std::size_t close = 0;
-        for (std::size_t j = i + 1; j < code_.size(); ++j) {
-          if (is(j, "(")) ++depth;
-          if (is(j, ")") && --depth == 0) {
-            close = j;
-            break;
-          }
-          if (is(j, ":") && depth == 1 && colon == 0) colon = j;
-        }
-        if (colon == 0 || close == 0) continue;
-        for (std::size_t j = colon + 1; j < close; ++j) {
-          if (is_ident(j) && (names.count(at(j).text) != 0 ||
-                              one_of(at(j).text, kUnorderedTypes))) {
-            flag(at(i).line, "D2",
-                 "range-for over unordered container '" +
-                     std::string(at(j).text) +
-                     "'; iteration order is nondeterministic — take a "
-                     "sorted snapshot or use std::map");
-            break;
-          }
+        const std::size_t j = range_for_unordered(i);
+        if (j != 0) {
+          flag(i, "D2",
+               "range-for over unordered container '" +
+                   std::string(at(j).text) +
+                   "'; iteration order is nondeterministic — take a "
+                   "sorted snapshot or use std::map");
         }
       }
       // Iterator access on a tracked unordered container. `.end()` alone
       // is fine — `find(k) == end()` is an order-free point lookup; it is
       // begin/cbegin that starts an ordered walk.
-      if (is_ident(i) && names.count(at(i).text) != 0 &&
+      if (is_ident(i) && view_.unordered_names.count(at(i).text) != 0 &&
           (is(i + 1, ".") || is(i + 1, "->")) && is_ident(i + 2) &&
           is(i + 3, "(")) {
         const std::string_view m = at(i + 2).text;
         if (m == "begin" || m == "cbegin") {
-          flag(at(i).line, "D2",
+          flag(i, "D2",
                "iterator over unordered container '" +
                    std::string(at(i).text) +
                    "'; iteration order is nondeterministic — take a "
@@ -326,16 +377,98 @@ class Matcher {
         if (!one_of(at(k).text, kCastIdents)) named = true;
       }
       if (clocked) {
-        flag(at(i).line, "D3",
+        flag(i, "D3",
              "RNG seeded from a clock or entropy source; seeds must be "
              "named values so runs replay bit-identically");
       } else if (!named && scope_.library_code) {
-        flag(at(i).line, "D3",
+        flag(i, "D3",
              end == j + 2
                  ? "default-constructed RNG hides the seed; take it as a "
                    "named parameter"
                  : "RNG seeded from a literal; take the seed as a named "
                    "parameter so callers control replay");
+      }
+    }
+  }
+
+  // D4 — order-sensitive raw reductions in decision paths. std::reduce
+  // may reassociate the fold; std::accumulate inherits whatever order
+  // its range has; exec::parallel_reduce folds in a fixed index order at
+  // every thread count, which is what a decision path must use. A manual
+  // `+=` inside a loop over an unordered container is the same bug
+  // spelled by hand.
+  void rule_d4() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!is_ident(i)) continue;
+      const std::string_view id = at(i).text;
+      if ((id == "accumulate" || id == "reduce") && is(i + 1, "(")) {
+        const bool std_qualified =
+            i >= 2 && is(i - 1, "::") && at(i - 2).text == "std";
+        if (std_qualified || !member_access(i)) {
+          flag(i, "D4",
+               "std::" + std::string(id) +
+                   " is an order-sensitive raw reduction in a decision "
+                   "path; fold in fixed index order (exec::parallel_reduce "
+                   "or an explicit indexed loop)");
+        }
+      }
+      // Manual accumulation inside a range-for over an unordered
+      // container (one finding per loop).
+      if (id == "for" && is(i + 1, "(") && range_for_unordered(i) != 0) {
+        const RangeFor rf = range_for(i);
+        std::size_t body_end;
+        if (is(rf.close + 1, "{")) {
+          body_end = skip_balanced(rf.close + 1, '{', '}');
+        } else {
+          body_end = rf.close + 1;
+          while (body_end < code_.size() && !is(body_end, ";")) ++body_end;
+        }
+        for (std::size_t k = rf.close + 1; k < body_end; ++k) {
+          if ((is(k, "+") || is(k, "-") || is(k, "*")) && is(k + 1, "=")) {
+            flag(k, "D4",
+                 "manual accumulation over an unordered container; the "
+                 "fold order is the hash order — reduce over a sorted "
+                 "snapshot instead");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// A call-looking token that is actually a *declaration* — the
+  /// preceding token is a type name (`double clock() const;`). `return
+  /// clock()` stays a call.
+  [[nodiscard]] bool declaration(std::size_t i) const {
+    return i > 0 && is_ident(i - 1) && at(i - 1).text != "return" &&
+           at(i - 1).text != "co_return";
+  }
+
+  // D5 — wall-clock reads outside bench/ and tools/. Simulated time
+  // comes from the engine; a wall clock in library, example or test code
+  // either leaks into decisions or smuggles nondeterminism into
+  // assertions.
+  void rule_d5() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!is_ident(i)) continue;
+      const std::string_view id = at(i).text;
+      if (one_of(id, kWallClockTypes) && is(i + 1, "::") &&
+          at(i + 2).text == "now") {
+        flag(i, "D5",
+             std::string(id) +
+                 "::now() is a wall-clock read; simulated time comes from "
+                 "the engine — wall-clock timing belongs in bench/ and "
+                 "tools/");
+      } else if (id == "clock" && is(i + 1, "(") && is(i + 2, ")") &&
+                 !member_access(i) && !declaration(i)) {
+        flag(i, "D5",
+             "clock() is a wall-clock read; wall-clock timing belongs in "
+             "bench/ and tools/");
+      } else if (one_of(id, kWallClockCalls) && is(i + 1, "(") &&
+                 !member_access(i) && !declaration(i)) {
+        flag(i, "D5",
+             std::string(id) + "() is a wall-clock read; wall-clock "
+             "timing belongs in bench/ and tools/");
       }
     }
   }
@@ -346,7 +479,7 @@ class Matcher {
       if (!is_ident(i) || !one_of(at(i).text, kIdKeyedMetricApis)) continue;
       if (!member_access(i) || !is(i + 1, "(")) continue;
       if (at(i + 2).kind == TokenKind::kString) {
-        flag(at(i).line, "A1",
+        flag(i, "A1",
              "string literal passed to MetricStore::" +
                  std::string(at(i).text) +
                  "(); resolve() the series name to a MetricId once and "
@@ -359,7 +492,7 @@ class Matcher {
   void rule_a2() {
     for (std::size_t i = 0; i < code_.size(); ++i) {
       if (is_ident(i) && at(i).text == "float") {
-        flag(at(i).line, "A2",
+        flag(i, "A2",
              "float in a numeric-layer public header; the GP contract is "
              "double end-to-end");
       }
@@ -373,10 +506,86 @@ class Matcher {
       std::size_t j = i + 1;
       while (is(j, "const") || is(j, "*") || is(j, "&") || is(j, "&&")) ++j;
       if (!is_ident(j) || !names_a_tenant_id(at(j).text)) continue;
-      flag(at(i).line, "A3",
+      flag(i, "A3",
            "raw integer tenant id '" + std::string(at(j).text) +
                "' in a public header; tenant identity is the interned "
                "runtime::TenantId");
+    }
+  }
+
+  // A4 — std::unordered_* exposed by the public surface of a
+  // hash-order-sensitive layer's header: return types, public members,
+  // public aliases, free-function signatures. Hash order (and hash
+  // seed) would leak into every caller; private members used for point
+  // lookups stay legal.
+  void rule_a4() {
+    struct Region {
+      enum Kind { kNamespace, kClass, kOther };
+      Kind kind = kOther;
+      bool exposed_base = false;  ///< exposure of the enclosing region
+      bool is_public = false;     ///< current access, class regions only
+    };
+    std::vector<Region> stack;
+    const auto effective = [&]() {
+      if (stack.empty()) return true;  // file scope of a public header
+      const Region& top = stack.back();
+      if (top.kind == Region::kOther) return false;
+      if (top.kind == Region::kClass) {
+        return top.exposed_base && top.is_public;
+      }
+      return top.exposed_base;
+    };
+
+    enum class Pending { kNone, kNamespace, kClass, kEnum };
+    Pending pending = Pending::kNone;
+    bool pending_public_default = false;
+
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = at(i);
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "namespace") {
+          pending = Pending::kNamespace;
+        } else if (t.text == "enum") {
+          pending = Pending::kEnum;
+        } else if ((t.text == "class" || t.text == "struct" ||
+                    t.text == "union") &&
+                   pending != Pending::kEnum) {
+          pending = Pending::kClass;
+          pending_public_default = t.text != "class";
+        } else if ((t.text == "public" || t.text == "private" ||
+                    t.text == "protected") &&
+                   is(i + 1, ":") && !stack.empty() &&
+                   stack.back().kind == Region::kClass) {
+          stack.back().is_public = t.text == "public";
+        } else if (unordered_container_type(t.text) && effective()) {
+          flag(i, "A4",
+               "public header exposes std::" + std::string(t.text) +
+                   " in its API; hash order leaks into callers — return "
+                   "or store an ordered type, or make the member "
+                   "private");
+        }
+        continue;
+      }
+      if (is(i, "(") || is(i, ";")) {
+        // A parameter list means the upcoming `{` is a function body;
+        // a semicolon ends whatever declaration was pending.
+        pending = Pending::kNone;
+      } else if (is(i, "{")) {
+        Region r;
+        r.exposed_base = effective();
+        if (pending == Pending::kNamespace) {
+          r.kind = Region::kNamespace;
+        } else if (pending == Pending::kClass) {
+          r.kind = Region::kClass;
+          r.is_public = pending_public_default;
+        } else {
+          r.kind = Region::kOther;
+        }
+        stack.push_back(r);
+        pending = Pending::kNone;
+      } else if (is(i, "}")) {
+        if (!stack.empty()) stack.pop_back();
+      }
     }
   }
 
@@ -391,14 +600,17 @@ class Matcher {
     }
     if (first == nullptr || first->kind != TokenKind::kDirective ||
         normalize_directive(first->text) != "#pragma once") {
-      flag(first != nullptr ? first->line : 1, "H1",
-           "header must open with #pragma once (before any include or "
-           "declaration)");
+      out_.push_back({std::string(file_),
+                      first != nullptr ? first->line : 1, "H1",
+                      "header must open with #pragma once (before any "
+                      "include or declaration)",
+                      first != nullptr ? normalize_directive(first->text)
+                                       : std::string("<empty file>")});
     }
     for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
       if (is_ident(i) && at(i).text == "using" && is_ident(i + 1) &&
           at(i + 1).text == "namespace") {
-        flag(at(i).line, "H1",
+        flag(i, "H1",
              "using namespace in a header leaks into every includer");
       }
     }
@@ -407,6 +619,7 @@ class Matcher {
   std::vector<const Token*> code_;
   std::string_view file_;
   const FileScope& scope_;
+  const IndexView& view_;
   std::vector<Finding>& out_;
 };
 
@@ -418,8 +631,8 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 }  // namespace
 
 const std::vector<std::string>& known_rules() {
-  static const std::vector<std::string> kRules = {"D1", "D2", "D3", "A1",
-                                                  "A2", "A3", "H1"};
+  static const std::vector<std::string> kRules = {
+      "D1", "D2", "D3", "D4", "D5", "A1", "A2", "A3", "A4", "H1"};
   return kRules;
 }
 
@@ -432,21 +645,39 @@ FileScope classify_path(std::string_view path) {
       contains(path, "src/bayesopt/") || contains(path, "src/streamsim/") ||
       contains(path, "src/fault/") || contains(path, "src/runtime/") ||
       contains(path, "src/multitenant/") || contains(path, "src/arrival/");
+  scope.wall_clock_banned =
+      !contains(path, "bench/") && !contains(path, "tools/");
   scope.numeric_header =
       scope.header && (contains(path, "src/linalg/") ||
                        contains(path, "src/gp/") ||
                        contains(path, "src/core/"));
+  scope.container_api_header =
+      scope.header && (contains(path, "src/linalg/") ||
+                       contains(path, "src/gp/") ||
+                       contains(path, "src/core/") ||
+                       contains(path, "src/runtime/"));
   return scope;
 }
 
 std::vector<Finding> lint_source(std::string_view source,
                                  std::string_view file,
-                                 const FileScope& scope) {
+                                 const FileScope& scope,
+                                 const SymbolIndex* index) {
   const std::vector<Token> tokens = lex(source);
   Suppressions sup = parse_suppressions(tokens, file);
 
+  // Cross-TU view from pass 1 when available; otherwise index just this
+  // file on the fly, which reproduces the old per-file behaviour.
+  const IndexView* view = index != nullptr ? index->view(file) : nullptr;
+  SymbolIndex local;
+  if (view == nullptr) {
+    local.add_file(file, source);
+    local.finalize();
+    view = local.view(file);
+  }
+
   std::vector<Finding> raw;
-  Matcher matcher(tokens, file, scope, raw);
+  Matcher matcher(tokens, file, scope, *view, raw);
   matcher.run(tokens);
 
   std::vector<Finding> out;

@@ -3,15 +3,28 @@
 //
 // Rules:
 //   D1  no std::random_device / rand() / srand() / time(0)-style seeds
-//   D2  no iteration over unordered containers in decision-path code
+//   D2  no iteration over unordered containers in decision-path code —
+//       cross-TU: the SymbolIndex resolves members, `using` aliases and
+//       function return types declared in other headers
 //   D3  RNG constructions must be seeded from a named value, never a
 //       literal (library code) or a clock (anywhere)
+//   D4  no order-sensitive raw reductions in decision-path code:
+//       std::accumulate / std::reduce (exec::parallel_reduce folds in a
+//       fixed index order; std::reduce may reassociate, and accumulate
+//       inherits whatever order the range has), and manual `+=`
+//       accumulation inside a loop over an unordered container
+//   D5  no wall-clock reads (system_clock/steady_clock/
+//       high_resolution_clock ::now, clock(), gettimeofday, ...) outside
+//       bench/ and tools/ — simulated time comes from the engine
 //   A1  no string literals passed to the id-keyed MetricStore/MetricSink
 //       APIs — series names go through resolve()/intern() once
 //   A2  no `float` in public headers of the numeric layers (double is the
 //       GP contract)
 //   A3  no raw integer tenant ids in library public headers — tenant
 //       identity is the interned runtime::TenantId
+//   A4  public headers of the linalg/gp/core/runtime layers may not
+//       expose std::unordered_* in return types or public members —
+//       hash order would leak into every caller
 //   H1  header hygiene: `#pragma once` before anything else, no
 //       `using namespace` at header scope
 //   S1  malformed suppression (missing reason, unknown rule) — emitted by
@@ -21,7 +34,8 @@
 // line N or line N-1, e.g.
 //   autra-lint: allow(D3 generator is the sanctioned entropy boundary)
 // The rule id must be real and the reason is mandatory — a bare allow()
-// is itself an S1 finding.
+// is itself an S1 finding. Pre-existing debt behind a *new* rule is
+// carried in the findings baseline instead (baseline.hpp).
 #pragma once
 
 #include <string>
@@ -30,25 +44,36 @@
 
 namespace autra::lint {
 
+class SymbolIndex;
+
 struct Finding {
   std::string file;
   int line = 0;
   std::string rule;
   std::string message;
+  /// The code tokens around the flagged one, space-joined — the
+  /// line-drift-stable identity the baseline fingerprints (baseline.hpp).
+  std::string context;
 };
 
 /// Which rule scopes apply to a file. The CLI derives this from the path
 /// (classify_path); the fixture tests set the fields directly.
 struct FileScope {
-  /// D2: decision-path directories (src/core, src/gp, src/bayesopt,
-  /// src/streamsim, src/fault, src/runtime).
+  /// D2/D4: decision-path directories (src/core, src/gp, src/bayesopt,
+  /// src/streamsim, src/fault, src/runtime, src/multitenant,
+  /// src/arrival).
   bool decision_path = false;
   /// D3's literal-seed sub-rule: library code under src/. Tests and
   /// benches pin literal seeds as part of their spec, which is exactly
   /// what determinism wants — only clock seeds are flagged there.
   bool library_code = false;
+  /// D5: everywhere except bench/ and tools/ — those two are the only
+  /// places a wall clock is an instrument rather than a leak.
+  bool wall_clock_banned = false;
   /// A2: headers under src/linalg, src/gp, src/core.
   bool numeric_header = false;
+  /// A4: headers under src/linalg, src/gp, src/core, src/runtime.
+  bool container_api_header = false;
   /// H1: any header.
   bool header = false;
 };
@@ -59,9 +84,14 @@ struct FileScope {
 
 /// Lints one file's contents. `file` is echoed verbatim into findings.
 /// Findings arrive sorted by line.
-[[nodiscard]] std::vector<Finding> lint_source(std::string_view source,
-                                               std::string_view file,
-                                               const FileScope& scope);
+///
+/// `index` is the finalized cross-TU symbol index (pass 1); D2/D4 use it
+/// to resolve unordered-typed names declared in other files. Pass
+/// nullptr for a single-file run — the file's own declarations are then
+/// indexed on the fly, which reproduces the old per-file behaviour.
+[[nodiscard]] std::vector<Finding> lint_source(
+    std::string_view source, std::string_view file, const FileScope& scope,
+    const SymbolIndex* index = nullptr);
 
 /// Rule ids accepted by allow(); excludes S1.
 [[nodiscard]] const std::vector<std::string>& known_rules();

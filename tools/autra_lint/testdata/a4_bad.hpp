@@ -1,0 +1,18 @@
+// A4 bad: a hash-order-sensitive layer's public header exposing
+// std::unordered_* — as a public member and as a return type. Every
+// caller inherits the hash order (and libstdc++'s hash seed).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class OperatorRates {
+ public:
+  std::unordered_map<std::string, double> rates;  // public member
+
+  [[nodiscard]] std::unordered_map<std::string, double> snapshot() const;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// A4 good: the unordered container is a private point-lookup detail; the
+// public surface speaks ordered types only.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class OperatorRates {
+ public:
+  [[nodiscard]] double rate_of(const std::string& op) const;
+
+  /// Sorted snapshot — the only iteration the API offers.
+  [[nodiscard]] std::map<std::string, double> snapshot() const;
+
+ private:
+  std::unordered_map<std::string, double> index_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Cross-file D2 corpus: a `using` alias that resolves to an unordered
+// container, consumed in crossfile_alias_{bad,good}.cpp. The chained
+// alias exercises the index's fixpoint resolution.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+using RateMap = std::unordered_map<std::string, double>;
+using OperatorRates = RateMap;  // alias-of-alias, still unordered
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Cross-file D2 bad: the local variable's type is an alias declared in
+// crossfile_alias.hpp; iterating it is a hash-order walk.
+#include "crossfile_alias.hpp"
+
+namespace fixture {
+
+double total(const OperatorRates& rates) {
+  OperatorRates scratch = rates;
+  double sum = 0.0;
+  for (const auto& [op, r] : scratch) sum = sum + r;
+  return sum;
+}
+
+}  // namespace fixture

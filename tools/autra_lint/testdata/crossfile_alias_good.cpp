@@ -1,0 +1,13 @@
+// Cross-file D2 good: the alias-typed map is only probed, never walked.
+#include "crossfile_alias.hpp"
+
+#include <string>
+
+namespace fixture {
+
+double rate_of(const OperatorRates& rates, const std::string& op) {
+  const auto it = rates.find(op);
+  return it == rates.end() ? 0.0 : it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Cross-file D2 corpus: a function whose *return type* is unordered,
+// iterated in crossfile_fn_{bad,good}.cpp.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+[[nodiscard]] std::unordered_map<std::string, double> snapshot_rates();
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Cross-file D2 bad: iterating the unordered return value of a function
+// declared in crossfile_fn.hpp.
+#include "crossfile_fn.hpp"
+
+namespace fixture {
+
+double total() {
+  double sum = 0.0;
+  for (const auto& [op, r] : snapshot_rates()) sum = sum + r;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Cross-file D2 good: the unordered snapshot is copied into an ordered
+// map first; the walk happens in sorted-key order.
+#include "crossfile_fn.hpp"
+
+#include <map>
+#include <string>
+
+namespace fixture {
+
+double total() {
+  const auto snap = snapshot_rates();
+  const std::map<std::string, double> sorted(snap.begin(), snap.end());
+  double sum = 0.0;
+  for (const auto& [op, r] : sorted) sum = sum + r;
+  return sum;
+}
+
+}  // namespace fixture

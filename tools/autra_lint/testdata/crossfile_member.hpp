@@ -1,0 +1,18 @@
+// Cross-file D2 corpus: the unordered member lives HERE, the iteration
+// lives in crossfile_member_{bad,good}.cpp — only the pass-1 symbol
+// index connects the two.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct OperatorTable {
+  std::unordered_map<std::string, double> rates_;
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double rate_of(const std::string& op) const;
+};
+
+}  // namespace fixture

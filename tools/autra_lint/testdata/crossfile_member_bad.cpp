@@ -1,0 +1,14 @@
+// Cross-file D2 bad: range-for over `rates_`, whose unordered type is
+// declared in crossfile_member.hpp. Without the symbol index this file
+// looks clean.
+#include "crossfile_member.hpp"
+
+namespace fixture {
+
+double OperatorTable::total() const {
+  double sum = 0.0;
+  for (const auto& [op, r] : rates_) sum = sum + r;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Cross-file D2 good: point lookups into the header-declared unordered
+// member are order-free.
+#include "crossfile_member.hpp"
+
+namespace fixture {
+
+double OperatorTable::rate_of(const std::string& op) const {
+  const auto it = rates_.find(op);
+  return it == rates_.end() ? 0.0 : it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// D4 bad: raw reductions in a decision path. std::reduce may
+// reassociate the fold, std::accumulate inherits its range's order, and
+// a manual += over an unordered container folds in hash order.
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double plan_score(const std::vector<double>& trial_scores,
+                  const std::unordered_map<std::string, double>& rates) {
+  const double a =
+      std::accumulate(trial_scores.begin(), trial_scores.end(), 0.0);
+  const double r = std::reduce(trial_scores.begin(), trial_scores.end());
+  double hash_order = 0.0;
+  for (const auto& [op, v] : rates) hash_order += v;
+  return a + r + hash_order;
+}

@@ -1,0 +1,29 @@
+// D4 good: decision-path folds happen in an explicit, fixed index order
+// — an indexed loop over a vector, or exec::parallel_reduce (whose fold
+// order is pinned at every thread count).
+#include <map>
+#include <string>
+#include <vector>
+
+namespace exec {
+struct ExecContext;
+template <typename T, typename M, typename F>
+T parallel_reduce(const ExecContext& ctx, std::size_t n, T init, M map,
+                  F fold);
+}  // namespace exec
+
+double plan_score(const exec::ExecContext& ctx,
+                  const std::vector<double>& trial_scores,
+                  const std::map<std::string, double>& sorted_rates) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < trial_scores.size(); ++i) {
+    sum += trial_scores[i];
+  }
+  const double folded = exec::parallel_reduce(
+      ctx, trial_scores.size(), 0.0,
+      [&](std::size_t i) { return trial_scores[i]; },
+      [](double a, double b) { return a + b; });
+  double ordered = 0.0;
+  for (const auto& [op, v] : sorted_rates) ordered += v;
+  return sum + folded + ordered;
+}

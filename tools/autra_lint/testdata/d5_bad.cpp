@@ -1,0 +1,13 @@
+// D5 bad: wall-clock reads in library code. Simulated time comes from
+// the engine; a wall clock here leaks real time into decisions.
+#include <chrono>
+#include <ctime>
+
+double window_age_sec(double window_start_sec) {
+  const auto wall = std::chrono::system_clock::now();
+  const auto mono = std::chrono::steady_clock::now();
+  const double cpu = static_cast<double>(clock());
+  (void)wall;
+  (void)mono;
+  return cpu - window_start_sec;
+}

@@ -1,0 +1,10 @@
+// D5 good: time is a simulation input, threaded through explicitly; the
+// engine's clock is a member function, not the machine's.
+struct Engine {
+  [[nodiscard]] double time() const;
+  [[nodiscard]] double clock() const;  // member named clock is not a read
+};
+
+double window_age_sec(const Engine& engine, double window_start_sec) {
+  return engine.time() - window_start_sec;
+}
